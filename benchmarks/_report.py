@@ -1,0 +1,22 @@
+"""Shared reporting helper for the benchmark suite.
+
+Every experiment prints its paper-style table and also appends it to
+``benchmarks/out/<experiment>.txt`` so results survive pytest's output
+capture (inspect them after a ``pytest benchmarks/ --benchmark-only`` run).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def report(experiment: str, text: str) -> None:
+    """Print ``text`` and persist it under ``benchmarks/out/``."""
+    print()
+    print(text)
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"{experiment}.txt"
+    with path.open("a") as fh:
+        fh.write(text + "\n\n")

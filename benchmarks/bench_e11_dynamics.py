@@ -1,0 +1,89 @@
+"""E11 — the paper's caveat: topology changes mid-protocol corrupt the map.
+
+The introduction motivates fast protocols with exactly this hazard: "if a
+processor is randomly added or removed from the topology of the network in
+the middle of the computation, a global topology determination is likely to
+produce an incorrect result."  We sweep the *time* of a single wire cut (or
+addition) across the protocol's lifetime and classify each run: accurate,
+stale (terminates with a map of a network that no longer exists), deadlock,
+or a protocol-level error.
+
+Expected shape: mutations landing inside the active window almost never
+yield an accurate map; mutations after termination always do.
+"""
+
+from __future__ import annotations
+
+from repro import determine_topology
+from repro.dynamics import DynamicOutcome, WireMutation, run_dynamic_gtd
+from repro.topology.portgraph import PortGraph, Wire
+from repro.util.tables import format_table
+
+from _report import report
+
+
+def ring_with_spare_ports(n: int) -> PortGraph:
+    """A bidirectional ring built at delta=3 so port 3 is free everywhere."""
+    g = PortGraph(n, 3)
+    for u in range(n):
+        g.add_wire(u, 1, (u + 1) % n, 1)
+        g.add_wire(u, 2, (u - 1) % n, 2)
+    return g.freeze()
+
+
+def run_sweep():
+    graph = ring_with_spare_ports(8)
+    baseline = determine_topology(graph)
+    horizon = baseline.ticks
+    victim = graph.out_wire(4, 1)
+    addition = Wire(0, 3, 4, 3)
+
+    rows = []
+    accurate_mid = 0
+    mid_cases = 0
+    for fraction in (0.1, 0.3, 0.5, 0.7, 0.9, 1.2):
+        when = int(horizon * fraction)
+        cut = run_dynamic_gtd(
+            graph,
+            [WireMutation(tick=when, kind="cut", wire=victim)],
+            max_ticks=horizon * 3,
+        )
+        add = run_dynamic_gtd(
+            graph, [WireMutation(tick=when, kind="add", wire=addition)]
+        )
+        rows.append(
+            (
+                f"{fraction:.0%} of runtime",
+                when,
+                cut.outcome.value,
+                cut.lost_characters,
+                add.outcome.value,
+            )
+        )
+        if fraction < 1.0:
+            mid_cases += 2
+            accurate_mid += (cut.outcome is DynamicOutcome.ACCURATE) + (
+                add.outcome is DynamicOutcome.ACCURATE
+            )
+    return rows, horizon, accurate_mid, mid_cases
+
+
+def test_e11_mid_protocol_changes(benchmark):
+    rows, horizon, accurate_mid, mid_cases = benchmark.pedantic(
+        run_sweep, rounds=1, iterations=1
+    )
+    benchmark.extra_info["mid_run_accuracy"] = f"{accurate_mid}/{mid_cases}"
+    report(
+        "e11_dynamics",
+        format_table(
+            ["mutation time", "tick", "cut outcome", "chars lost", "add outcome"],
+            rows,
+            title=f"E11 (paper §1.1 caveat): one wire cut/added during a run "
+            f"that takes {horizon} ticks undisturbed — mid-run accuracy "
+            f"{accurate_mid}/{mid_cases}",
+        ),
+    )
+    # Mutations applied after termination leave the map accurate...
+    assert rows[-1][2] == "accurate" and rows[-1][4] == "accurate"
+    # ...while mid-run mutations essentially never do.
+    assert accurate_mid <= mid_cases // 2

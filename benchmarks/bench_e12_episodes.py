@@ -1,0 +1,66 @@
+"""E12 — Lemma 4.3 per episode, mined from a real protocol run.
+
+E2 measured isolated, scripted RCAs; here we take one *full* GTD run and
+extract every RCA episode from the root's own transcript (root-visible
+information only).  Expected shape: episode duration is a clean line in the
+episode's marked-loop length, with the same per-hop constant whichever
+processor initiated it and whether the token was FORWARD or BACK.
+"""
+
+from __future__ import annotations
+
+from repro import determine_topology
+from repro.analysis.run_stats import episode_scaling, rca_episodes
+from repro.topology import generators
+from repro.util.tables import format_table
+
+from _report import report
+
+
+def run_analysis():
+    graph = generators.directed_torus(4, 5)  # N=20, mixed loop lengths
+    result = determine_topology(graph)
+    assert result.matches(graph)
+    episodes = rca_episodes(result.transcript)
+    assert len(episodes) == result.rca_runs
+    fit = episode_scaling(episodes)
+
+    by_length: dict[int, list[int]] = {}
+    for ep in episodes:
+        by_length.setdefault(ep.loop_length, []).append(ep.duration)
+    rows = [
+        (
+            length,
+            len(durations),
+            min(durations),
+            max(durations),
+            round(sum(durations) / len(durations), 1),
+        )
+        for length, durations in sorted(by_length.items())
+    ]
+    fwd = sum(1 for e in episodes if e.token == "FWD")
+    back = sum(1 for e in episodes if e.token == "BACK")
+    return rows, fit, len(episodes), fwd, back
+
+
+def test_e12_episode_scaling(benchmark):
+    rows, fit, count, fwd, back = benchmark.pedantic(
+        run_analysis, rounds=1, iterations=1
+    )
+    benchmark.extra_info["episodes"] = count
+    benchmark.extra_info["ticks_per_hop"] = round(fit.slope, 2)
+    report(
+        "e12_episodes",
+        format_table(
+            ["loop length", "episodes", "min ticks", "max ticks", "mean ticks"],
+            rows,
+            title=f"E12 (Lemma 4.3, in vivo): {count} RCA episodes "
+            f"({fwd} FORWARD, {back} BACK) from one torus(4x5) run — "
+            f"duration = {fit.slope:.2f}*loop + {fit.intercept:.2f}, "
+            f"R^2={fit.r_squared:.4f}",
+        ),
+    )
+    assert fit.r_squared > 0.999
+    assert 5 < fit.slope < 15  # ~9 ticks/hop as seen from the root
+    # FORWARD per non-root edge event, BACK per probe return: both present
+    assert fwd > 0 and back > 0

@@ -1,0 +1,54 @@
+"""E13 — simulator throughput (wall-clock, the pytest-benchmark native mode).
+
+E1–E12 study *simulated ticks* (the paper's complexity measure, independent
+of the host machine).  This module benchmarks the simulator itself —
+character-hops per wall-clock second — so regressions in the engine's hot
+path (delivery, outbox draining, handler dispatch) are caught.  These are
+the only benchmarks here where wall time is the object of study, so they
+run with real repetitions instead of ``pedantic`` single shots.
+"""
+
+from __future__ import annotations
+
+from repro import determine_topology
+from repro.protocol.rca import run_single_rca
+from repro.topology import generators
+
+from _report import report
+
+
+def test_e13_full_protocol_throughput(benchmark):
+    graph = generators.de_bruijn(2, 4)  # N=16, E=32, D=4
+
+    def run():
+        return determine_topology(graph)
+
+    result = benchmark(run)
+    assert result.matches(graph)
+    hops = result.metrics.total_delivered
+    rate = hops / benchmark.stats["mean"]
+    benchmark.extra_info["character_hops"] = hops
+    benchmark.extra_info["hops_per_second"] = int(rate)
+    report(
+        "e13_simperf",
+        f"E13a: full protocol on de_bruijn(2,4): {hops} character-hops per "
+        f"run, {rate:,.0f} hops/s wall-clock "
+        f"(mean {benchmark.stats['mean'] * 1e3:.1f} ms/run)",
+    )
+
+
+def test_e13_single_rca_throughput(benchmark):
+    graph = generators.bidirectional_line(24)
+
+    def run():
+        return run_single_rca(graph, initiator=23)
+
+    result = benchmark(run)
+    hops = result.engine.metrics.total_delivered
+    rate = hops / benchmark.stats["mean"]
+    benchmark.extra_info["hops_per_second"] = int(rate)
+    report(
+        "e13_simperf",
+        f"E13b: one RCA across a 24-line: {hops} character-hops, "
+        f"{rate:,.0f} hops/s wall-clock",
+    )

@@ -1,0 +1,54 @@
+"""E2 — Lemma 4.3: a single RCA runs in O(D).
+
+Sweep the initiator's distance to the root on a bidirectional line (loop
+length = 2 * distance) and on a directed ring (loop length = N); the
+completion tick must fit a line in the loop length with R^2 ~ 1.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.complexity import check_linear_scaling
+from repro.protocol.rca import run_single_rca
+from repro.topology import generators
+from repro.util.tables import format_table
+
+from _report import report
+
+LINE_SIZES = (4, 8, 12, 16, 24, 32, 48)
+
+
+def run_sweep():
+    rows = []
+    xs, ys = [], []
+    for n in LINE_SIZES:
+        graph = generators.bidirectional_line(n)
+        result = run_single_rca(graph, initiator=n - 1)
+        loop_len = 2 * (n - 1)
+        rows.append(("bidirectional_line", n, loop_len, result.completed_at))
+        xs.append(loop_len)
+        ys.append(result.completed_at)
+    for n in (4, 8, 16, 32):
+        graph = generators.directed_ring(n)
+        result = run_single_rca(graph, initiator=1)
+        # A -> root is n-1 hops; root -> A is 1 hop: loop length n.
+        rows.append(("directed_ring", n, n, result.completed_at))
+    return rows, xs, ys
+
+
+def test_e2_rca_linear_in_d(benchmark):
+    rows, xs, ys = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    verdict = check_linear_scaling(xs, ys)
+    benchmark.extra_info["slope_ticks_per_hop"] = round(verdict.fit.slope, 2)
+    benchmark.extra_info["r_squared"] = round(verdict.fit.r_squared, 5)
+    report(
+        "e2_rca",
+        format_table(
+            ["network", "N", "loop length", "RCA ticks"],
+            rows,
+            title="E2 (Lemma 4.3): RCA completion vs marked-loop length — "
+            f"fit: {verdict.fit.slope:.2f} ticks/hop + {verdict.fit.intercept:.1f}, "
+            f"R^2={verdict.fit.r_squared:.4f}",
+        ),
+    )
+    assert verdict.is_linear, "Lemma 4.3 violated: RCA not linear in D"
+    assert verdict.fit.r_squared > 0.99

@@ -1,0 +1,89 @@
+"""E3 — Lemma 4.4: the full protocol runs in O(N * D).
+
+With bounded degree, E = Theta(N), and the protocol runs ~2E RCAs and E
+BCAs of O(D) each, so ticks should be proportional to E * D.  We sweep
+three families that move (N, D) differently:
+
+* bidirectional rings: D = N/2 (quadratic total),
+* de Bruijn graphs:    D = log2 N (the protocol's sweet spot),
+* directed tori:       D ~ 2*sqrt(N).
+
+Expected shape: ticks / (E * D) lands in a narrow constant band across all
+of them, and a line fit of ticks vs E * D explains the data.
+"""
+
+from __future__ import annotations
+
+from repro import determine_topology
+from repro.analysis.complexity import check_linear_scaling
+from repro.topology import generators
+from repro.util.tables import format_table
+
+from _report import report
+
+
+def workloads():
+    yield "bidirectional_ring", [
+        (f"bidirectional_ring({n})", generators.bidirectional_ring(n))
+        for n in (4, 8, 12, 16, 24)
+    ]
+    yield "de_bruijn", [
+        (f"de_bruijn(2,{length})", generators.de_bruijn(2, length))
+        for length in (2, 3, 4, 5)
+    ]
+    yield "directed_torus", [
+        (f"torus({rows}x{cols})", generators.directed_torus(rows, cols))
+        for rows, cols in ((2, 3), (3, 4), (4, 5), (5, 6))
+    ]
+
+
+def run_sweep():
+    table = []
+    per_family: dict[str, tuple[list, list]] = {}
+    all_ratios = []
+    for family, cases in workloads():
+        xs, ys = [], []
+        for name, graph in cases:
+            result = determine_topology(graph)
+            d = max(1, result.diameter)
+            work = graph.num_wires * d
+            ratio = result.ticks / work
+            table.append(
+                (name, graph.num_nodes, graph.num_wires, d, result.ticks,
+                 round(ratio, 2))
+            )
+            xs.append(work)
+            ys.append(result.ticks)
+            all_ratios.append(ratio)
+        per_family[family] = (xs, ys)
+    return table, per_family, all_ratios
+
+
+def test_e3_gtd_scales_with_nd(benchmark):
+    table, per_family, ratios = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    # Within each family ticks must be a clean line in E*D; the constant may
+    # differ between families (reverse wires make backtracking cheap on
+    # rings, expensive on de Bruijn graphs) but stays in one global band.
+    verdicts = {
+        family: check_linear_scaling(xs, ys)
+        for family, (xs, ys) in per_family.items()
+    }
+    band = max(ratios) / min(ratios)
+    slopes = {f: round(v.fit.slope, 1) for f, v in verdicts.items()}
+    benchmark.extra_info["ticks_per_edge_diameter"] = slopes
+    benchmark.extra_info["global_constant_band"] = round(band, 2)
+    report(
+        "e3_gtd_scaling",
+        format_table(
+            ["workload", "N", "E", "D", "ticks", "ticks/(E*D)"],
+            table,
+            title="E3 (Lemma 4.4): protocol time is Theta(E*D) — per-family "
+            f"slopes {slopes} ticks per edge-diameter, per-family R^2 "
+            f"{ {f: round(v.fit.r_squared, 4) for f, v in verdicts.items()} }, "
+            f"global constant band {band:.2f}x",
+        ),
+    )
+    for family, verdict in verdicts.items():
+        assert verdict.is_linear, f"Lemma 4.4 violated on {family}"
+        assert verdict.fit.r_squared > 0.99, family
+    assert band < 4.0, "O(N*D) constant drifted beyond a constant band"

@@ -1,0 +1,54 @@
+"""E4 — the BCA contract (§4.1): backwards delivery in O(D).
+
+Sweep directed rings (backwards across one edge costs a full circuit, the
+worst case) and confirm: message delivered, initiator informed strictly
+after delivery, cost linear in the circuit length, and constant cost when a
+reverse wire exists (bidirectional ring).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.complexity import check_linear_scaling
+from repro.protocol.bca import run_single_bca
+from repro.topology import generators
+from repro.util.tables import format_table
+
+from _report import report
+
+RING_SIZES = (4, 8, 12, 16, 24, 32, 48)
+
+
+def run_sweep():
+    rows = []
+    xs, ys = [], []
+    for n in RING_SIZES:
+        graph = generators.directed_ring(n)
+        res = run_single_bca(graph, node=1, in_port=1)
+        rows.append(("directed_ring", n, n, res.delivered_at, res.initiator_done_at))
+        xs.append(n)
+        ys.append(res.initiator_done_at)
+        assert res.initiator_done_at > res.delivered_at
+    for n in (8, 32):
+        graph = generators.bidirectional_ring(n)
+        res = run_single_bca(graph, node=1, in_port=1)
+        rows.append(("bidirectional_ring", n, 2, res.delivered_at, res.initiator_done_at))
+    return rows, xs, ys
+
+
+def test_e4_bca_linear_in_d(benchmark):
+    rows, xs, ys = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    verdict = check_linear_scaling(xs, ys)
+    benchmark.extra_info["ticks_per_hop"] = round(verdict.fit.slope, 2)
+    report(
+        "e4_bca",
+        format_table(
+            ["network", "N", "loop length", "delivered@", "initiator done@"],
+            rows,
+            title="E4 (BCA, §4.1): backwards delivery cost — "
+            f"fit {verdict.fit.slope:.2f} ticks/hop, R^2={verdict.fit.r_squared:.4f}",
+        ),
+    )
+    assert verdict.is_linear
+    # constant-time when the reverse wire exists, regardless of N
+    bidi = [r for r in rows if r[0] == "bidirectional_ring"]
+    assert bidi[0][4] == bidi[1][4]

@@ -1,0 +1,55 @@
+"""E5 — Lemma 4.2: the network is left undisturbed, checked exhaustively.
+
+Runs the full protocol with ``verify_cleanup=True``: after *every* completed
+RCA and BCA the entire network (registers, resting characters, wires) is
+swept for residue, and again after termination.  The expected shape is a
+zeros column — any residue raises ``CleanupViolation`` and fails the bench.
+"""
+
+from __future__ import annotations
+
+from repro import determine_topology
+from repro.topology import generators
+from repro.util.tables import format_table
+
+from _report import report
+
+
+def workloads():
+    yield "directed_ring(9)", generators.directed_ring(9)
+    yield "bidirectional_ring(8)", generators.bidirectional_ring(8)
+    yield "de_bruijn(2,3)", generators.de_bruijn(2, 3)
+    yield "kautz(2,2)", generators.kautz(2, 2)
+    yield "torus(3x4)", generators.directed_torus(3, 4)
+    yield "tree_with_loop(2)", generators.tree_with_loop(2, seed=5)
+    yield "random(11, seed=3)", generators.random_strongly_connected(
+        11, extra_edges=8, seed=3
+    )
+
+
+def run_sweep():
+    rows = []
+    for name, graph in workloads():
+        result = determine_topology(graph, verify_cleanup=True)
+        sweeps = result.rca_runs + result.bca_runs + 1  # + termination sweep
+        rows.append(
+            (name, result.rca_runs, result.bca_runs, sweeps, 0, "clean")
+        )
+        assert result.matches(graph)
+    return rows
+
+
+def test_e5_network_left_undisturbed(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    total_sweeps = sum(r[3] for r in rows)
+    benchmark.extra_info["total_residue_sweeps"] = total_sweeps
+    benchmark.extra_info["violations"] = 0
+    report(
+        "e5_cleanup",
+        format_table(
+            ["workload", "RCAs", "BCAs", "residue sweeps", "violations", "verdict"],
+            rows,
+            title=f"E5 (Lemma 4.2): {total_sweeps} whole-network residue sweeps, "
+            "0 violations",
+        ),
+    )

@@ -1,0 +1,69 @@
+"""E7 — Theorem 5.1: Omega(N log N), and asymptotic optimality.
+
+For the Lemma 5.1 family (diameter O(log N)) we tabulate, per size N:
+
+* the implied minimum ticks any algorithm needs (pigeonhole of Lemma 5.1's
+  count against Lemma 5.2's transcript capacity, with our protocol's actual
+  alphabet |I|);
+* the measured ticks of our protocol on a family member.
+
+Expected shape: measured >= implied everywhere; measured / (N * log2 N)
+stays in a constant band (the protocol is Theta(N log N) here, matching the
+lower bound up to constants — the paper's asymptotic-optimality claim).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import determine_topology
+from repro.analysis.transcripts import implied_lower_bound_ticks
+from repro.topology import generators
+from repro.util.tables import format_table
+
+from _report import report
+
+DELTA = 5  # the family's degree bound
+DEPTHS = (1, 2, 3, 4)
+
+
+def run_sweep():
+    rows = []
+    per_nlogn = []
+    for depth in DEPTHS:
+        graph = generators.tree_with_loop(depth, seed=depth)
+        n = graph.num_nodes
+        implied = implied_lower_bound_ticks(depth, DELTA)
+        result = determine_topology(graph)
+        assert result.matches(graph)
+        ratio = result.ticks / (n * math.log2(n))
+        per_nlogn.append(ratio)
+        rows.append(
+            (
+                depth,
+                n,
+                result.diameter,
+                implied,
+                result.ticks,
+                round(ratio, 1),
+            )
+        )
+        assert result.ticks >= implied
+    return rows, per_nlogn
+
+
+def test_e7_lower_bound_vs_measured(benchmark):
+    rows, per_nlogn = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    benchmark.extra_info["ticks_per_nlogn"] = [round(r, 1) for r in per_nlogn]
+    report(
+        "e7_lower_bound",
+        format_table(
+            ["depth", "N", "D", "Thm 5.1 floor (ticks)", "measured ticks",
+             "measured/(N log2 N)"],
+            rows,
+            title="E7 (Theorem 5.1): analytic floor vs measured protocol time "
+            "on the low-diameter family",
+        ),
+    )
+    # Theta(N log N): the normalized column stays within a constant band.
+    assert max(per_nlogn) / min(per_nlogn) < 4.0

@@ -1,0 +1,77 @@
+"""E8 — the protocol vs relaxed-model baselines.
+
+Rows per network: the paper's protocol (anonymous, finite-state,
+constant-size characters), the echo mapper (unique IDs + unbounded
+messages) and the unbounded-memory DFS walker.  Expected shape: the
+baselines win on raw time by orders of magnitude but their resources
+(message size / token memory) grow with the network, while the protocol's
+characters stay constant-size — the trade the paper's model forces.
+"""
+
+from __future__ import annotations
+
+from repro import determine_topology
+from repro.baselines.dfs_unbounded import unbounded_dfs_map
+from repro.baselines.echo_mapper import echo_map
+from repro.sim.characters import alphabet_size
+from repro.topology import generators
+from repro.util.tables import format_table
+
+from _report import report
+
+
+def workloads():
+    yield "de_bruijn(2,3)", generators.de_bruijn(2, 3)
+    yield "de_bruijn(2,4)", generators.de_bruijn(2, 4)
+    yield "bidirectional_ring(12)", generators.bidirectional_ring(12)
+    yield "torus(4x4)", generators.directed_torus(4, 4)
+
+
+def run_sweep():
+    rows = []
+    for name, graph in workloads():
+        protocol = determine_topology(graph)
+        echo = echo_map(graph)
+        dfs = unbounded_dfs_map(graph)
+        assert protocol.matches(graph)
+        assert echo.matches(graph) and dfs.matches(graph)
+        rows.append(
+            (
+                name,
+                graph.num_nodes,
+                protocol.ticks,
+                f"|I|={alphabet_size(graph.delta)} (const)",
+                echo.rounds,
+                echo.max_message_entries,
+                dfs.steps,
+                graph.num_wires,  # token memory grows with the map = E entries
+            )
+        )
+    return rows
+
+
+def test_e8_baseline_comparison(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    report(
+        "e8_baselines",
+        format_table(
+            [
+                "network",
+                "N",
+                "protocol ticks",
+                "protocol msg size",
+                "echo rounds",
+                "echo max msg (entries)",
+                "DFS steps",
+                "DFS token memory",
+            ],
+            rows,
+            title="E8: constant-size-message protocol vs relaxed baselines "
+            "(every mapper exact)",
+        ),
+    )
+    # Baselines are faster but pay in message size / memory that scales
+    # with the network; the protocol's alphabet never grows.
+    for row in rows:
+        assert row[4] < row[2], "echo should beat protocol on raw time"
+        assert row[5] >= row[1] - 1, "echo messages carry ~the whole map"

@@ -1,0 +1,68 @@
+"""E9 — character-traffic profile of the protocol.
+
+Which characters dominate the wire?  Expected shape: the growing-snake
+floods (IG + OG + BG) carry the overwhelming majority of character-hops —
+they flood the whole network once per RCA/BCA — while the dying snakes,
+loop tokens and the DFS token are O(D) each.  Also checks the per-RCA
+traffic is O(E * D) characters.
+"""
+
+from __future__ import annotations
+
+from repro import determine_topology
+from repro.protocol.rca import run_single_rca
+from repro.topology import generators
+from repro.util.tables import format_table
+
+from _report import report
+
+
+def run_profile():
+    graph = generators.de_bruijn(2, 4)  # N=16, D=4
+    result = determine_topology(graph)
+    assert result.matches(graph)
+    fam = result.metrics.by_family()
+    total = result.metrics.total_delivered
+    rows = [
+        (family, count, round(100.0 * count / total, 1))
+        for family, count in sorted(fam.items(), key=lambda kv: -kv[1])
+    ]
+    growing_share = (fam.get("IG", 0) + fam.get("OG", 0) + fam.get("BG", 0)) / total
+    return rows, total, growing_share
+
+
+def run_per_rca_traffic():
+    rows = []
+    for n in (8, 16, 32):
+        graph = generators.bidirectional_line(n)
+        result = run_single_rca(graph, initiator=n - 1)
+        chars = result.engine.metrics.total_delivered
+        # one RCA floods every edge with a snake of O(D) characters
+        rows.append((n, graph.num_wires, chars, round(chars / (graph.num_wires * n), 2)))
+    return rows
+
+
+def test_e9_traffic_profile(benchmark):
+    (rows, total, growing_share) = benchmark.pedantic(
+        run_profile, rounds=1, iterations=1
+    )
+    per_rca = run_per_rca_traffic()
+    benchmark.extra_info["growing_share"] = round(growing_share, 3)
+    report(
+        "e9_traffic",
+        format_table(
+            ["family/kind", "character-hops", "share %"],
+            rows,
+            title=f"E9a: traffic profile of a full run on de_bruijn(2,4) "
+            f"({total} character-hops)",
+        )
+        + "\n\n"
+        + format_table(
+            ["N (line)", "E", "chars per RCA", "chars/(E*D)"],
+            per_rca,
+            title="E9b: a single RCA moves O(E*D) characters",
+        ),
+    )
+    assert growing_share > 0.5, "growing snakes must dominate traffic"
+    ratios = [r[3] for r in per_rca]
+    assert max(ratios) / min(ratios) < 3.0

@@ -1,0 +1,18 @@
+"""Benchmark-suite configuration: fresh output directory per session."""
+
+from __future__ import annotations
+
+import shutil
+
+import pytest
+
+from _report import OUT_DIR
+
+
+@pytest.fixture(scope="session", autouse=True)
+def clean_out_dir():
+    """Start each benchmark session with an empty results directory."""
+    if OUT_DIR.exists():
+        shutil.rmtree(OUT_DIR)
+    OUT_DIR.mkdir()
+    yield

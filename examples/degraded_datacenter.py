@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Degraded datacenter fabric: port-shutdown failures make it directed.
+
+The paper's second motivating scenario (§1.2.2): a bidirectional network
+whose individual in-ports/out-ports fail, leaving a *directed* network that
+standard bidirectional discovery tools can no longer traverse.  A healthy
+hypercube fabric degrades — a fraction of its links lose one direction —
+and the operators need a fresh map of what still works.
+
+The example degrades a 4-cube at increasing severity, re-maps it after each
+level, and verifies the protocol recovers the surviving topology exactly
+(as long as the fabric stays strongly connected, which the fault injector
+guarantees by construction).
+
+Run:  python examples/degraded_datacenter.py
+"""
+
+from repro import determine_topology
+from repro.topology import generators
+from repro.topology.faults import degrade_bidirectional
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    healthy = generators.hypercube(4)  # 16 switches, 64 directed wires
+    rows = []
+    for severity in (0.0, 0.25, 0.5, 0.75):
+        fabric = (
+            healthy
+            if severity == 0.0
+            else degrade_bidirectional(healthy, severity, seed=int(severity * 100))
+        )
+        result = determine_topology(fabric)
+        assert result.matches(fabric)
+        one_way = sum(
+            1
+            for w in fabric.wires()
+            if not any(
+                v.src == w.dst and v.dst == w.src for v in fabric.successors(w.dst)
+            )
+        )
+        rows.append(
+            (
+                f"{severity:.0%}",
+                fabric.num_wires,
+                one_way,
+                result.diameter,
+                result.ticks,
+                "yes" if result.matches(fabric) else "NO",
+            )
+        )
+    print(
+        format_table(
+            ["links degraded", "live wires", "one-way wires", "D", "ticks", "exact map"],
+            rows,
+            title="Mapping a 16-switch hypercube fabric under port-shutdown faults",
+        )
+    )
+    print()
+    print("Losing reverse directions stretches the diameter and with it the")
+    print("mapping time (Lemma 4.4: O(N*D)) — but recovery stays exact: the")
+    print("protocol never assumed bidirectionality in the first place.")
+
+
+if __name__ == "__main__":
+    main()

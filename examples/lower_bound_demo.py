@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""The Section 5 lower bound, end to end.
+
+Walks through the paper's counting argument with concrete numbers:
+
+1. Lemma 5.1 — the tree-with-loop family: N processors, diameter
+   <= 2 log N + 1, and at least (L-1)!/2^(L-1) distinct topologies
+   (verified exactly for tiny depths by brute-force isomorphism
+   classification);
+2. Lemma 5.2 — the root's transcript after x ticks takes at most
+   |I|^(delta*x) values, with |I| our protocol's actual alphabet;
+3. Theorem 5.1 — pigeonhole the two counts to get the minimum ticks any
+   correct algorithm needs, and compare with what our protocol *measures*
+   on members of that very family.
+
+Run:  python examples/lower_bound_demo.py
+"""
+
+from repro import determine_topology
+from repro.analysis.counting import (
+    exact_family_count,
+    family_loop_arrangements,
+    tree_family_description,
+)
+from repro.analysis.transcripts import implied_lower_bound_ticks
+from repro.sim.characters import alphabet_size
+from repro.topology import generators
+from repro.util.tables import format_table
+
+DELTA = 5  # the tree-with-loop family wires at most 5 ports per processor
+
+
+def main() -> None:
+    print(f"protocol alphabet size |I| at delta={DELTA}: {alphabet_size(DELTA)}")
+    print()
+
+    rows = []
+    for depth in (1, 2):
+        exact = exact_family_count(depth)
+        point = tree_family_description(depth)
+        rows.append(
+            (
+                depth,
+                point.num_nodes,
+                family_loop_arrangements(depth),
+                round(2**point.log2_count_bound, 3),
+                exact,
+            )
+        )
+    print(
+        format_table(
+            ["depth", "N", "loop orders (L-1)!", "Lemma 5.1 bound", "exact count"],
+            rows,
+            title="Lemma 5.1, verified exactly at small depth",
+        )
+    )
+    print()
+
+    rows2 = []
+    for depth in (1, 2, 3, 4):
+        point = tree_family_description(depth)
+        implied = implied_lower_bound_ticks(depth, DELTA)
+        member = generators.tree_with_loop(depth, seed=depth)
+        measured = determine_topology(member).ticks
+        rows2.append(
+            (
+                point.num_nodes,
+                point.diameter_bound,
+                round(point.log2_count_bound, 1),
+                implied,
+                measured,
+            )
+        )
+    print(
+        format_table(
+            [
+                "N",
+                "D bound",
+                "log2 G(N)",
+                "Thm 5.1 min ticks",
+                "our protocol (measured)",
+            ],
+            rows2,
+            title="Theorem 5.1: any algorithm's floor vs this protocol's measured time",
+        )
+    )
+    print()
+    print("The measured time sits far above the floor at these toy sizes —")
+    print("constants are big — but both columns grow like N log N (the")
+    print("family has D = O(log N), so O(N*D) meets the Omega(N log N) bar).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Satellite constellation crosslinks: a unidirectional torus in orbit.
+
+The paper's third motivating scenario (§1.2.2): GPS-style constellations.
+Satellites in several orbital planes carry unidirectional optical
+crosslinks: each satellite transmits to the next satellite in its plane
+(ring direction fixed by orbital mechanics) and to its counterpart in the
+adjacent plane (fixed antenna pointing).  The result is exactly a directed
+torus: strongly connected, degree 2, and *no* reverse channels.
+
+Ground control talks to one satellite (the root) and needs the constellation
+topology — which crosslinks actually locked — without any satellite storing
+more than a constant-size protocol state.
+
+Run:  python examples/satellite_constellation.py
+"""
+
+from repro import determine_topology
+from repro.topology import generators
+from repro.util.tables import format_table
+from repro.viz.timeline import render_traffic_profile
+
+
+def main() -> None:
+    rows = []
+    last = None
+    for planes, per_plane in [(3, 4), (4, 6), (6, 6)]:
+        constellation = generators.directed_torus(planes, per_plane)
+        result = determine_topology(constellation)
+        assert result.matches(constellation)
+        n = constellation.num_nodes
+        rows.append(
+            (
+                f"{planes}x{per_plane}",
+                n,
+                constellation.num_wires,
+                result.diameter,
+                result.ticks,
+                round(result.ticks / (n * result.diameter), 2),
+            )
+        )
+        last = result
+    print(
+        format_table(
+            ["constellation", "satellites", "crosslinks", "D", "ticks", "ticks/(N*D)"],
+            rows,
+            title="Mapping satellite constellations (directed torus crosslinks)",
+        )
+    )
+    print()
+    print("ticks/(N*D) stays in a narrow band: Lemma 4.4's O(N*D) in action.")
+    print()
+    assert last is not None
+    print(render_traffic_profile(last.metrics, title="character traffic, 6x6 constellation"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy shim so `pip install -e .` works on offline hosts without wheel.
+
+All real metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

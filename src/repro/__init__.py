@@ -1,0 +1,40 @@
+"""repro — reproduction of Goldstein (IPPS 2002),
+*Determination of the Topology of a Directed Network*.
+
+A strongly-connected directed network of identical, synchronous,
+finite-state processors maps its own topology: the root runs a distributed
+DFS built from snakes (Even-Litman-Winkler), the Backwards Communication
+Algorithm (Ostrovsky-Wilkerson) and the Root Communication Algorithm, in
+``O(N * D)`` global clock ticks, which is asymptotically optimal
+(``Ω(N log N)``) on many small-diameter networks.
+
+Quickstart::
+
+    from repro import determine_topology
+    from repro.topology import generators
+
+    net = generators.de_bruijn(2, 3)          # 8 nodes, degree 2, D = 3
+    result = determine_topology(net)
+    assert result.matches(net)                # exact recovery, always
+    print(result.ticks, "global clock ticks")
+"""
+
+from repro.errors import ReproError
+from repro.protocol.runner import TopologyResult, determine_topology
+from repro.protocol.root_computer import MasterComputer, ReconstructedMap
+from repro.topology.portgraph import PortGraph, Wire
+from repro.topology.builder import PortGraphBuilder
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "determine_topology",
+    "TopologyResult",
+    "MasterComputer",
+    "ReconstructedMap",
+    "PortGraph",
+    "Wire",
+    "PortGraphBuilder",
+]

@@ -1,0 +1,40 @@
+"""Analytic side of the paper: counting arguments and complexity fits.
+
+* :mod:`~repro.analysis.counting` — Lemma 5.1: the tree-with-loop family
+  has ``N^{CN}``-many distinct topologies at diameter ``O(log N)``;
+* :mod:`~repro.analysis.transcripts` — Lemma 5.2 and Theorem 5.1: transcript
+  capacity ``|I|^{delta * x}`` and the implied ``Ω(N log N)`` lower bound;
+* :mod:`~repro.analysis.complexity` — least-squares verdicts on the measured
+  scaling data produced by the benchmarks.
+"""
+
+from repro.analysis.counting import (
+    exact_family_count,
+    family_loop_arrangements,
+    log2_family_count_lower_bound,
+    tree_family_description,
+)
+from repro.analysis.transcripts import (
+    implied_lower_bound_ticks,
+    log2_transcript_capacity,
+    lower_bound_curve,
+    minimum_ticks_to_distinguish,
+)
+from repro.analysis.complexity import ScalingVerdict, check_linear_scaling
+from repro.analysis.run_stats import RcaEpisode, episode_scaling, rca_episodes
+
+__all__ = [
+    "RcaEpisode",
+    "episode_scaling",
+    "rca_episodes",
+    "exact_family_count",
+    "family_loop_arrangements",
+    "log2_family_count_lower_bound",
+    "tree_family_description",
+    "log2_transcript_capacity",
+    "implied_lower_bound_ticks",
+    "minimum_ticks_to_distinguish",
+    "lower_bound_curve",
+    "ScalingVerdict",
+    "check_linear_scaling",
+]

@@ -1,0 +1,71 @@
+"""Scaling verdicts for the measured benchmark data.
+
+The benchmarks sweep a parameter (``D`` for Lemma 4.3, ``N*D`` for
+Lemma 4.4, ``N log N`` for Theorem 5.1) and measure simulated ticks; these
+helpers turn the sweep into a pass/fail verdict: is the relationship linear
+(high R², bounded ratio spread), and what are the fitted constants?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import AnalysisError
+from repro.util.fitting import FitResult, linear_fit
+
+__all__ = ["ScalingVerdict", "check_linear_scaling"]
+
+
+@dataclass(frozen=True)
+class ScalingVerdict:
+    """Outcome of a linearity check ``y ≈ slope * x + intercept``.
+
+    Attributes:
+        fit: the least-squares line.
+        ratio_min / ratio_max: extreme values of ``y/x`` over the sweep —
+            for a true ``Θ(x)`` relationship these stay within a constant
+            band as ``x`` grows.
+        is_linear: the verdict under the thresholds given to
+            :func:`check_linear_scaling`.
+    """
+
+    fit: FitResult
+    ratio_min: float
+    ratio_max: float
+    is_linear: bool
+
+    @property
+    def ratio_spread(self) -> float:
+        """``ratio_max / ratio_min`` (1.0 = perfectly proportional)."""
+        return self.ratio_max / self.ratio_min if self.ratio_min > 0 else float("inf")
+
+
+def check_linear_scaling(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    *,
+    min_r_squared: float = 0.98,
+    max_ratio_spread: float = 4.0,
+) -> ScalingVerdict:
+    """Judge whether ``ys`` grows linearly in ``xs``.
+
+    Two complementary criteria: the line fit must explain the data
+    (``R^2 >= min_r_squared``) *and* the direct ratios ``y/x`` must stay
+    within ``max_ratio_spread`` (which rules out super-linear growth that a
+    line can still fit well over a short sweep).
+    """
+    if any(x <= 0 for x in xs):
+        raise AnalysisError("scaling checks need strictly positive xs")
+    fit = linear_fit(list(xs), list(ys))
+    ratios = [y / x for x, y in zip(xs, ys)]
+    verdict = (
+        fit.r_squared >= min_r_squared
+        and (max(ratios) / min(ratios)) <= max_ratio_spread
+    )
+    return ScalingVerdict(
+        fit=fit,
+        ratio_min=min(ratios),
+        ratio_max=max(ratios),
+        is_linear=verdict,
+    )

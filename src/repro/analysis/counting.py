@@ -1,0 +1,133 @@
+"""Lemma 5.1: counting the tree-with-loop family.
+
+The family: a full binary tree of bidirectional edges with a directed simple
+loop through the ``L = 2**depth`` bottom-level leaves
+(:func:`repro.topology.generators.tree_with_loop`).  Every member has
+``N = 2L - 1`` processors, degree ``<= 5`` and diameter ``<= 2*depth + 1 =
+O(log N)``.
+
+Counting: a directed loop order is one of ``(L-1)!`` cyclic arrangements
+(fix the starting leaf).  Two arrangements give isomorphic *digraphs* only
+if a tree automorphism maps one loop onto the other; the full binary tree
+has exactly ``2**(L-1)`` automorphisms (one independent child swap per
+internal node), so
+
+    G(N)  >=  (L-1)! / 2**(L-1)
+
+and ``log G(N) = Θ(L log L) = Θ(N log N)`` — i.e. ``G(N) >= N**(C*N)`` for a
+positive constant ``C`` and large ``N``, which is what Theorem 5.1 needs.
+:func:`exact_family_count` verifies the bound by brute-force isomorphism
+classification for small depths.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import permutations
+
+from repro.errors import AnalysisError
+from repro.topology.generators import tree_with_loop
+from repro.util.validation import check_positive
+
+__all__ = [
+    "family_loop_arrangements",
+    "tree_automorphism_count_log2",
+    "log2_family_count_lower_bound",
+    "tree_family_description",
+    "exact_family_count",
+]
+
+
+def family_loop_arrangements(depth: int) -> int:
+    """``(L-1)!`` — directed loop orders through ``L = 2**depth`` leaves."""
+    check_positive("depth", depth)
+    leaves = 1 << depth
+    return math.factorial(leaves - 1)
+
+
+def tree_automorphism_count_log2(depth: int) -> float:
+    """``log2`` of the full binary tree's automorphism group, ``2**(L-1)``.
+
+    Each of the ``L - 1`` internal nodes may independently swap its two
+    subtrees (all subtrees at the same level are isomorphic).
+    """
+    check_positive("depth", depth)
+    leaves = 1 << depth
+    return float(leaves - 1)
+
+
+def log2_family_count_lower_bound(depth: int) -> float:
+    """``log2`` of the Lemma 5.1 lower bound ``(L-1)! / 2**(L-1)``.
+
+    Uses ``lgamma`` so it stays exact-enough for depths far beyond what can
+    be enumerated.
+    """
+    check_positive("depth", depth)
+    leaves = 1 << depth
+    log2_fact = math.lgamma(leaves) / math.log(2)  # log2((L-1)!)
+    return log2_fact - tree_automorphism_count_log2(depth)
+
+
+@dataclass(frozen=True)
+class TreeFamilyPoint:
+    """One row of the Lemma 5.1 table."""
+
+    depth: int
+    num_nodes: int          # N = 2**(depth+1) - 1
+    leaves: int             # L = 2**depth
+    diameter_bound: int     # <= 2*depth + 1 (paper's "2 log N + 1")
+    log2_count_bound: float  # log2 G(N) lower bound
+    log2_n_to_the_n: float   # log2 N**N, for the N^{CN} comparison
+
+
+def tree_family_description(depth: int) -> TreeFamilyPoint:
+    """The Lemma 5.1 quantities for one ``depth``."""
+    check_positive("depth", depth)
+    leaves = 1 << depth
+    n = (1 << (depth + 1)) - 1
+    return TreeFamilyPoint(
+        depth=depth,
+        num_nodes=n,
+        leaves=leaves,
+        diameter_bound=2 * depth + 1,
+        log2_count_bound=log2_family_count_lower_bound(depth),
+        log2_n_to_the_n=n * math.log2(n),
+    )
+
+
+def exact_family_count(depth: int, *, max_leaves: int = 6) -> int:
+    """Exact number of pairwise non-isomorphic family members at ``depth``.
+
+    Brute force: enumerate all ``(L-1)!`` loop arrangements (first leaf
+    fixed — rotations of the same directed loop give identical graphs) and
+    classify up to digraph isomorphism with networkx.  Only feasible for
+    tiny depths; guarded by ``max_leaves``.
+
+    The exact count must lie between the Lemma 5.1 lower bound and
+    ``(L-1)!`` — the E6 benchmark checks exactly that.
+    """
+    check_positive("depth", depth)
+    leaves = 1 << depth
+    if leaves > max_leaves:
+        raise AnalysisError(
+            f"exact enumeration needs (L-1)! isomorphism checks; "
+            f"L={leaves} exceeds max_leaves={max_leaves}"
+        )
+    import networkx as nx
+
+    def to_nx(order: tuple[int, ...]) -> "nx.DiGraph":
+        g = tree_with_loop(depth, leaf_order=list(order))
+        dg = nx.DiGraph()
+        dg.add_nodes_from(g.nodes())
+        dg.add_edges_from((w.src, w.dst) for w in g.wires())
+        return dg
+
+    representatives: list["nx.DiGraph"] = []
+    for rest in permutations(range(1, leaves)):
+        candidate = to_nx((0, *rest))
+        if not any(
+            nx.is_isomorphic(candidate, seen) for seen in representatives
+        ):
+            representatives.append(candidate)
+    return len(representatives)

@@ -1,0 +1,107 @@
+"""Per-RCA statistics mined from the root transcript.
+
+Everything here uses only root-visible information (the same stream the
+master computer reads), so these are statistics the *deployed* system could
+compute about itself.  An **episode** is one RCA as the root experiences
+it: from accepting an IG head to seeing the UNMARK token, with the two
+canonical path lengths read off the converted streams.
+
+Lemma 4.3 says each episode's duration is proportional to its loop length
+``d(A, root) + d(root, A)``; :func:`episode_scaling` checks it across a
+whole protocol run (the E12 benchmark tabulates the result).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TranscriptError
+from repro.sim.characters import SCOPE_RCA
+from repro.sim.transcript import Transcript
+from repro.util.fitting import FitResult, linear_fit
+
+__all__ = ["RcaEpisode", "rca_episodes", "episode_scaling"]
+
+
+@dataclass(frozen=True)
+class RcaEpisode:
+    """One RCA as seen from the root."""
+
+    start_tick: int          # first IG head accepted
+    end_tick: int            # UNMARK passed the root
+    dist_to_root: int        # |canonical path A -> root|
+    dist_from_root: int      # |canonical path root -> A|
+    token: str               # "FWD" or "BACK"
+
+    @property
+    def duration(self) -> int:
+        """Root-observed episode length in ticks (a lower bound on the
+        initiator's full RCA time: A started before and finishes after)."""
+        return self.end_tick - self.start_tick
+
+    @property
+    def loop_length(self) -> int:
+        """The marked loop's hop count."""
+        return self.dist_to_root + self.dist_from_root
+
+
+def rca_episodes(transcript: Transcript) -> list[RcaEpisode]:
+    """Extract every RCA episode from a root transcript, in order."""
+    episodes: list[RcaEpisode] = []
+    phase = "open"
+    src: int | None = None
+    start = 0
+    d1 = d2 = 0
+    token = ""
+    for event in transcript.events():
+        if event.kind != "recv" or event.char is None:
+            continue
+        char = event.char
+        kind = char.kind
+        if phase == "open" and kind == "IGH":
+            phase, src, start, d1, d2, token = "ig", event.port, event.tick, 1, 0, ""
+        elif phase == "ig" and event.port == src:
+            if kind == "IGB":
+                d1 += 1
+            elif kind == "IGT":
+                phase = "id"
+        elif phase == "id" and kind in ("IDH", "IDB"):
+            d2 += 1
+        elif phase == "id" and kind == "IDT":
+            phase = "loop"
+        elif phase == "loop" and kind in ("FWD", "BACK"):
+            token = kind
+        elif phase == "loop" and kind == "UNMARK" and char.payload == SCOPE_RCA:
+            if not token:
+                raise TranscriptError("RCA episode ended without a loop token")
+            episodes.append(
+                RcaEpisode(
+                    start_tick=start,
+                    end_tick=event.tick,
+                    dist_to_root=d1,
+                    dist_from_root=d2,
+                    token=token,
+                )
+            )
+            phase = "open"
+    return episodes
+
+
+def episode_scaling(episodes: list[RcaEpisode]) -> FitResult:
+    """Fit episode duration against loop length (Lemma 4.3, per episode).
+
+    Episodes with equal loop lengths are averaged first so dense repeats
+    of one distance do not dominate the fit.
+    """
+    if len(episodes) < 2:
+        raise TranscriptError("need at least two episodes to fit scaling")
+    by_length: dict[int, list[int]] = {}
+    for ep in episodes:
+        by_length.setdefault(ep.loop_length, []).append(ep.duration)
+    xs = sorted(by_length)
+    ys = [sum(by_length[x]) / len(by_length[x]) for x in xs]
+    if len(xs) < 2:
+        # All loops the same length (e.g. a complete graph): degenerate but
+        # legitimate; report a flat fit anchored at the observed point.
+        return FitResult(slope=0.0, intercept=ys[0], r_squared=1.0)
+    return linear_fit([float(x) for x in xs], ys)

@@ -1,0 +1,66 @@
+"""Lemma 5.2 and Theorem 5.1: transcript capacity and the time lower bound.
+
+Lemma 5.2: after ``x`` ticks the root has read at most ``x`` characters from
+each of its ``<= delta`` in-ports, so its computational transcript is one of
+at most ``|I| ** (delta * x)`` strings.
+
+Theorem 5.1: to distinguish ``G(N)`` topologies the transcript count must
+reach ``G(N)``:
+
+    |I| ** (delta * T(N))  >=  G(N)
+    T(N)  >=  log G(N) / (delta * log |I|)
+
+With Lemma 5.1's ``G(N) >= N**(CN)`` this gives ``T(N) = Ω(N log N)``.
+These helpers compute the *concrete* implied bound for our protocol's
+actual alphabet (:func:`repro.sim.characters.alphabet_size`), which the E7
+benchmark plots against measured running times.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import AnalysisError
+from repro.sim.characters import alphabet_size
+from repro.analysis.counting import log2_family_count_lower_bound
+
+__all__ = [
+    "log2_transcript_capacity",
+    "minimum_ticks_to_distinguish",
+    "implied_lower_bound_ticks",
+    "lower_bound_curve",
+]
+
+
+def log2_transcript_capacity(delta: int, ticks: int) -> float:
+    """``log2`` of Lemma 5.2's transcript-count bound ``|I|**(delta*ticks)``."""
+    if ticks < 0:
+        raise AnalysisError(f"ticks must be >= 0, got {ticks}")
+    return delta * ticks * math.log2(alphabet_size(delta))
+
+
+def minimum_ticks_to_distinguish(log2_topologies: float, delta: int) -> int:
+    """Smallest ``T`` with ``|I|**(delta*T) >= 2**log2_topologies``.
+
+    The pigeonhole step of Theorem 5.1 for a concrete topology count.
+    """
+    if log2_topologies <= 0:
+        return 0
+    per_tick = delta * math.log2(alphabet_size(delta))
+    return math.ceil(log2_topologies / per_tick)
+
+
+def implied_lower_bound_ticks(depth: int, delta: int) -> int:
+    """Theorem 5.1's bound for the Lemma 5.1 family at ``depth``.
+
+    Any correct GTD algorithm on ``delta``-port processors needs at least
+    this many ticks on *some* member with ``N = 2**(depth+1) - 1`` nodes.
+    """
+    return minimum_ticks_to_distinguish(log2_family_count_lower_bound(depth), delta)
+
+
+def lower_bound_curve(depths: list[int], delta: int) -> list[tuple[int, int]]:
+    """``(N, implied minimum ticks)`` rows for a sweep of family depths."""
+    return [
+        ((1 << (d + 1)) - 1, implied_lower_bound_ticks(d, delta)) for d in depths
+    ]

@@ -1,0 +1,29 @@
+"""Baseline topology mappers the paper's protocol is compared against.
+
+The paper's protocol is the answer to a *constrained* problem: anonymous
+finite-state processors, constant-size messages, unidirectional wires.  The
+baselines relax those constraints one at a time so the E8 benchmark can show
+what each restriction costs:
+
+* :mod:`~repro.baselines.echo_mapper` — processors have unique IDs and may
+  send unbounded messages: a synchronous echo (flood-and-convergecast)
+  maps the network in ``O(D)`` rounds but with messages of
+  ``Θ(N log N)`` bits;
+* :mod:`~repro.baselines.dfs_unbounded` — a sequential DFS token with
+  unbounded memory and free backward traversal: ``O(E)`` steps, the
+  idealized version of the paper's DFS skeleton;
+* :mod:`~repro.baselines.oracle` — reads the adjacency directly (zero
+  cost); used to sanity-check the comparison harness itself.
+"""
+
+from repro.baselines.echo_mapper import EchoMapperResult, echo_map
+from repro.baselines.dfs_unbounded import UnboundedDfsResult, unbounded_dfs_map
+from repro.baselines.oracle import oracle_map
+
+__all__ = [
+    "echo_map",
+    "EchoMapperResult",
+    "unbounded_dfs_map",
+    "UnboundedDfsResult",
+    "oracle_map",
+]

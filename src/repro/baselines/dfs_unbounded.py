@@ -1,0 +1,69 @@
+"""Unbounded-memory DFS token mapper.
+
+The idealized version of the paper's DFS skeleton: a single token walks the
+network depth-first, but (a) it carries an unbounded log of everything it
+has seen, and (b) it may traverse edges *backwards* for free (one step).
+This isolates what the paper's machinery is actually paying for: the O(D)
+RCA per edge event (reporting to the root with constant-size characters)
+and the O(D) BCA per backtrack (no free reverse traversal) turn this
+baseline's O(E) steps into the protocol's O(N * D) ticks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.topology.portgraph import PortGraph, Wire
+
+__all__ = ["UnboundedDfsResult", "unbounded_dfs_map"]
+
+
+@dataclass(frozen=True)
+class UnboundedDfsResult:
+    """Outcome of the unbounded-memory DFS walk.
+
+    Attributes:
+        steps: token moves (forward edge traversals + free backtracks).
+        forward_traversals: forward edge traversals (= number of wires).
+        wires: the recovered wire set.
+    """
+
+    steps: int
+    forward_traversals: int
+    wires: frozenset[Wire]
+
+    def matches(self, truth: PortGraph) -> bool:
+        """Whether the recovered wire set is exactly the true one."""
+        return self.wires == truth.edge_set()
+
+
+def unbounded_dfs_map(graph: PortGraph, *, root: int = 0) -> UnboundedDfsResult:
+    """Walk ``graph`` depth-first with an omniscient token and map it.
+
+    Mirrors the paper's DFS order exactly (lowest-numbered unfinished
+    out-port first, §3.1) so its ``forward_traversals`` equals the number
+    of FORWARD tokens the real protocol sends — each wire exactly once.
+    """
+    seen = {root}
+    wires: set[Wire] = set()
+    steps = 0
+    forward = 0
+    stack: list[tuple[int, list[Wire], int]] = [(root, graph.successors(root), 0)]
+    while stack:
+        node, succs, idx = stack.pop()
+        if idx < len(succs):
+            stack.append((node, succs, idx + 1))
+            wire = succs[idx]
+            steps += 1
+            forward += 1
+            wires.add(wire)
+            if wire.dst not in seen:
+                seen.add(wire.dst)
+                stack.append((wire.dst, graph.successors(wire.dst), 0))
+            else:
+                steps += 1  # immediate free backtrack
+        elif stack:
+            steps += 1  # free backtrack to the parent on the stack
+    return UnboundedDfsResult(
+        steps=steps, forward_traversals=forward, wires=frozenset(wires)
+    )

@@ -1,0 +1,16 @@
+"""The oracle mapper: read the adjacency directly.
+
+Zero-cost ground truth used to sanity-check the comparison harness (any
+mapper's output must equal the oracle's).
+"""
+
+from __future__ import annotations
+
+from repro.topology.portgraph import PortGraph, Wire
+
+__all__ = ["oracle_map"]
+
+
+def oracle_map(graph: PortGraph) -> frozenset[Wire]:
+    """Return the exact wire set of ``graph`` (the answer key)."""
+    return graph.edge_set()

@@ -1,0 +1,156 @@
+"""Command-line interface: ``repro-topology`` / ``python -m repro``.
+
+Subcommands:
+
+* ``map`` — run Global Topology Determination on a generated network and
+  print the recovered map plus statistics;
+* ``families`` — list the built-in network families;
+* ``lower-bound`` — print the Theorem 5.1 implied lower-bound table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.transcripts import lower_bound_curve
+from repro.protocol.runner import determine_topology
+from repro.topology import generators
+from repro.topology.properties import diameter
+from repro.util.tables import format_table
+from repro.viz.ascii_map import render_adjacency, render_recovered_map
+from repro.viz.timeline import render_traffic_profile
+
+__all__ = ["main", "build_parser"]
+
+_FAMILIES = {
+    "directed-ring": lambda n, seed: generators.directed_ring(n),
+    "bidirectional-ring": lambda n, seed: generators.bidirectional_ring(n),
+    "de-bruijn": lambda n, seed: _de_bruijn_at_least(n),
+    "torus": lambda n, seed: _torus_at_least(n),
+    "random": lambda n, seed: generators.random_strongly_connected(
+        n, extra_edges=n, seed=seed
+    ),
+    "tree-with-loop": lambda n, seed: _tree_at_least(n, seed),
+    "manhattan": lambda n, seed: _manhattan_at_least(n),
+    "ring-of-rings": lambda n, seed: _ring_of_rings_at_least(n),
+}
+
+
+def _de_bruijn_at_least(n: int):
+    length = 1
+    while 2**length < n:
+        length += 1
+    return generators.de_bruijn(2, length)
+
+
+def _torus_at_least(n: int):
+    side = 2
+    while side * side < n:
+        side += 1
+    return generators.directed_torus(side, side)
+
+
+def _tree_at_least(n: int, seed: int | None):
+    depth = 1
+    while (1 << (depth + 1)) - 1 < n:
+        depth += 1
+    return generators.tree_with_loop(depth, seed=seed)
+
+
+def _manhattan_at_least(n: int):
+    side = 2
+    while side * side < n:
+        side += 2
+    return generators.manhattan_grid(side, side)
+
+
+def _ring_of_rings_at_least(n: int):
+    outer = 2
+    while outer * 3 < n:
+        outer += 1
+    return generators.ring_of_rings(outer, 3)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse CLI definition (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-topology",
+        description="Goldstein (IPPS 2002): map a directed network of "
+        "finite-state processors from its root.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_map = sub.add_parser("map", help="run the protocol and print the map")
+    p_map.add_argument("--family", choices=sorted(_FAMILIES), default="de-bruijn")
+    p_map.add_argument("--size", type=int, default=8, help="approximate N")
+    p_map.add_argument("--seed", type=int, default=0)
+    p_map.add_argument("--traffic", action="store_true", help="show traffic profile")
+    p_map.add_argument(
+        "--verify-cleanup", action="store_true",
+        help="assert the Lemma 4.2 invariant after every RCA/BCA",
+    )
+    p_map.add_argument(
+        "--json", metavar="PATH",
+        help="also write the recovered map + stats as JSON to PATH",
+    )
+
+    sub.add_parser("families", help="list built-in network families")
+
+    p_lb = sub.add_parser("lower-bound", help="Theorem 5.1 implied bound table")
+    p_lb.add_argument("--delta", type=int, default=5)
+    p_lb.add_argument("--max-depth", type=int, default=10)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "families":
+        for name, graph in generators.all_families().items():
+            print(
+                f"{name:28s} N={graph.num_nodes:4d} delta={graph.delta} "
+                f"D={diameter(graph)}"
+            )
+        return 0
+    if args.command == "lower-bound":
+        rows = [
+            (n, ticks)
+            for n, ticks in lower_bound_curve(
+                list(range(1, args.max_depth + 1)), args.delta
+            )
+        ]
+        print(
+            format_table(
+                ["N (family size)", "min ticks (Thm 5.1)"],
+                rows,
+                title=f"Implied lower bound, delta={args.delta}",
+            )
+        )
+        return 0
+    # map
+    graph = _FAMILIES[args.family](args.size, args.seed)
+    print(f"network: {args.family}, N={graph.num_nodes}, delta={graph.delta}")
+    print(render_adjacency(graph, root=0))
+    result = determine_topology(graph, verify_cleanup=args.verify_cleanup)
+    print()
+    print(render_recovered_map(result.recovered))
+    print()
+    print(
+        f"ticks={result.ticks}  D={result.diameter}  N*D="
+        f"{graph.num_nodes * max(1, result.diameter)}  "
+        f"RCAs={result.rca_runs}  BCAs={result.bca_runs}  "
+        f"exact={result.matches(graph)}"
+    )
+    if args.traffic:
+        print()
+        print(render_traffic_profile(result.metrics))
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(result.to_json())
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

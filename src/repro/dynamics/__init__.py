@@ -1,0 +1,23 @@
+"""Dynamic networks: what happens when the topology changes mid-protocol.
+
+The paper's introduction motivates *fast* protocols with exactly this
+hazard: "if a processor is randomly added or removed from the topology of
+the network in the middle of the computation, a global topology
+determination is likely to produce an incorrect result."  This package
+makes that claim executable: a :class:`~repro.dynamics.engine.DynamicEngine`
+can cut or add wires at scheduled ticks while the protocol runs, and
+:func:`~repro.dynamics.experiment.run_dynamic_gtd` classifies the outcome
+(accurate map, stale map, or deadlock).  The E11 benchmark sweeps mutation
+times and tabulates the damage.
+"""
+
+from repro.dynamics.engine import DynamicEngine, WireMutation
+from repro.dynamics.experiment import DynamicOutcome, DynamicRunResult, run_dynamic_gtd
+
+__all__ = [
+    "DynamicEngine",
+    "WireMutation",
+    "DynamicOutcome",
+    "DynamicRunResult",
+    "run_dynamic_gtd",
+]

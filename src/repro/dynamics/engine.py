@@ -1,0 +1,150 @@
+"""An engine whose wiring can change while the clock is running.
+
+Mutation semantics (chosen to model physical link changes):
+
+* **cut**: from the scheduled tick on, characters emitted through the wire
+  are lost (the cable is unplugged).  Characters already in flight (at most
+  one tick) still arrive.  Processors are *not* told — their port-awareness
+  was established at power-on, which is precisely why mid-protocol changes
+  are dangerous.
+* **add**: a new wire appears between previously unconnected ports.
+  Characters can flow over it, but processors attached earlier never probe
+  the new out-port (their ``NodeContext`` predates it), so a mapping
+  protocol will silently miss it.
+
+The static :class:`~repro.sim.engine.Engine` rejects emissions through
+unconnected ports as a simulation bug; the dynamic engine turns exactly the
+mutated cases into modeled behaviour and keeps the strictness everywhere
+else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError, TopologyError
+from repro.sim.characters import Char
+from repro.sim.engine import Engine
+from repro.sim.processor import Processor
+from repro.topology.portgraph import PortGraph, Wire
+
+__all__ = ["WireMutation", "DynamicEngine"]
+
+
+@dataclass(frozen=True)
+class WireMutation:
+    """One scheduled wiring change.
+
+    ``kind`` is ``"cut"`` (wire must exist in the base graph) or ``"add"``
+    (both endpoint ports must be free in the base graph).
+    """
+
+    tick: int
+    kind: str
+    wire: Wire
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("cut", "add"):
+            raise ValueError(f"unknown mutation kind {self.kind!r}")
+        if self.tick < 0:
+            raise ValueError("mutation tick must be >= 0")
+
+
+class DynamicEngine(Engine):
+    """Engine with scheduled wire cuts/additions.
+
+    Args:
+        graph: the base (power-on) wiring.
+        processors: as for :class:`Engine`.
+        mutations: wiring changes to apply at their scheduled ticks.
+        root: the transcript-recording root processor.
+    """
+
+    def __init__(
+        self,
+        graph: PortGraph,
+        processors: list[Processor],
+        mutations: list[WireMutation],
+        *,
+        root: int = 0,
+        record_transcript: bool = True,
+    ) -> None:
+        super().__init__(graph, processors, root=root, record_transcript=record_transcript)
+        self._validate_mutations(graph, mutations)
+        self._pending_mutations = sorted(mutations, key=lambda m: m.tick)
+        self._cut: set[tuple[int, int]] = set()         # (node, out_port)
+        self._added: dict[tuple[int, int], Wire] = {}   # (node, out_port) -> wire
+        self.lost_characters = 0
+        self.applied_mutations: list[WireMutation] = []
+        self._apply_due_mutations()  # tick-0 mutations
+
+    @staticmethod
+    def _validate_mutations(graph: PortGraph, mutations: list[WireMutation]) -> None:
+        for m in mutations:
+            if m.kind == "cut":
+                existing = graph.out_wire(m.wire.src, m.wire.out_port)
+                if existing != m.wire:
+                    raise TopologyError(f"cannot cut non-existent wire {m.wire}")
+            else:
+                if graph.out_wire(m.wire.src, m.wire.out_port) is not None:
+                    raise TopologyError(
+                        f"out-port {m.wire.out_port} of {m.wire.src} already wired"
+                    )
+                if graph.in_wire(m.wire.dst, m.wire.in_port) is not None:
+                    raise TopologyError(
+                        f"in-port {m.wire.in_port} of {m.wire.dst} already wired"
+                    )
+
+    # ------------------------------------------------------------------
+    def step_tick(self) -> None:
+        super().step_tick()
+        self._apply_due_mutations()
+
+    def _apply_due_mutations(self) -> None:
+        while self._pending_mutations and self._pending_mutations[0].tick <= self.tick:
+            mutation = self._pending_mutations.pop(0)
+            key = (mutation.wire.src, mutation.wire.out_port)
+            if mutation.kind == "cut":
+                self._cut.add(key)
+                self._added.pop(key, None)
+            else:
+                self._added[key] = mutation.wire
+                self._cut.discard(key)
+            self.applied_mutations.append(mutation)
+
+    def _put_on_wire(self, node: int, out_port: int, char: Char) -> None:
+        key = (node, out_port)
+        if key in self._cut:
+            # The cable is unplugged: the character vanishes.
+            self.lost_characters += 1
+            return
+        if key in self._added:
+            wire = self._added[key]
+            if node == self.root:
+                self.transcript.record_send(self.tick, out_port, char)
+            self.metrics.count_emission(char)
+            self._pending[self.tick + 1][wire.dst].append(
+                (wire.in_port, char, self._arrival_seq)
+            )
+            self._arrival_seq += 1
+            return
+        super()._put_on_wire(node, out_port, char)
+
+    # ------------------------------------------------------------------
+    def effective_topology(self) -> PortGraph:
+        """The wiring as it stands *now* (base minus cuts plus additions).
+
+        Raises :class:`SimulationError` if the current wiring is not a
+        legal network (a processor lost its last in- or out-port) — the
+        comparison experiments need a legal graph to compare against.
+        """
+        current = PortGraph(self.graph.num_nodes, self.graph.delta)
+        for wire in self.graph.wires():
+            if (wire.src, wire.out_port) not in self._cut:
+                current.add_wire(wire.src, wire.out_port, wire.dst, wire.in_port)
+        for wire in self._added.values():
+            current.add_wire(wire.src, wire.out_port, wire.dst, wire.in_port)
+        try:
+            return current.freeze()
+        except TopologyError as exc:
+            raise SimulationError(f"mutated network is not legal: {exc}") from exc

@@ -1,0 +1,112 @@
+"""Classify what a topology change does to a running GTD protocol.
+
+Outcomes:
+
+* ``ACCURATE`` — the protocol terminated and its map matches the *final*
+  topology (possible when the mutation lands on a part of the network the
+  DFS had already fully finished, or the mutation list is empty);
+* ``STALE`` — the protocol terminated but its map differs from the final
+  topology (it describes a network that no longer exists);
+* ``DEADLOCK`` — the protocol never terminated (e.g. the DFS probe or an
+  RCA flood crossed the cut and its answer was lost), detected by the tick
+  watchdog;
+* ``PROTOCOL_ERROR`` — a processor observed something the static protocol
+  proves impossible (a truncated snake, a loop token off its loop) and the
+  strict automaton refused to continue.
+
+This is the paper's introductory caveat, made measurable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import (
+    ProtocolViolation,
+    ReconstructionError,
+    TickBudgetExceeded,
+    TranscriptError,
+)
+from repro.protocol.gtd import GTDProcessor
+from repro.protocol.root_computer import MasterComputer, ReconstructedMap
+from repro.protocol.runner import default_tick_budget
+from repro.topology.isomorphism import port_isomorphic
+from repro.topology.portgraph import PortGraph
+from repro.topology.properties import diameter
+from repro.dynamics.engine import DynamicEngine, WireMutation
+
+__all__ = ["DynamicOutcome", "DynamicRunResult", "run_dynamic_gtd"]
+
+
+class DynamicOutcome(enum.Enum):
+    """What the topology change did to the run."""
+
+    ACCURATE = "accurate"
+    STALE = "stale"
+    DEADLOCK = "deadlock"
+    PROTOCOL_ERROR = "protocol-error"
+
+
+@dataclass
+class DynamicRunResult:
+    """Outcome of one dynamic-network GTD run."""
+
+    outcome: DynamicOutcome
+    ticks: int
+    recovered: ReconstructedMap | None
+    final_topology: PortGraph
+    lost_characters: int
+
+
+def run_dynamic_gtd(
+    graph: PortGraph,
+    mutations: list[WireMutation],
+    *,
+    root: int = 0,
+    max_ticks: int | None = None,
+) -> DynamicRunResult:
+    """Run GTD on ``graph`` while applying ``mutations``; classify the result."""
+    budget = max_ticks if max_ticks is not None else default_tick_budget(
+        graph, diameter(graph)
+    )
+    processors = [GTDProcessor() for _ in graph.nodes()]
+    engine = DynamicEngine(graph, list(processors), mutations, root=root)
+    root_proc = processors[root]
+    try:
+        engine.run(max_ticks=budget, until=lambda: root_proc.terminal)
+    except (TickBudgetExceeded, ProtocolViolation) as exc:
+        outcome = (
+            DynamicOutcome.DEADLOCK
+            if isinstance(exc, TickBudgetExceeded)
+            else DynamicOutcome.PROTOCOL_ERROR
+        )
+        return DynamicRunResult(
+            outcome=outcome,
+            ticks=engine.tick,
+            recovered=None,
+            final_topology=engine.effective_topology(),
+            lost_characters=engine.lost_characters,
+        )
+    ticks = engine.tick
+    final = engine.effective_topology()
+    try:
+        recovered = MasterComputer(strict=False).reconstruct(engine.transcript)
+        recovered_graph = recovered.to_portgraph(delta=graph.delta)
+        accurate = port_isomorphic(final, root, recovered_graph, ReconstructedMap.ROOT)
+    except (ReconstructionError, TranscriptError):
+        # The transcript itself was corrupted by the change: clearly stale.
+        return DynamicRunResult(
+            outcome=DynamicOutcome.STALE,
+            ticks=ticks,
+            recovered=None,
+            final_topology=final,
+            lost_characters=engine.lost_characters,
+        )
+    return DynamicRunResult(
+        outcome=DynamicOutcome.ACCURATE if accurate else DynamicOutcome.STALE,
+        ticks=ticks,
+        recovered=recovered,
+        final_topology=final,
+        lost_characters=engine.lost_characters,
+    )

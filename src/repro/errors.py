@@ -1,0 +1,85 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish topology problems from protocol problems.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "TopologyError",
+    "DegreeBoundError",
+    "PortInUseError",
+    "NotStronglyConnectedError",
+    "SimulationError",
+    "TickBudgetExceeded",
+    "ProtocolError",
+    "ProtocolViolation",
+    "CleanupViolation",
+    "TranscriptError",
+    "ReconstructionError",
+    "AnalysisError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class TopologyError(ReproError):
+    """A port graph is malformed or violates a model constraint."""
+
+
+class DegreeBoundError(TopologyError):
+    """A processor would exceed the network degree bound ``delta``."""
+
+
+class PortInUseError(TopologyError):
+    """A wire was attached to a port that already has a wire."""
+
+
+class NotStronglyConnectedError(TopologyError):
+    """The protocol requires a strongly-connected network and this one is not."""
+
+
+class SimulationError(ReproError):
+    """The synchronous engine hit an unrecoverable condition."""
+
+
+class TickBudgetExceeded(SimulationError):
+    """A simulation ran past its tick watchdog without terminating.
+
+    The Global Topology Determination protocol terminates in ``O(N * D)``
+    ticks; tests and the runner set a generous multiple of that bound as a
+    liveness watchdog.  Hitting it indicates a protocol deadlock or livelock.
+    """
+
+    def __init__(self, ticks: int, message: str | None = None) -> None:
+        self.ticks = ticks
+        super().__init__(message or f"simulation exceeded tick budget of {ticks}")
+
+
+class ProtocolError(ReproError):
+    """Base class for protocol-layer failures."""
+
+
+class ProtocolViolation(ProtocolError):
+    """A processor observed an input that the protocol says cannot happen."""
+
+
+class CleanupViolation(ProtocolError):
+    """Lemma 4.2 invariant failure: residual marks/characters after cleanup."""
+
+
+class TranscriptError(ProtocolError):
+    """The root transcript could not be parsed by the master computer."""
+
+
+class ReconstructionError(ProtocolError):
+    """The master computer produced an inconsistent map (stack underflow etc.)."""
+
+
+class AnalysisError(ReproError):
+    """An analysis routine was given out-of-domain parameters."""

@@ -1,0 +1,37 @@
+"""The paper's protocols: snakes, BCA, RCA and Global Topology Determination.
+
+Public entry point: :func:`repro.protocol.runner.determine_topology` runs the
+full GTD protocol on a network and returns the map the root's master computer
+reconstructs, along with timing and traffic statistics.
+"""
+
+from repro.protocol.marks import GrowingMarks, LoopSlots, BcaSlot, DyingRelay
+from repro.protocol.automaton import ProtocolProcessor
+from repro.protocol.gtd import GTDProcessor
+from repro.protocol.rca import ScriptedRCADriver, run_single_rca
+from repro.protocol.bca import ScriptedBCADriver, run_single_bca
+from repro.protocol.root_computer import MasterComputer, ReconstructedMap
+from repro.protocol.runner import TopologyResult, determine_topology
+from repro.protocol.invariants import (
+    collect_residue,
+    assert_network_clean,
+)
+
+__all__ = [
+    "GrowingMarks",
+    "LoopSlots",
+    "BcaSlot",
+    "DyingRelay",
+    "ProtocolProcessor",
+    "GTDProcessor",
+    "ScriptedRCADriver",
+    "run_single_rca",
+    "ScriptedBCADriver",
+    "run_single_bca",
+    "MasterComputer",
+    "ReconstructedMap",
+    "TopologyResult",
+    "determine_topology",
+    "collect_residue",
+    "assert_network_clean",
+]

@@ -1,0 +1,621 @@
+"""The protocol automaton: snakes, tokens, RCA and BCA in one processor.
+
+This class implements, per the paper:
+
+* generic growing-snake handling (§2.3.2): breadth-first flooding with
+  visited/parent marks, body pass-through, tail-triggered body appending;
+* generic dying-snake handling (§2.3.3): eat the head, promote the next
+  character, land the tail on the last path processor;
+* marked-loop token routing with slot alternation (§2.4) and the root's
+  pred-#1 -> succ-#2 exception;
+* KILL / UNMARK cleanup (RCA steps 4-5);
+* the **RCA initiator role** (processor A, §4.2.1 steps 1-5);
+* the **root's RCA duties** (IG->OG and ID->OD streaming conversion);
+* the **BCA initiator and recipient roles** (deviation D1 — reconstructed
+  from the same toolkit; see DESIGN.md).
+
+The DFS layer of the Global Topology Determination protocol lives in the
+:class:`~repro.protocol.gtd.GTDProcessor` subclass; scripted single-RCA /
+single-BCA drivers for the unit benchmarks live in
+:mod:`repro.protocol.rca` / :mod:`repro.protocol.bca`.
+
+Every register here is O(delta) — the finite-state audit enforces it.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ProtocolViolation
+from repro.sim.characters import (
+    STAR,
+    Char,
+    MSG_DFS_RETURN,
+    SCOPE_BCA,
+    SCOPE_RCA,
+    convert,
+    fill_in_port,
+    growing_family_of,
+    is_dying,
+    is_growing,
+    make_body,
+    make_head,
+    make_tail,
+    snake_family,
+    snake_role,
+)
+from repro.sim.processor import Processor
+from repro.protocol.marks import BcaSlot, DyingRelay, GrowingMarks, LoopSlots
+
+__all__ = ["ProtocolProcessor"]
+
+# RCA initiator phases (processor A working through §4.2.1)
+_RCA_IDLE = "idle"
+_RCA_WAIT_OG = "wait_og"          # step 1 done, waiting for first OG head
+_RCA_CONVERT = "convert"          # step 3: streaming OG -> ID
+_RCA_WAIT_ODT = "wait_odt"        # step 3: waiting for the OD tail
+_RCA_WAIT_LOOP = "wait_loop"      # step 4: FORWARD/BACK circling the loop
+_RCA_WAIT_UNMARK = "wait_unmark"  # step 5: UNMARK circling the loop
+
+# Root phases for its RCA duties
+_ROOT_OPEN = "open"            # accepting the next IG head
+_ROOT_IG_STREAM = "ig_stream"  # converting IG -> OG
+_ROOT_AWAIT_ID = "await_id"    # waiting for the ID head
+_ROOT_ID_STREAM = "id_stream"  # converting ID -> OD
+_ROOT_LOOP = "loop"            # relaying FORWARD/BACK then UNMARK
+
+# BCA initiator phases (processor B, deviation D1)
+_BCA_IDLE = "idle"
+_BCA_SEARCH = "search"            # BG flood out, waiting on the target in-port
+_BCA_CONVERT = "convert"          # streaming BG -> BD
+_BCA_WAIT_TAIL = "wait_tail"      # BD tail circling back to B
+_BCA_WAIT_DONE = "wait_done"      # BDONE circling the loop
+_BCA_WAIT_UNMARK = "wait_unmark"  # BCA UNMARK circling the loop
+
+
+class ProtocolProcessor(Processor):
+    """A finite-state processor speaking the paper's full character protocol.
+
+    Subclass hooks (all no-ops here):
+
+    * :meth:`_on_dfs_char` — a DFS token arrived (GTD layer);
+    * :meth:`_on_rca_complete` — this processor's own RCA finished (step 5);
+    * :meth:`_on_bca_message` — a BCA delivered its message to *this*
+      processor (it is the penultimate loop node);
+    * :meth:`_on_bca_target_resume` — the BCA that delivered to this
+      processor has finished cleaning up; safe to act;
+    * :meth:`_on_bca_initiator_done` — this processor's own BCA finished.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.growing = {"IG": GrowingMarks(), "OG": GrowingMarks(), "BG": GrowingMarks()}
+        self.relay = {"ID": DyingRelay(), "OD": DyingRelay(), "BD": DyingRelay()}
+        self.loop = LoopSlots()
+        self.bca_slot = BcaSlot()
+        # RCA initiator registers
+        self.rca_phase = _RCA_IDLE
+        self.rca_token: Char | None = None
+        self.rca_accept_port: int | None = None
+        self.rca_promote = False
+        # Root registers
+        self.root_phase = _ROOT_OPEN
+        self.root_ig_src: int | None = None
+        self.root_id_promote = False
+        # BCA initiator registers
+        self.bca_phase = _BCA_IDLE
+        self.bca_in_port: int | None = None
+        self.bca_msg: str | None = None
+        self.bca_promote = False
+        # statistics (not protocol state): completed-RCA counter for tests
+        self.rca_completed = 0
+        self.bca_completed = 0
+
+    # ==================================================================
+    # dispatch
+    # ==================================================================
+    def handle(self, in_port: int, char: Char) -> None:
+        kind = char.kind
+        if kind == "KILL":
+            self._handle_kill(char)
+        elif kind == "UNMARK":
+            if char.payload == SCOPE_RCA:
+                self._handle_unmark_rca(in_port, char)
+            else:
+                self._handle_unmark_bca(in_port, char)
+        elif is_dying(char):
+            family = snake_family(char)
+            if family == "BD":
+                self._handle_bd(in_port, char)
+            else:
+                self._handle_rca_dying(family, in_port, char)
+        elif is_growing(char):
+            self._handle_growing(snake_family(char), in_port, fill_in_port(char, in_port))
+        elif kind in ("FWD", "BACK"):
+            self._handle_loop_token(in_port, char)
+        elif kind == "BDONE":
+            self._handle_bdone(in_port, char)
+        elif kind == "DFS":
+            self._on_dfs_char(in_port, fill_in_port(char, in_port))
+        else:
+            raise ProtocolViolation(f"unknown character {char} at node {self._node()}")
+
+    # ==================================================================
+    # growing snakes (§2.3.2)
+    # ==================================================================
+    def _handle_growing(self, family: str, in_port: int, char: Char) -> None:
+        # Interceptions: terminators and initiators do not act as relays.
+        assert self.ctx is not None
+        if family == "IG" and self.ctx.is_root:
+            self._root_handle_ig(in_port, char)
+            return
+        if family == "OG" and self.rca_phase != _RCA_IDLE:
+            self._rca_handle_og(in_port, char)
+            return
+        if family == "BG" and self.bca_phase != _BCA_IDLE:
+            self._bca_handle_bg(in_port, char)
+            return
+
+        marks = self.growing[family]
+        role = snake_role(char)
+        if not marks.visited:
+            if role == "H":
+                # First head claims this processor for its breadth-first tree.
+                marks.mark(in_port)
+                self.broadcast(char)
+            # Stray body/tail at an unvisited processor: post-KILL debris,
+            # dropped (deviation D6).
+            return
+        if in_port != marks.parent_in:
+            # "all other <family>-snake characters will be ignored"
+            return
+        if role == "T":
+            # Append this processor's own position, then pass the tail.
+            for port in self.ctx.out_ports:
+                self.send(port, make_body(family, port))
+            self.broadcast(char, extra_delay=1)
+        else:
+            self.broadcast(char)
+
+    # ------------------------------------------------------------------
+    # root duties: IG -> OG conversion (RCA step 2)
+    # ------------------------------------------------------------------
+    def _root_handle_ig(self, in_port: int, char: Char) -> None:
+        role = snake_role(char)
+        if self.root_phase == _ROOT_OPEN:
+            if role != "H":
+                return  # stray debris
+            # Accept: close to further IG-snakes, start converting to OG.
+            self.root_phase = _ROOT_IG_STREAM
+            self.root_ig_src = in_port
+            # The root originates the OG flood; mark it so returning OG
+            # snakes are ignored rather than relayed in a cycle.
+            self.growing["OG"].mark(None)
+            self.broadcast(convert(char, "OG"))
+            return
+        if self.root_phase == _ROOT_IG_STREAM and in_port == self.root_ig_src:
+            if role == "B":
+                self.broadcast(convert(char, "OG"))
+            elif role == "T":
+                # Hold the tail, append the root's own body character
+                # through each out-port, then release the tail (§4.2.1.2).
+                for port in self.ctx.out_ports:
+                    self.send(port, make_body("OG", port))
+                self.broadcast(make_tail("OG"), extra_delay=1)
+                self.root_phase = _ROOT_AWAIT_ID
+            else:
+                raise ProtocolViolation("second IG head on the accepted stream")
+            return
+        # Closed to all other IG characters.
+
+    # ------------------------------------------------------------------
+    # RCA initiator: waiting for / converting the OG snake (step 3)
+    # ------------------------------------------------------------------
+    def _rca_handle_og(self, in_port: int, char: Char) -> None:
+        role = snake_role(char)
+        if self.rca_phase == _RCA_WAIT_OG:
+            if role != "H":
+                return  # debris
+            # First surviving OG head: close off, eat it as an ID head.
+            self.rca_accept_port = in_port
+            self.loop.set_slot(1, pred=in_port, succ=char.out_port)
+            self.rca_promote = True
+            self.rca_phase = _RCA_CONVERT
+            return
+        if self.rca_phase == _RCA_CONVERT and in_port == self.rca_accept_port:
+            succ = self.loop.succ1
+            assert succ is not None
+            if role == "B":
+                out_kind = "IDH" if self.rca_promote else "IDB"
+                self.rca_promote = False
+                self.send(succ, Char(out_kind, char.out_port, char.in_port))
+            elif role == "T":
+                self.send(succ, make_tail("ID"))
+                self.rca_phase = _RCA_WAIT_ODT
+            else:
+                raise ProtocolViolation("second OG head on the accepted stream")
+            return
+        # Closed to all other OG characters.
+
+    # ------------------------------------------------------------------
+    # BCA initiator: waiting for / converting the BG snake (deviation D1)
+    # ------------------------------------------------------------------
+    def _bca_handle_bg(self, in_port: int, char: Char) -> None:
+        role = snake_role(char)
+        if self.bca_phase == _BCA_SEARCH:
+            if role == "H" and in_port == self.bca_in_port:
+                # First BG head back through the target in-port: the snake
+                # encodes a minimal loop B -> ... -> A -> B.
+                self.bca_slot.set(pred=in_port, succ=char.out_port)
+                self.bca_promote = True
+                self.bca_phase = _BCA_CONVERT
+            # All other BG characters are ignored: B never relays BG.
+            return
+        if self.bca_phase == _BCA_CONVERT and in_port == self.bca_in_port:
+            succ = self.bca_slot.succ
+            assert succ is not None
+            if role == "B":
+                out_kind = "BDH" if self.bca_promote else "BDB"
+                self.bca_promote = False
+                self.send(succ, Char(out_kind, char.out_port, char.in_port))
+            elif role == "T":
+                if self.bca_promote:
+                    # Loop of length 1 (self-loop): B is its own recipient.
+                    self.bca_slot.is_target = True
+                    self.bca_promote = False
+                    assert self.bca_msg is not None
+                    self._on_bca_message(self.bca_msg)
+                self.send(succ, make_tail("BD", payload=self.bca_msg))
+                self.bca_phase = _BCA_WAIT_TAIL
+            return
+        # Otherwise: ignore.
+
+    # ==================================================================
+    # dying snakes (§2.3.3)
+    # ==================================================================
+    def _handle_rca_dying(self, family: str, in_port: int, char: Char) -> None:
+        assert self.ctx is not None
+        role = snake_role(char)
+        if family == "ID" and self.ctx.is_root:
+            self._root_handle_id(in_port, char)
+            return
+        if family == "OD" and self.rca_phase == _RCA_WAIT_ODT and role == "T":
+            # RCA step 4: A received the OD tail; the loop is fully marked.
+            self._rca_release_kill_and_token()
+            return
+        relay = self.relay[family]
+        slot = 1 if family == "ID" else 2
+        if role == "H":
+            if relay.active:
+                raise ProtocolViolation(f"{family} head while already relaying")
+            self.loop.set_slot(slot, pred=in_port, succ=char.out_port)
+            relay.start(pred=in_port, succ=char.out_port)
+            return  # head is eaten
+        if relay.active and in_port == relay.pred:
+            succ = relay.succ
+            assert succ is not None
+            if role == "B":
+                out_kind = family + ("H" if relay.promote_next else "B")
+                relay.promote_next = False
+                self.send(succ, Char(out_kind, char.out_port, char.in_port))
+            else:  # tail
+                self.send(succ, char)
+                relay.finish()
+            return
+        raise ProtocolViolation(
+            f"unexpected {char} at node {self._node()} via in-port {in_port}"
+        )
+
+    def _root_handle_id(self, in_port: int, char: Char) -> None:
+        """Root exception: ID characters convert to OD (§2.3.3)."""
+        role = snake_role(char)
+        if self.root_phase == _ROOT_AWAIT_ID:
+            if role != "H":
+                raise ProtocolViolation("root expected an ID head")
+            # "the root will set predecessor in-port #1 and successor
+            # out-port #2 appropriately"
+            self.loop.pred1 = in_port
+            self.loop.succ2 = char.out_port
+            self.root_id_promote = True
+            self.root_phase = _ROOT_ID_STREAM
+            return  # head eaten (converted into loop marks)
+        if self.root_phase == _ROOT_ID_STREAM and in_port == self.loop.pred1:
+            succ = self.loop.succ2
+            assert succ is not None
+            if role == "B":
+                out_kind = "ODH" if self.root_id_promote else "ODB"
+                self.root_id_promote = False
+                self.send(succ, Char(out_kind, char.out_port, char.in_port))
+            elif role == "T":
+                self.send(succ, make_tail("OD"))
+                self.root_phase = _ROOT_LOOP
+            else:
+                raise ProtocolViolation("second ID head at root")
+            return
+        raise ProtocolViolation(f"unexpected ID character {char} at root")
+
+    # ------------------------------------------------------------------
+    # BD: the BCA's dying snake, including message delivery
+    # ------------------------------------------------------------------
+    def _handle_bd(self, in_port: int, char: Char) -> None:
+        role = snake_role(char)
+        if (
+            self.bca_phase == _BCA_WAIT_TAIL
+            and role == "T"
+            and in_port == self.bca_slot.pred
+        ):
+            # The tail returned to B: the loop is marked and the message was
+            # delivered one hop ago.  Clean up (mirrors RCA step 4).
+            self._release_kill(SCOPE_BCA)
+            succ = self.bca_slot.succ
+            assert succ is not None
+            self.send(succ, Char("BDONE"))
+            self.bca_phase = _BCA_WAIT_DONE
+            return
+        relay = self.relay["BD"]
+        if role == "H":
+            if relay.active:
+                raise ProtocolViolation("BD head while already relaying")
+            self.bca_slot.set(pred=in_port, succ=char.out_port)
+            relay.start(pred=in_port, succ=char.out_port)
+            return
+        if relay.active and in_port == relay.pred:
+            succ = relay.succ
+            assert succ is not None
+            if role == "B":
+                out_kind = "BDH" if relay.promote_next else "BDB"
+                relay.promote_next = False
+                self.send(succ, Char(out_kind, char.out_port, char.in_port))
+            else:  # tail
+                if relay.promote_next:
+                    # Head immediately followed by tail: this processor is
+                    # the penultimate loop node — the message recipient.
+                    self.bca_slot.is_target = True
+                    if char.payload is None:
+                        raise ProtocolViolation("BD tail carried no message")
+                    self._on_bca_message(char.payload)
+                self.send(succ, char)
+                relay.finish()
+            return
+        raise ProtocolViolation(
+            f"unexpected {char} at node {self._node()} via in-port {in_port}"
+        )
+
+    # ==================================================================
+    # loop tokens (§2.4): FORWARD / BACK, BDONE
+    # ==================================================================
+    def _handle_loop_token(self, in_port: int, char: Char) -> None:
+        assert self.ctx is not None
+        if self.rca_phase == _RCA_WAIT_LOOP and in_port == self.loop.pred1:
+            # The initiator absorbs its token and starts UNMARK (step 5).
+            succ = self.loop.succ1
+            assert succ is not None
+            self.send(succ, Char("UNMARK", payload=SCOPE_RCA))
+            self.rca_phase = _RCA_WAIT_UNMARK
+            return
+        if self.ctx.is_root and self.root_phase == _ROOT_LOOP:
+            # Root exception: accept through pred #1, pass through succ #2.
+            if in_port != self.loop.pred1:
+                raise ProtocolViolation("loop token at root via wrong in-port")
+            succ = self.loop.succ2
+            assert succ is not None
+            self.send(succ, char)
+            return
+        succ = self.loop.route(in_port)
+        if succ is None:
+            raise ProtocolViolation(
+                f"loop token {char} at node {self._node()} via "
+                f"inappropriate in-port {in_port}"
+            )
+        self.send(succ, char)
+
+    def _handle_bdone(self, in_port: int, char: Char) -> None:
+        if self.bca_phase == _BCA_WAIT_DONE and in_port == self.bca_slot.pred:
+            # B absorbs its BDONE: growing debris is dead; start UNMARK.
+            succ = self.bca_slot.succ
+            assert succ is not None
+            self.send(succ, Char("UNMARK", payload=SCOPE_BCA))
+            self.bca_phase = _BCA_WAIT_UNMARK
+            return
+        if self.bca_slot.active() and in_port == self.bca_slot.pred:
+            assert self.bca_slot.succ is not None
+            self.send(self.bca_slot.succ, char)
+            return
+        raise ProtocolViolation(f"BDONE at node {self._node()} off the loop")
+
+    # ==================================================================
+    # cleanup: KILL and UNMARK
+    # ==================================================================
+    def _handle_kill(self, char: Char) -> None:
+        families = growing_family_of(char.payload or SCOPE_RCA)
+        purged = self.purge_outbox(
+            lambda c: is_growing(c) and snake_family(c) in families
+        )
+        marked = any(self.growing[f].visited for f in families)
+        if marked or purged:
+            for family in families:
+                self.growing[family].clear()
+            self.broadcast(char)
+        # else: no growing traces here — absorb silently.
+
+    def _handle_unmark_rca(self, in_port: int, char: Char) -> None:
+        assert self.ctx is not None
+        if self.rca_phase == _RCA_WAIT_UNMARK and in_port == self.loop.pred1:
+            # UNMARK made it all the way around: terminate (step 5).
+            self.loop.clear()
+            self._reset_rca_registers()
+            self.rca_completed += 1
+            self._on_rca_complete()
+            return
+        if self.ctx.is_root and self.root_phase == _ROOT_LOOP:
+            if in_port != self.loop.pred1:
+                raise ProtocolViolation("UNMARK at root via wrong in-port")
+            succ = self.loop.succ2
+            assert succ is not None
+            self.send(succ, char)
+            self.loop.clear()
+            self.root_phase = _ROOT_OPEN  # reopen to IG-snakes
+            return
+        succ = self.loop.unmark(in_port)
+        if succ is None:
+            raise ProtocolViolation(
+                f"UNMARK at node {self._node()} via inappropriate in-port {in_port}"
+            )
+        self.send(succ, char)
+
+    def _handle_unmark_bca(self, in_port: int, char: Char) -> None:
+        if self.bca_phase == _BCA_WAIT_UNMARK and in_port == self.bca_slot.pred:
+            was_target = self.bca_slot.is_target
+            self.bca_slot.clear()
+            self._reset_bca_registers()
+            self.bca_completed += 1
+            self._on_bca_initiator_done()
+            if was_target:
+                # Self-loop bounce: B was its own recipient.
+                self._on_bca_target_resume()
+            return
+        if self.bca_slot.active() and in_port == self.bca_slot.pred:
+            assert self.bca_slot.succ is not None
+            was_target = self.bca_slot.is_target
+            self.send(self.bca_slot.succ, char)
+            self.bca_slot.clear()
+            if was_target:
+                self._on_bca_target_resume()
+            return
+        raise ProtocolViolation(f"BCA UNMARK at node {self._node()} off the loop")
+
+    # ==================================================================
+    # initiator entry points
+    # ==================================================================
+    def start_rca(self, token: Char) -> None:
+        """Begin the Root Communication Algorithm as processor A.
+
+        ``token`` is the FORWARD or BACK loop token to circulate in step 4.
+        """
+        assert self.ctx is not None
+        if self.rca_phase != _RCA_IDLE:
+            raise ProtocolViolation("RCA already in progress at this processor")
+        if self.ctx.is_root:
+            raise ProtocolViolation(
+                "the root does not run the RCA with itself (deviation D2)"
+            )
+        self.rca_token = token
+        self.rca_phase = _RCA_WAIT_OG
+        # Step 1: release IG-snakes; mark self so they never re-enter.
+        self.growing["IG"].mark(None)
+        for port in self.ctx.out_ports:
+            self.send(port, make_head("IG", port))
+        self.broadcast(make_tail("IG"), extra_delay=1)
+
+    def start_bca(self, in_port: int, message: str = MSG_DFS_RETURN) -> None:
+        """Send ``message`` backwards through ``in_port`` (the BCA, as B)."""
+        assert self.ctx is not None
+        if self.bca_phase != _BCA_IDLE:
+            raise ProtocolViolation("BCA already in progress at this processor")
+        if in_port not in self.ctx.in_ports:
+            raise ProtocolViolation(f"in-port {in_port} is not connected")
+        self.bca_in_port = in_port
+        self.bca_msg = message
+        self.bca_phase = _BCA_SEARCH
+        self.growing["BG"].mark(None)
+        for port in self.ctx.out_ports:
+            self.send(port, make_head("BG", port))
+        self.broadcast(make_tail("BG"), extra_delay=1)
+
+    # ------------------------------------------------------------------
+    def _rca_release_kill_and_token(self) -> None:
+        """RCA step 4: speed-3 KILL plus the speed-1 FORWARD/BACK token."""
+        assert self.rca_token is not None
+        self._release_kill(SCOPE_RCA)
+        succ = self.loop.succ1
+        assert succ is not None
+        self.send(succ, self.rca_token)
+        self.rca_phase = _RCA_WAIT_LOOP
+
+    def _release_kill(self, scope: str) -> None:
+        """Broadcast a KILL and erase this processor's own growing traces."""
+        families = growing_family_of(scope)
+        for family in families:
+            self.growing[family].clear()
+        self.purge_outbox(lambda c: is_growing(c) and snake_family(c) in families)
+        self.broadcast(Char("KILL", payload=scope))
+
+    def _reset_rca_registers(self) -> None:
+        self.rca_phase = _RCA_IDLE
+        self.rca_token = None
+        self.rca_accept_port = None
+        self.rca_promote = False
+
+    def _reset_bca_registers(self) -> None:
+        self.bca_phase = _BCA_IDLE
+        self.bca_in_port = None
+        self.bca_msg = None
+        self.bca_promote = False
+
+    # ==================================================================
+    # subclass hooks
+    # ==================================================================
+    def _on_dfs_char(self, in_port: int, char: Char) -> None:
+        raise ProtocolViolation(
+            f"DFS token reached a processor with no DFS layer (node {self._node()})"
+        )
+
+    def _on_rca_complete(self) -> None:
+        """Called when this processor's own RCA terminates (step 5)."""
+
+    def _on_bca_message(self, payload: str) -> None:
+        """Called when a BCA delivers ``payload`` to this processor."""
+
+    def _on_bca_target_resume(self) -> None:
+        """Called when the delivering BCA has finished cleanup."""
+
+    def _on_bca_initiator_done(self) -> None:
+        """Called when this processor's own BCA terminates."""
+
+    # ==================================================================
+    # audit support
+    # ==================================================================
+    def state_snapshot(self) -> dict[str, Any]:
+        return {
+            "growing": {f: m.snapshot() for f, m in self.growing.items()},
+            "relay": {f: r.snapshot() for f, r in self.relay.items()},
+            "loop": self.loop.snapshot(),
+            "bca_slot": self.bca_slot.snapshot(),
+            "rca": {
+                "phase": self.rca_phase,
+                "token": self.rca_token.kind if self.rca_token else None,
+                "accept_port": self.rca_accept_port,
+                "promote": self.rca_promote,
+            },
+            "root": {
+                "phase": self.root_phase,
+                "ig_src": self.root_ig_src,
+                "id_promote": self.root_id_promote,
+            },
+            "bca": {
+                "phase": self.bca_phase,
+                "in_port": self.bca_in_port,
+                "msg": self.bca_msg,
+                "promote": self.bca_promote,
+            },
+        }
+
+    def is_protocol_idle(self) -> bool:
+        """No protocol activity of any kind at this processor.
+
+        Used by the Lemma 4.2 cleanup invariant: after an RCA/BCA finishes
+        (and at protocol end), every register must be back to quiescent.
+        """
+        return (
+            not any(m.visited for m in self.growing.values())
+            and not any(r.active for r in self.relay.values())
+            and not self.loop.any_set()
+            and not self.bca_slot.active()
+            and self.rca_phase == _RCA_IDLE
+            and self.bca_phase == _BCA_IDLE
+            and self.root_phase in (_ROOT_OPEN,)
+            and not self.has_pending_output()
+        )
+
+    def _node(self) -> int:
+        return self.ctx.node if self.ctx else -1

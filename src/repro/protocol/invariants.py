@@ -1,0 +1,86 @@
+"""Runtime checks of the paper's "network left undisturbed" claims.
+
+Lemma 4.2 states that after an RCA terminates, no data construct created by
+it survives anywhere in the network; the BCA contract (§4.1) makes the same
+promise.  We check this *empirically, every time* instead of trusting the
+timing argument alone: :func:`collect_residue` sweeps all processors,
+outboxes and wires for protocol traces of a given scope; the runner (with
+``verify_cleanup=True``), the property tests and the E5 benchmark call it
+after every RCA/BCA completion and at protocol end.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CleanupViolation
+from repro.sim.characters import Char, SCOPE_BCA, SCOPE_RCA
+from repro.sim.engine import Engine
+from repro.protocol.automaton import ProtocolProcessor
+
+__all__ = ["collect_residue", "assert_network_clean"]
+
+_SCOPE_FAMILIES = {
+    SCOPE_RCA: ("IG", "OG", "ID", "OD"),
+    SCOPE_BCA: ("BG", "BD"),
+}
+_SCOPE_TOKENS = {
+    SCOPE_RCA: ("FWD", "BACK"),
+    SCOPE_BCA: ("BDONE",),
+}
+
+
+def collect_residue(engine: Engine, *, scope: str | None = None) -> list[str]:
+    """Describe every protocol trace of ``scope`` left in the network.
+
+    ``scope`` is ``"RCA"``, ``"BCA"`` or ``None`` for both.  Residue means:
+    snake characters (resting or on wires), scoped KILL/UNMARK or loop
+    tokens, growing-snake marks, active dying-snake relays, or marked-loop
+    port designations.  Returns human-readable findings; empty means the
+    network is undisturbed, exactly as Lemma 4.2 promises.
+    """
+    scopes = (scope,) if scope else (SCOPE_RCA, SCOPE_BCA)
+    families: tuple[str, ...] = ()
+    tokens: tuple[str, ...] = ()
+    for s in scopes:
+        families += _SCOPE_FAMILIES[s]
+        tokens += _SCOPE_TOKENS[s]
+    findings: list[str] = []
+
+    def char_is_residue(char: Char) -> bool:
+        if len(char.kind) == 3 and char.kind[:2] in families:
+            return True
+        if char.kind in tokens:
+            return True
+        if char.kind in ("KILL", "UNMARK") and char.payload in scopes:
+            return True
+        return False
+
+    for holder, char in engine.in_flight_chars():
+        if char_is_residue(char):
+            findings.append(f"character {char} in flight toward/at node {holder}")
+
+    check_rca = SCOPE_RCA in scopes
+    check_bca = SCOPE_BCA in scopes
+    for node, proc in enumerate(engine.processors):
+        assert isinstance(proc, ProtocolProcessor)
+        for family in families:
+            if family in proc.growing and proc.growing[family].visited:
+                findings.append(f"node {node}: {family}-visited mark still set")
+            if family in proc.relay and proc.relay[family].active:
+                findings.append(f"node {node}: {family} relay still active")
+        if check_rca and proc.loop.any_set():
+            findings.append(f"node {node}: marked-loop slots still set")
+        if check_bca and proc.bca_slot.active():
+            findings.append(f"node {node}: BCA loop slot still set")
+    return findings
+
+
+def assert_network_clean(
+    engine: Engine, *, scope: str | None = None, context: str = ""
+) -> None:
+    """Raise :class:`CleanupViolation` if any ``scope`` residue remains."""
+    findings = collect_residue(engine, scope=scope)
+    if findings:
+        prefix = f"{context}: " if context else ""
+        raise CleanupViolation(
+            prefix + f"{len(findings)} residue finding(s): " + "; ".join(findings[:10])
+        )

@@ -1,0 +1,222 @@
+"""Per-processor protocol registers (all O(delta), independent of N).
+
+The paper's processors remember a handful of port-valued marks:
+
+* growing-snake marks: "IG-visited" + "IG-parent" per growing family
+  (§2.3.2 / RCA step 1);
+* marked-loop slots: predecessor in-ports #1/#2 and successor out-ports
+  #1/#2 plus the alternation state for loop tokens (§2.4);
+* the BCA loop slot with the "I am the recipient" flag (deviation D1);
+* a relay register per dying family tracking head-promotion (§2.3.3).
+
+Each register bundle knows how to reset itself and how to report a snapshot
+for the finite-state audit.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["GrowingMarks", "LoopSlots", "BcaSlot", "DyingRelay"]
+
+
+class GrowingMarks:
+    """Visited/parent marks for one growing-snake family (IG, OG or BG)."""
+
+    __slots__ = ("visited", "parent_in")
+
+    def __init__(self) -> None:
+        self.visited = False
+        self.parent_in: int | None = None
+
+    def mark(self, parent_in: int | None) -> None:
+        """Set visited with ``parent_in`` (``None`` for the flood origin)."""
+        self.visited = True
+        self.parent_in = parent_in
+
+    def clear(self) -> None:
+        """Erase the marks (the KILL token's action)."""
+        self.visited = False
+        self.parent_in = None
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"visited": self.visited, "parent_in": self.parent_in}
+
+
+class LoopSlots:
+    """The RCA marked-loop registers of §2.4.
+
+    Slot 1 is written by the ID-snake (path ``A -> root``), slot 2 by the
+    OD-snake (path ``root -> A``).  ``expect`` implements the paper's
+    alternation rule for processors appearing twice on the loop: a loop
+    token is first awaited through predecessor in-port #1, then #2, then #1
+    again.  UNMARK forgets each slot as it uses it.
+    """
+
+    __slots__ = ("pred1", "succ1", "pred2", "succ2", "expect")
+
+    def __init__(self) -> None:
+        self.pred1: int | None = None
+        self.succ1: int | None = None
+        self.pred2: int | None = None
+        self.succ2: int | None = None
+        self.expect = 1
+
+    def set_slot(self, slot: int, pred: int, succ: int) -> None:
+        """Record the loop ports for ``slot`` (1 = ID-snake, 2 = OD-snake)."""
+        if slot == 1:
+            self.pred1, self.succ1 = pred, succ
+        else:
+            self.pred2, self.succ2 = pred, succ
+
+    def any_set(self) -> bool:
+        """Whether this processor currently lies on a marked loop."""
+        return self.pred1 is not None or self.pred2 is not None
+
+    def expected_pred(self) -> int | None:
+        """The appropriate predecessor in-port for the next loop token."""
+        if self.expect == 1 and self.pred1 is not None:
+            return self.pred1
+        if self.pred2 is not None:
+            return self.pred2
+        return self.pred1
+
+    def route(self, in_port: int) -> int | None:
+        """Loop-token routing: successor out-port for a token on ``in_port``.
+
+        Applies the §2.4 alternation and advances it.  Returns ``None`` if
+        the token arrived through a port that is not the appropriate
+        predecessor (a protocol violation the caller reports).
+        """
+        if self.pred1 is not None and self.pred2 is not None:
+            if self.expect == 1:
+                if in_port != self.pred1:
+                    return None
+                self.expect = 2
+                return self.succ1
+            if in_port != self.pred2:
+                return None
+            self.expect = 1
+            return self.succ2
+        if self.pred1 is not None:
+            return self.succ1 if in_port == self.pred1 else None
+        if self.pred2 is not None:
+            return self.succ2 if in_port == self.pred2 else None
+        return None
+
+    def unmark(self, in_port: int) -> int | None:
+        """UNMARK routing: route, then forget the slot just used."""
+        if self.pred1 is not None and self.pred2 is not None:
+            if self.expect == 1:
+                if in_port != self.pred1:
+                    return None
+                succ = self.succ1
+                self.pred1 = self.succ1 = None
+                self.expect = 2
+                return succ
+            if in_port != self.pred2:
+                return None
+            succ = self.succ2
+            self.pred2 = self.succ2 = None
+            self.expect = 1
+            return succ
+        if self.pred1 is not None:
+            if in_port != self.pred1:
+                return None
+            succ = self.succ1
+            self.clear()
+            return succ
+        if self.pred2 is not None:
+            if in_port != self.pred2:
+                return None
+            succ = self.succ2
+            self.clear()
+            return succ
+        return None
+
+    def clear(self) -> None:
+        """Forget all loop designations."""
+        self.pred1 = self.succ1 = self.pred2 = self.succ2 = None
+        self.expect = 1
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "pred1": self.pred1,
+            "succ1": self.succ1,
+            "pred2": self.pred2,
+            "succ2": self.succ2,
+            "expect": self.expect,
+        }
+
+
+class BcaSlot:
+    """The BCA marked-loop slot (deviation D1).
+
+    A processor appears at most once on a BCA loop (the BG path is a
+    breadth-first tree path and the initiator never relays BG snakes), so a
+    single predecessor/successor pair suffices.  ``is_target`` is set on the
+    penultimate loop processor — the message recipient.
+    """
+
+    __slots__ = ("pred", "succ", "is_target")
+
+    def __init__(self) -> None:
+        self.pred: int | None = None
+        self.succ: int | None = None
+        self.is_target = False
+
+    def set(self, pred: int, succ: int) -> None:
+        """Record the BCA loop ports for this processor."""
+        self.pred, self.succ = pred, succ
+
+    def active(self) -> bool:
+        """Whether this processor lies on the current BCA loop."""
+        return self.pred is not None
+
+    def clear(self) -> None:
+        """Forget the BCA loop designations and target flag."""
+        self.pred = self.succ = None
+        self.is_target = False
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"pred": self.pred, "succ": self.succ, "is_target": self.is_target}
+
+
+class DyingRelay:
+    """Head-promotion state for one dying-snake family passing through.
+
+    §2.3.3: a processor eats the head, then the *next* character received
+    through the predecessor in-port is promoted to the new head; everything
+    after passes unchanged.  ``promote_next`` is True between eating the
+    head and seeing that next character.  The register also remembers which
+    loop slot this family wrote so body characters route without re-deriving
+    it.
+    """
+
+    __slots__ = ("active", "promote_next", "pred", "succ")
+
+    def __init__(self) -> None:
+        self.active = False
+        self.promote_next = False
+        self.pred: int | None = None
+        self.succ: int | None = None
+
+    def start(self, pred: int, succ: int) -> None:
+        """Begin relaying: head just eaten, awaiting the promotion char."""
+        self.active = True
+        self.promote_next = True
+        self.pred, self.succ = pred, succ
+
+    def finish(self) -> None:
+        """Tail passed: this dying snake is done with this processor."""
+        self.active = False
+        self.promote_next = False
+        self.pred = self.succ = None
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "active": self.active,
+            "promote_next": self.promote_next,
+            "pred": self.pred,
+            "succ": self.succ,
+        }

@@ -1,0 +1,91 @@
+"""Scripted single-RCA driver (Lemma 4.3 experiments, unit tests).
+
+Runs exactly one Root Communication Algorithm from a chosen processor on a
+chosen network, with no DFS layer, and reports when it completed and what
+the root transcript contains.  This isolates the O(D) claim of Lemma 4.3
+and gives the unit tests a handle on every RCA step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ProtocolViolation
+from repro.sim.characters import Char
+from repro.sim.engine import Engine
+from repro.sim.transcript import Transcript
+from repro.protocol.automaton import ProtocolProcessor
+from repro.topology.portgraph import PortGraph
+
+__all__ = ["ScriptedRCADriver", "RCARunResult", "run_single_rca"]
+
+
+class ScriptedRCADriver(ProtocolProcessor):
+    """A processor that can be told to run one RCA and remembers finishing."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.completed_at: int | None = None
+
+    def trigger(self, token: Char) -> None:
+        """Start the RCA now (called by the harness, not by a character)."""
+        self.start_rca(token)
+
+    def _on_rca_complete(self) -> None:
+        self.completed_at = self.tick
+
+
+@dataclass(frozen=True)
+class RCARunResult:
+    """Outcome of one scripted RCA."""
+
+    initiator: int
+    ticks: int
+    completed_at: int
+    transcript: Transcript
+    engine: Engine
+
+    @property
+    def forward_events(self) -> list[Char]:
+        """The FORWARD/BACK tokens the root observed."""
+        return [
+            e.char
+            for e in self.transcript.events()
+            if e.kind == "recv" and e.char is not None and e.char.kind in ("FWD", "BACK")
+        ]
+
+
+def run_single_rca(
+    graph: PortGraph,
+    initiator: int,
+    *,
+    root: int = 0,
+    token: Char | None = None,
+    max_ticks: int | None = None,
+) -> RCARunResult:
+    """Run one RCA from ``initiator`` toward ``root`` and drain the network.
+
+    The token defaults to ``FORWARD(1, 1)``.  Raises
+    :class:`~repro.errors.TickBudgetExceeded` on livelock.
+    """
+    if initiator == root:
+        raise ProtocolViolation("the root does not run the RCA with itself")
+    processors = [ScriptedRCADriver() for _ in graph.nodes()]
+    engine = Engine(graph, list(processors), root=root)
+    engine.start()
+    driver = processors[initiator]
+    driver.begin_tick(engine.tick)
+    driver.trigger(token or Char("FWD", out_port=1, in_port=1))
+    engine.wake(initiator)
+    budget = max_ticks or (400 * (graph.num_nodes + 2) + 2000)
+    engine.run(max_ticks=budget, until=lambda: driver.completed_at is not None, start=False)
+    completed = driver.completed_at
+    assert completed is not None
+    engine.run_to_idle(max_ticks=budget + 200)
+    return RCARunResult(
+        initiator=initiator,
+        ticks=engine.tick,
+        completed_at=completed,
+        transcript=engine.transcript,
+        engine=engine,
+    )

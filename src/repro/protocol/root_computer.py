@@ -1,0 +1,264 @@
+"""The root's master computer: transcript -> topology map (paper §3.1).
+
+The computer never touches the network.  It consumes the root transcript —
+characters into/out of the root plus the root's constant-size status pipes —
+and replays the paper's mapping strategy:
+
+* it mirrors the root's RCA phases, reading off the canonical path
+  ``A -> root`` from the IG characters as they are converted to OG
+  (Lemma 4.1) and the canonical path ``root -> A`` from the ID characters
+  as they are converted to OD;
+* the pair of canonical paths is the processor's unique *signature*: the
+  protocol is deterministic, so the same processor always produces the same
+  pair, and following the root->A path out-ports from the root pins down a
+  unique processor — signatures never collide;
+* it keeps a stack of processor names tracking the DFS token: FORWARD(o, i)
+  draws a wire ``stack top --(o, i)--> A`` and pushes ``A``; BACK pops;
+  a DFS character received at the root is a FORWARD onto the root itself
+  (deviation D2), and the root's ``DFS_RETURNED`` pipe is the matching BACK;
+* at ``TERMINAL`` the stack must have collapsed back to the root and the
+  collected wires form the map.
+
+Reconstruction failures raise
+:class:`~repro.errors.ReconstructionError`/`TranscriptError` — they indicate
+a protocol bug, never bad user input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PortInUseError, ReconstructionError, TranscriptError
+from repro.sim.characters import STAR, Char, SCOPE_RCA
+from repro.sim.transcript import Transcript, TranscriptEvent
+from repro.topology.portgraph import PortGraph
+from repro.protocol.gtd import PIPE_DFS_RETURNED, PIPE_START, PIPE_TERMINAL
+
+__all__ = ["MasterComputer", "ReconstructedMap", "MappedWire"]
+
+Hop = tuple[int, int]
+Signature = tuple[tuple[Hop, ...], tuple[Hop, ...]]
+
+
+@dataclass(frozen=True)
+class MappedWire:
+    """One wire on the reconstructed map (names are computer-assigned)."""
+
+    src: int
+    out_port: int
+    dst: int
+    in_port: int
+
+
+@dataclass
+class ReconstructedMap:
+    """The master computer's output: named processors and port-labeled wires.
+
+    Name 0 is always the root.  ``signatures[name]`` is the canonical-path
+    pair that identifies the processor (the root has the empty signature).
+    """
+
+    num_nodes: int
+    wires: list[MappedWire]
+    signatures: dict[int, Signature] = field(default_factory=dict)
+
+    ROOT = 0
+
+    def to_portgraph(self, *, delta: int | None = None) -> PortGraph:
+        """Materialize the map as a frozen :class:`PortGraph`.
+
+        ``delta`` defaults to the largest port number observed (minimum 2).
+        Raises :class:`ReconstructionError` if the map is not a legal
+        network (duplicate ports, missing connections).
+        """
+        max_port = max(
+            [2] + [max(w.out_port, w.in_port) for w in self.wires]
+        )
+        graph = PortGraph(self.num_nodes, delta or max_port)
+        try:
+            for w in self.wires:
+                graph.add_wire(w.src, w.out_port, w.dst, w.in_port)
+            return graph.freeze()
+        except Exception as exc:  # TopologyError and subclasses
+            raise ReconstructionError(f"reconstructed map is not legal: {exc}") from exc
+
+
+# Mirror of the root's RCA phases, driven purely by transcript events.
+_OPEN = "open"
+_IG = "ig_stream"
+_AWAIT_ID = "await_id"
+_ID = "id_stream"
+_LOOP = "loop"
+
+
+class MasterComputer:
+    """Replays a root :class:`Transcript` into a :class:`ReconstructedMap`."""
+
+    def __init__(self, *, strict: bool = True) -> None:
+        self.strict = strict
+        self._phase = _OPEN
+        self._ig_port: int | None = None
+        self._path1: list[Hop] = []
+        self._path2: list[Hop] = []
+        self._names: dict[Signature, int] = {}
+        self._signatures: dict[int, Signature] = {}
+        self._stack: list[int] = []
+        self._wires: list[MappedWire] = []
+        self._wire_keys: set[tuple[int, int]] = set()
+        self._started = False
+        self._terminal = False
+
+    # ------------------------------------------------------------------
+    def reconstruct(self, transcript: Transcript) -> ReconstructedMap:
+        """Consume the whole transcript and return the finished map."""
+        for event in transcript.events():
+            self.feed(event)
+        if not self._terminal:
+            raise TranscriptError("transcript ended before TERMINAL")
+        return ReconstructedMap(
+            num_nodes=len(self._signatures),
+            wires=list(self._wires),
+            signatures=dict(self._signatures),
+        )
+
+    # ------------------------------------------------------------------
+    def feed(self, event: TranscriptEvent) -> None:
+        """Process one transcript event (stream-friendly)."""
+        if event.kind == "pipe":
+            self._feed_pipe(event)
+        elif event.kind == "recv":
+            assert event.char is not None and event.port is not None
+            self._feed_recv(event.port, event.char)
+        # 'send' events carry no additional information the computer needs:
+        # every mapping-relevant fact arrives as a recv or a pipe.
+
+    # ------------------------------------------------------------------
+    def _feed_pipe(self, event: TranscriptEvent) -> None:
+        if event.label == PIPE_START:
+            if self._started:
+                raise TranscriptError("duplicate START pipe")
+            self._started = True
+            root_sig: Signature = ((), ())
+            self._names[root_sig] = ReconstructedMap.ROOT
+            self._signatures[ReconstructedMap.ROOT] = root_sig
+            self._stack = [ReconstructedMap.ROOT]
+        elif event.label == PIPE_DFS_RETURNED:
+            self._pop(expect_top_after=ReconstructedMap.ROOT)
+        elif event.label == PIPE_TERMINAL:
+            if self._stack != [ReconstructedMap.ROOT]:
+                raise ReconstructionError(
+                    f"TERMINAL with non-root stack {self._stack}"
+                )
+            self._terminal = True
+
+    def _feed_recv(self, port: int, char: Char) -> None:
+        kind = char.kind
+        if kind == "DFS":
+            # Deviation D2: a DFS character entering the root *is* the
+            # FORWARD record for a wire onto the root.
+            self._draw_edge(char.out_port, self._fill(char.in_port, port),
+                            ReconstructedMap.ROOT)
+            self._stack.append(ReconstructedMap.ROOT)
+            return
+        if kind.startswith("IG"):
+            self._feed_ig(port, char)
+            return
+        if kind.startswith("ID"):
+            self._feed_id(port, char)
+            return
+        if kind == "FWD":
+            node = self._intern_current_signature()
+            self._draw_edge(char.out_port, char.in_port, node)
+            self._stack.append(node)
+            return
+        if kind == "BACK":
+            runner = self._intern_current_signature()
+            self._pop(expect_top_after=runner)
+            return
+        if kind == "UNMARK" and char.payload == SCOPE_RCA:
+            # Root reopens to IG snakes; the RCA this mirror tracked is over.
+            self._phase = _OPEN
+            self._ig_port = None
+            return
+        # All other characters (OG echoes, BG/BD, KILL, BDONE, BCA UNMARK)
+        # carry nothing the mapping strategy needs.
+
+    # ------------------------------------------------------------------
+    # mirroring the root's stream conversions
+    # ------------------------------------------------------------------
+    def _feed_ig(self, port: int, char: Char) -> None:
+        role = char.kind[2]
+        if self._phase == _OPEN:
+            if role == "H":
+                self._phase = _IG
+                self._ig_port = port
+                self._path1 = [(char.out_port, self._fill(char.in_port, port))]
+            return
+        if self._phase == _IG and port == self._ig_port:
+            if role == "B":
+                self._path1.append((char.out_port, self._fill(char.in_port, port)))
+            elif role == "T":
+                self._phase = _AWAIT_ID
+        # IG characters on other ports: the root ignored them; so do we.
+
+    def _feed_id(self, port: int, char: Char) -> None:
+        role = char.kind[2]
+        if self._phase == _AWAIT_ID:
+            if role != "H":
+                raise TranscriptError(f"expected ID head, saw {char}")
+            self._phase = _ID
+            self._path2 = [(char.out_port, self._fill(char.in_port, port))]
+            return
+        if self._phase == _ID:
+            if role == "B":
+                self._path2.append((char.out_port, self._fill(char.in_port, port)))
+            elif role == "T":
+                self._phase = _LOOP
+            return
+        raise TranscriptError(f"ID character {char} outside an RCA")
+
+    # ------------------------------------------------------------------
+    def _intern_current_signature(self) -> int:
+        if self._phase != _LOOP:
+            raise TranscriptError(
+                "loop token observed before both canonical paths completed"
+            )
+        sig: Signature = (tuple(self._path1), tuple(self._path2))
+        if sig not in self._names:
+            name = len(self._names)
+            self._names[sig] = name
+            self._signatures[name] = sig
+        return self._names[sig]
+
+    def _draw_edge(self, out_port: int, in_port: int, dst: int) -> None:
+        if not self._stack:
+            raise ReconstructionError("edge event with empty stack")
+        src = self._stack[-1]
+        key = (src, out_port)
+        if key in self._wire_keys:
+            if self.strict:
+                raise ReconstructionError(
+                    f"out-port {out_port} of node {src} mapped twice"
+                )
+            return
+        self._wire_keys.add(key)
+        self._wires.append(MappedWire(src, out_port, dst, in_port))
+
+    def _pop(self, *, expect_top_after: int | None) -> None:
+        if len(self._stack) <= 1:
+            raise ReconstructionError("BACK with nothing to pop")
+        self._stack.pop()
+        if (
+            self.strict
+            and expect_top_after is not None
+            and self._stack[-1] != expect_top_after
+        ):
+            raise ReconstructionError(
+                f"stack top {self._stack[-1]} does not match the processor "
+                f"{expect_top_after} that reported BACK"
+            )
+
+    @staticmethod
+    def _fill(in_port: int, arrival_port: int) -> int:
+        """Resolve a STAR in-port: the character was created one hop away."""
+        return arrival_port if in_port == STAR else in_port

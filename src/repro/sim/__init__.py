@@ -1,0 +1,54 @@
+"""Synchronous network simulator for finite-state processors.
+
+Implements the paper's computational model (§1.1): a global clock, identical
+processors, unidirectional wires carrying one constant-size character per
+tick per logical stream, and the *speed* mechanism of §2.1 (a speed-1
+construct rests 3 ticks in each processor, a speed-3 construct rests 1).
+
+The simulator is deliberately event-driven about *activity* (quiescent
+regions cost nothing) while remaining tick-exact about *timing*, which the
+protocol's catch-up arguments (Lemma 4.2) depend on.
+"""
+
+from repro.sim.characters import (
+    STAR,
+    Char,
+    alphabet_size,
+    dying_family_of,
+    growing_family_of,
+    is_dying,
+    is_growing,
+    make_body,
+    make_head,
+    make_tail,
+    residence,
+    speed_of,
+)
+from repro.sim.engine import Engine, NodeContext
+from repro.sim.processor import Processor
+from repro.sim.transcript import Transcript, TranscriptEvent
+from repro.sim.metrics import TrafficMetrics
+from repro.sim.audit import state_atom_count, assert_finite_state
+
+__all__ = [
+    "STAR",
+    "Char",
+    "alphabet_size",
+    "speed_of",
+    "residence",
+    "is_growing",
+    "is_dying",
+    "growing_family_of",
+    "dying_family_of",
+    "make_head",
+    "make_body",
+    "make_tail",
+    "Engine",
+    "NodeContext",
+    "Processor",
+    "Transcript",
+    "TranscriptEvent",
+    "TrafficMetrics",
+    "state_atom_count",
+    "assert_finite_state",
+]

@@ -1,0 +1,69 @@
+"""Finite-state audit: verify processor state is O(1) in the network size.
+
+The paper's processors are finite-state automata: their memory must be a
+constant depending only on the degree bound ``delta`` — never on ``N`` or
+``D``.  Our processors are Python objects (deviation D5), so instead of a
+by-construction guarantee we *measure*: :func:`state_atom_count` counts the
+atoms in a processor's :meth:`state_snapshot`, and
+:func:`assert_finite_state` checks it against a bound that is a function of
+``delta`` alone.  Property tests run the audit at every protocol phase on
+networks of very different sizes; the count must not grow with ``N``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.sim.processor import Processor
+
+__all__ = ["state_atom_count", "state_bound", "assert_finite_state"]
+
+
+def _count_atoms(value: Any) -> int:
+    """Number of scalar atoms in a nested snapshot structure."""
+    if isinstance(value, dict):
+        return sum(_count_atoms(v) for v in value.values())
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return sum(_count_atoms(v) for v in value) + 1
+    if isinstance(value, str):
+        # A register holding a phase name is one atom; arbitrarily long
+        # strings would be cheating, so long strings count per character.
+        return 1 if len(value) <= 16 else len(value)
+    return 1
+
+
+def state_atom_count(proc: Processor) -> int:
+    """Atoms in the processor's registers plus its resting characters."""
+    snapshot = proc.state_snapshot()
+    atoms = _count_atoms(snapshot)
+    # Resting characters are part of the processor's memory too.  Each
+    # constant-size character counts as one atom.
+    atoms += sum(1 for _ in proc.outbox_chars())
+    return atoms
+
+
+def state_bound(delta: int) -> int:
+    """An admissible register budget for degree bound ``delta``.
+
+    Generous but N-independent: the GTD automaton keeps per-port marks
+    (O(delta)), a constant number of phase registers and port registers
+    (O(delta**2) for the FORWARD token context), and at most a constant
+    number of resting characters per family per port.
+    """
+    return 40 * delta * delta + 80 * delta + 120
+
+
+def assert_finite_state(proc: Processor, delta: int) -> int:
+    """Raise ``AssertionError`` if the processor outgrew its budget.
+
+    Returns the measured atom count so tests can also compare counts across
+    network sizes directly.
+    """
+    atoms = state_atom_count(proc)
+    bound = state_bound(delta)
+    if atoms > bound:
+        raise AssertionError(
+            f"processor state has {atoms} atoms, exceeding the finite-state "
+            f"budget {bound} for delta={delta}"
+        )
+    return atoms

@@ -1,0 +1,255 @@
+"""The constant character alphabet flowing through the network.
+
+Everything a wire ever carries is a :class:`Char`.  The taxonomy follows the
+paper §2 exactly, plus the BCA-internal characters of deviation D1:
+
+Snake characters (all speed-1), three roles per family:
+    ``IG`` in-growing   — RCA step 1, processor A searches for the root
+    ``OG`` out-growing  — RCA step 2, root re-broadcast reaching back to A
+    ``ID`` in-dying     — RCA step 3, marks the path A -> root
+    ``OD`` out-dying    — RCA step 3, marks the path root -> A
+    ``BG`` BCA-growing  — BCA search for the upstream neighbour
+    ``BD`` BCA-dying    — BCA loop marking + message delivery
+
+Head and body characters carry ``(out_port, in_port)``; a freshly created
+character has ``in_port = STAR`` and the first receiving processor fills in
+the in-port it arrived through (paper §2.3.2).  Tails carry an optional
+constant-size ``payload`` (the BCA message rides on the BD tail).
+
+Tokens:
+    ``DFS``     speed-1, snake-character structure: two port entries
+    ``FWD``     speed-1 loop token FORWARD(o, i) — delta^2 variants
+    ``BACK``    speed-1 loop token
+    ``BDONE``   speed-1 BCA loop token (delivery-complete round)
+    ``KILL``    speed-3, payload = scope ("RCA" or "BCA")
+    ``UNMARK``  speed-3, payload = scope ("RCA" or "BCA")
+
+:func:`alphabet_size` computes the exact size of this input/output set
+``I`` as a function of ``delta`` — the quantity the paper's Lemma 5.2
+transcript-counting argument needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "STAR",
+    "SNAKE_FAMILIES",
+    "GROWING_FAMILIES",
+    "DYING_FAMILIES",
+    "Char",
+    "speed_of",
+    "residence",
+    "is_snake",
+    "is_growing",
+    "is_dying",
+    "snake_family",
+    "snake_role",
+    "growing_family_of",
+    "dying_family_of",
+    "make_head",
+    "make_body",
+    "make_tail",
+    "fill_in_port",
+    "convert",
+    "alphabet_size",
+    "TOKEN_KINDS",
+    "MSG_DFS_RETURN",
+    "SCOPE_RCA",
+    "SCOPE_BCA",
+]
+
+#: Sentinel for an in-port that the next receiver has not yet filled in.
+#: Real ports are 1-based, so 0 is safely out of band.
+STAR = 0
+
+SNAKE_FAMILIES = ("IG", "OG", "ID", "OD", "BG", "BD")
+GROWING_FAMILIES = ("IG", "OG", "BG")
+DYING_FAMILIES = ("ID", "OD", "BD")
+
+_ROLE_HEAD = "H"
+_ROLE_BODY = "B"
+_ROLE_TAIL = "T"
+
+TOKEN_KINDS = ("DFS", "FWD", "BACK", "BDONE", "KILL", "UNMARK")
+
+#: The constant-size messages that may ride on a BD tail (deviation D1).
+MSG_DFS_RETURN = "DFS_RET"
+
+SCOPE_RCA = "RCA"
+SCOPE_BCA = "BCA"
+
+#: speed-3 characters rest 1 tick per processor; everything else is speed-1
+#: and rests 3 (paper §2.1).
+_SPEED3_KINDS = frozenset({"KILL", "UNMARK"})
+
+
+@dataclass(frozen=True, slots=True)
+class Char:
+    """One constant-size character.
+
+    ``kind`` is either a token kind (``DFS``, ``FWD``, ...) or a snake kind:
+    family + role, e.g. ``IGH`` (in-growing head), ``ODT`` (out-dying tail).
+    ``out_port``/``in_port`` are the two port entries of snake-structured
+    characters (0 when unused, ``STAR`` when awaiting fill-in).
+    """
+
+    kind: str
+    out_port: int = 0
+    in_port: int = 0
+    payload: str | None = None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        fields = []
+        if self.out_port or self.in_port:
+            star = "*" if self.in_port == STAR else str(self.in_port)
+            fields.append(f"{self.out_port},{star}")
+        if self.payload is not None:
+            fields.append(self.payload)
+        inner = "(" + "; ".join(fields) + ")" if fields else ""
+        return f"{self.kind}{inner}"
+
+
+# ----------------------------------------------------------------------
+# predicates and accessors
+# ----------------------------------------------------------------------
+def is_snake(char: Char) -> bool:
+    """Whether ``char`` belongs to one of the six snake families."""
+    return len(char.kind) == 3 and char.kind[:2] in SNAKE_FAMILIES
+
+
+def snake_family(char: Char) -> str:
+    """The two-letter family of a snake character (``IG``/``OG``/...)."""
+    return char.kind[:2]
+
+
+def snake_role(char: Char) -> str:
+    """``"H"``, ``"B"`` or ``"T"`` for a snake character."""
+    return char.kind[2]
+
+
+def is_growing(char: Char) -> bool:
+    """Whether ``char`` is a growing-snake character (IG/OG/BG)."""
+    return len(char.kind) == 3 and char.kind[:2] in GROWING_FAMILIES
+
+
+def is_dying(char: Char) -> bool:
+    """Whether ``char`` is a dying-snake character (ID/OD/BD)."""
+    return len(char.kind) == 3 and char.kind[:2] in DYING_FAMILIES
+
+
+def growing_family_of(scope: str) -> tuple[str, ...]:
+    """The growing families a KILL of ``scope`` erases.
+
+    RCA KILL erases both IG and OG characters and markings (step 4);
+    a BCA KILL erases only BG.
+    """
+    return ("IG", "OG") if scope == SCOPE_RCA else ("BG",)
+
+
+def dying_family_of(growing: str) -> str:
+    """The dying family a terminator converts the growing family into.
+
+    IG becomes OG at the root (growing->growing conversion is special-cased
+    in the protocol); OG becomes ID at processor A; ID becomes OD at the
+    root; BG becomes BD at the BCA initiator.  This mapping covers the two
+    growing->dying conversions the machinery needs.
+    """
+    return {"OG": "ID", "BG": "BD"}[growing]
+
+
+def speed_of(char: Char) -> int:
+    """The paper-speed of a character: 3 for KILL/UNMARK, else 1."""
+    return 3 if char.kind in _SPEED3_KINDS else 1
+
+
+def residence(char: Char) -> int:
+    """Ticks a character rests in a processor before moving on (§2.1).
+
+    Speed-1 constructs rest 3 ticks; speed-3 constructs rest 1 tick, so a
+    speed-3 token covers 3 hops in the time a snake covers 1.
+    """
+    return 1 if speed_of(char) == 3 else 3
+
+
+# ----------------------------------------------------------------------
+# constructors
+# ----------------------------------------------------------------------
+def make_head(family: str, out_port: int, in_port: int = STAR) -> Char:
+    """A head character ``<family>H(out_port, in_port)``."""
+    _check_family(family)
+    return Char(kind=family + _ROLE_HEAD, out_port=out_port, in_port=in_port)
+
+
+def make_body(family: str, out_port: int, in_port: int = STAR) -> Char:
+    """A body character ``<family>B(out_port, in_port)``."""
+    _check_family(family)
+    return Char(kind=family + _ROLE_BODY, out_port=out_port, in_port=in_port)
+
+
+def make_tail(family: str, payload: str | None = None) -> Char:
+    """A tail character ``<family>T`` with optional constant-size payload."""
+    _check_family(family)
+    return Char(kind=family + _ROLE_TAIL, payload=payload)
+
+
+def fill_in_port(char: Char, in_port: int) -> Char:
+    """Replace a STAR second entry with the actual arrival in-port.
+
+    Mirrors §2.3.2: "when a processor receives any growing snake character
+    with * as its second parameter, the processor notes the in-port j
+    through which the character arrived and changes the * to j".  Characters
+    whose in-port is already concrete are returned unchanged.
+    """
+    if char.in_port == STAR and (is_snake(char) or char.kind == "DFS"):
+        return replace(char, in_port=in_port)
+    return char
+
+
+def convert(char: Char, family: str) -> Char:
+    """Re-brand a snake character into another family, same role and fields.
+
+    Used by the root (IG->OG, ID->OD), by processor A (OG->ID) and by the
+    BCA initiator (BG->BD).
+    """
+    _check_family(family)
+    if not is_snake(char):
+        raise ValueError(f"cannot convert non-snake character {char}")
+    return replace(char, kind=family + snake_role(char))
+
+
+def _check_family(family: str) -> None:
+    if family not in SNAKE_FAMILIES:
+        raise ValueError(f"unknown snake family {family!r}")
+
+
+# ----------------------------------------------------------------------
+# alphabet counting (Lemma 5.2 input)
+# ----------------------------------------------------------------------
+def alphabet_size(delta: int) -> int:
+    """Exact size of the processor I/O set ``I`` for degree bound ``delta``.
+
+    Per snake family (paper §2.3): ``delta**2 + delta`` head characters
+    (out-port in ``1..delta``, second entry in ``{*} U 1..delta``), the same
+    number of body characters, and one tail — ``2*(delta**2 + delta) + 1``.
+    The BD tail additionally exists in one payload variant per BCA message.
+
+    Tokens: DFS has the snake-character structure (``delta**2 + delta``
+    variants), FORWARD has ``delta**2`` (paper §3.1), BACK/BDONE one each,
+    KILL and UNMARK one per scope.  Plus the blank character the paper
+    counts as part of the I/O set.
+    """
+    if delta < 2:
+        raise ValueError(f"delta must be >= 2, got {delta}")
+    per_family = 2 * (delta**2 + delta) + 1
+    snakes = per_family * len(SNAKE_FAMILIES)
+    bd_payload_variants = 1  # MSG_DFS_RETURN rides on an extra BD tail char
+    dfs = delta**2 + delta
+    fwd = delta**2
+    back = 1
+    bdone = 1
+    kill = 2
+    unmark = 2
+    blank = 1
+    return snakes + bd_payload_variants + dfs + fwd + back + bdone + kill + unmark + blank

@@ -1,0 +1,262 @@
+"""The synchronous engine: global clock, wires, deterministic delivery.
+
+Per tick the engine:
+
+1. delivers every character scheduled to arrive now, invoking each
+   receiving processor's handlers in a fixed priority order (KILL/UNMARK
+   first, then dying snakes, then growing snakes, then tokens; ties by
+   in-port then FIFO) — the deterministic refinement of the paper's
+   "read inputs, process state change, broadcast outputs";
+2. drains due outbox entries onto wires (arrival next tick);
+3. records the root's I/O into the :class:`~repro.sim.transcript.Transcript`.
+
+Only *active* processors (those receiving characters or holding a non-empty
+outbox) cost any work, so an `O(N*D)`-tick protocol whose activity is
+localized simulates in time proportional to total character-hops, not
+``ticks * N``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable, Iterable
+
+from repro.errors import SimulationError, TickBudgetExceeded
+from repro.sim.characters import Char, is_dying, is_growing
+from repro.sim.metrics import TrafficMetrics
+from repro.sim.processor import Processor
+from repro.sim.transcript import Transcript
+from repro.topology.portgraph import PortGraph
+
+__all__ = ["NodeContext", "Engine"]
+
+
+class NodeContext:
+    """Immutable wiring knowledge handed to a processor at attach time.
+
+    Models in-port and out-port *awareness* (paper §1.2.1): the processor
+    knows which of its ports carry wires, and whether it is the root —
+    nothing else about the network.
+    """
+
+    __slots__ = ("node", "is_root", "in_ports", "out_ports", "_pipe")
+
+    def __init__(
+        self,
+        node: int,
+        is_root: bool,
+        in_ports: tuple[int, ...],
+        out_ports: tuple[int, ...],
+        pipe: Callable[[str, tuple], None],
+    ) -> None:
+        self.node = node
+        self.is_root = is_root
+        self.in_ports = in_ports
+        self.out_ports = out_ports
+        self._pipe = pipe
+
+    def pipe(self, label: str, *data: Any) -> None:
+        """Pipe a constant-size status record to the master computer.
+
+        Only meaningful at the root (the paper's root streams its
+        computational transcript to its master computer); pipes from
+        non-root processors are discarded.
+        """
+        self._pipe(label, tuple(data))
+
+
+def _priority(char: Char) -> int:
+    """In-tick handling priority; lower handles first.
+
+    KILL/UNMARK must be seen before growing characters arriving the same
+    tick so the speed-3 catch-up argument (Lemma 4.2) is exact.  Dying
+    characters outrank growing ones so loop marking is never raced by the
+    flood it is about to clean up.
+    """
+    if char.kind in ("KILL", "UNMARK"):
+        return 0
+    if is_dying(char):
+        return 1
+    if is_growing(char):
+        return 2
+    return 3  # DFS / FWD / BACK / BDONE
+
+
+class Engine:
+    """Simulate ``processors`` on ``graph`` with a shared global clock.
+
+    Args:
+        graph: the (frozen) network wiring.
+        processors: one :class:`Processor` per node.
+        root: the processor nudged out of quiescence by the outside source.
+        record_transcript: whether to record the root's I/O (cheap; on by
+            default because the master computer needs it).
+    """
+
+    def __init__(
+        self,
+        graph: PortGraph,
+        processors: list[Processor],
+        root: int = 0,
+        *,
+        record_transcript: bool = True,
+    ) -> None:
+        if not graph.frozen:
+            raise SimulationError("engine requires a frozen PortGraph")
+        if len(processors) != graph.num_nodes:
+            raise SimulationError(
+                f"need {graph.num_nodes} processors, got {len(processors)}"
+            )
+        if not 0 <= root < graph.num_nodes:
+            raise SimulationError(f"root {root} out of range")
+        self.graph = graph
+        self.processors = processors
+        self.root = root
+        self.tick = 0
+        self.transcript = Transcript(enabled=record_transcript)
+        self.metrics = TrafficMetrics()
+        #: optional omniscient tracer (see :mod:`repro.sim.tracer`)
+        self.tracer = None
+        # pending[t] -> node -> list of (in_port, char, seq) arriving at t
+        self._pending: dict[int, dict[int, list[tuple[int, Char, int]]]] = defaultdict(
+            lambda: defaultdict(list)
+        )
+        self._arrival_seq = 0
+        self._live: set[int] = set()  # nodes with a non-empty outbox
+        for node, proc in enumerate(processors):
+            proc.attach(
+                NodeContext(
+                    node=node,
+                    is_root=(node == root),
+                    in_ports=graph.connected_in_ports(node),
+                    out_ports=graph.connected_out_ports(node),
+                    pipe=(self._root_pipe if node == root else _discard_pipe),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    def _root_pipe(self, label: str, data: tuple) -> None:
+        self.transcript.record_pipe(self.tick, label, data)
+
+    def start(self) -> None:
+        """Deliver the outside source's nudge to the root (tick 0)."""
+        root_proc = self.processors[self.root]
+        root_proc.begin_tick(self.tick)
+        root_proc.on_start()
+        self._drain_node(self.root)
+
+    def wake(self, node: int) -> None:
+        """Register externally-triggered activity at ``node``.
+
+        Harness hook used by the scripted single-RCA/BCA drivers: after
+        calling a method on a processor directly (outside character
+        delivery), the engine must know its outbox may be non-empty.
+        Characters already due leave immediately, exactly as they would
+        have had the trigger been a delivered character.
+        """
+        self._drain_node(node)
+
+    def _drain_node(self, node: int) -> None:
+        proc = self.processors[node]
+        for entry in proc.drain_due(self.tick):
+            self._put_on_wire(node, entry.out_port, entry.char)
+        if proc.has_pending_output():
+            self._live.add(node)
+        else:
+            self._live.discard(node)
+
+    def step_tick(self) -> None:
+        """Advance the global clock by one tick."""
+        self.tick += 1
+        arrivals = self._pending.pop(self.tick, None)
+
+        touched: set[int] = set()
+        if arrivals:
+            for node, items in arrivals.items():
+                proc = self.processors[node]
+                proc.begin_tick(self.tick)
+                touched.add(node)
+                items.sort(key=lambda it: (_priority(it[1]), it[0], it[2]))
+                for in_port, char, _ in items:
+                    if node == self.root:
+                        self.transcript.record_recv(self.tick, in_port, char)
+                    self.metrics.count_delivery(char)
+                    if self.tracer is not None:
+                        self.tracer.record_delivery(self.tick, node, in_port, char)
+                    proc.handle(in_port, char)
+
+        # Drain outboxes of every node that might have a due entry.
+        for node in list(self._live | touched):
+            self._drain_node(node)
+
+    def _put_on_wire(self, node: int, out_port: int, char: Char) -> None:
+        wire = self.graph.out_wire(node, out_port)
+        if wire is None:
+            raise SimulationError(
+                f"node {node} emitted {char} through unconnected out-port {out_port}"
+            )
+        if node == self.root:
+            self.transcript.record_send(self.tick, out_port, char)
+        self.metrics.count_emission(char)
+        if self.tracer is not None:
+            self.tracer.record_emission(self.tick, node, out_port, char)
+        self._pending[self.tick + 1][wire.dst].append(
+            (wire.in_port, char, self._arrival_seq)
+        )
+        self._arrival_seq += 1
+
+    # ------------------------------------------------------------------
+    def is_idle(self) -> bool:
+        """No characters anywhere: resting, on wires, or scheduled."""
+        return not self._live and not self._pending
+
+    def run(
+        self,
+        *,
+        max_ticks: int,
+        until: Callable[[], bool] | None = None,
+        start: bool = True,
+    ) -> int:
+        """Run until ``until()`` is true or the network goes idle.
+
+        Returns the tick at which the condition first held.  Raises
+        :class:`TickBudgetExceeded` if ``max_ticks`` elapse first — the
+        liveness watchdog every test and benchmark runs under.
+        """
+        if start:
+            self.start()
+        while self.tick < max_ticks:
+            if until is not None and until():
+                return self.tick
+            if until is None and self.is_idle() and self.tick > 0:
+                return self.tick
+            self.step_tick()
+        if until is not None and until():
+            return self.tick
+        raise TickBudgetExceeded(max_ticks)
+
+    def run_to_idle(self, *, max_ticks: int) -> int:
+        """Run until no character remains anywhere (cleanup drain)."""
+        while self.tick < max_ticks:
+            if self.is_idle():
+                return self.tick
+            self.step_tick()
+        raise TickBudgetExceeded(max_ticks)
+
+    # ------------------------------------------------------------------
+    def in_flight_chars(self) -> Iterable[tuple[int, Char]]:
+        """All characters on wires or resting, as ``(destination/holder, char)``.
+
+        Used by the Lemma 4.2 cleanup invariant checks.
+        """
+        for _, per_node in self._pending.items():
+            for node, items in per_node.items():
+                for _, char, _ in items:
+                    yield node, char
+        for node in self._live:
+            for char in self.processors[node].outbox_chars():
+                yield node, char
+
+
+def _discard_pipe(label: str, data: tuple) -> None:
+    """Pipes from non-root processors go nowhere (they have no computer)."""

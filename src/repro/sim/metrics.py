@@ -1,0 +1,51 @@
+"""Traffic accounting: characters delivered and emitted, by kind.
+
+The E9 benchmark profiles which character families dominate the protocol's
+traffic; tests use the counters to confirm e.g. that a single RCA moves
+``O(N * D)`` characters.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.sim.characters import Char, is_snake, snake_family
+
+__all__ = ["TrafficMetrics"]
+
+
+class TrafficMetrics:
+    """Counts of wire deliveries and processor emissions per character kind."""
+
+    def __init__(self) -> None:
+        self.delivered: Counter[str] = Counter()
+        self.emitted: Counter[str] = Counter()
+
+    def count_delivery(self, char: Char) -> None:
+        """Account one character handed to a processor."""
+        self.delivered[char.kind] += 1
+
+    def count_emission(self, char: Char) -> None:
+        """Account one character put on a wire."""
+        self.emitted[char.kind] += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def total_delivered(self) -> int:
+        """Total character-hops completed."""
+        return sum(self.delivered.values())
+
+    def by_family(self) -> dict[str, int]:
+        """Deliveries aggregated by snake family / token kind."""
+        out: dict[str, int] = {}
+        for kind, count in self.delivered.items():
+            key = snake_family(Char(kind)) if len(kind) == 3 and is_snake(Char(kind)) else kind
+            out[key] = out.get(key, 0) + count
+        return out
+
+    def snapshot(self) -> dict[str, int]:
+        """A plain-dict copy of the delivery counters (for diffing)."""
+        return dict(self.delivered)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TrafficMetrics(total={self.total_delivered})"

@@ -1,0 +1,148 @@
+"""Processor base class: residence queues and the step contract.
+
+A processor is a finite-state automaton.  Within one global clock tick it
+(1) reads the characters arriving on its in-ports, (2) updates its state,
+(3) prepares outputs (paper §1.1).  The *speed* mechanism of §2.1 is
+implemented with an **outbox**: handling a character queues its onward copy
+``residence - 1`` ticks in the future; the engine then puts it on the wire
+for one tick.  A character arriving at tick ``t`` therefore reaches the next
+processor at ``t + 3`` (speed-1) or ``t + 1`` (speed-3).
+
+Crucially the outbox models the character *resting inside the processor*:
+a KILL token arriving mid-residence can purge queued growing-snake
+characters (:meth:`purge_outbox`), which is exactly how the paper's KILL
+token "completely eradicates all traces of growing snake characters".
+
+Subclasses implement :meth:`handle` (one character) and may override
+:meth:`on_start` (the root's nudge out of quiescence).  They must also
+implement :meth:`state_snapshot` so the finite-state audit
+(:mod:`repro.sim.audit`) can verify that live state is bounded by a function
+of ``delta`` alone.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+from repro.sim.characters import Char, residence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import NodeContext
+
+__all__ = ["Processor", "OutboxEntry"]
+
+
+class OutboxEntry:
+    """A character resting in the processor, due to leave at ``due_tick``."""
+
+    __slots__ = ("due_tick", "out_port", "char", "seq")
+
+    def __init__(self, due_tick: int, out_port: int, char: Char, seq: int) -> None:
+        self.due_tick = due_tick
+        self.out_port = out_port
+        self.char = char
+        self.seq = seq
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"OutboxEntry(due={self.due_tick}, port={self.out_port}, char={self.char})"
+
+
+class Processor(ABC):
+    """Base class for all processors attached to an :class:`Engine`."""
+
+    def __init__(self) -> None:
+        self.ctx: "NodeContext | None" = None
+        self._outbox: list[OutboxEntry] = []
+        self._seq = 0
+        self._tick = 0
+
+    # ------------------------------------------------------------------
+    # engine plumbing
+    # ------------------------------------------------------------------
+    def attach(self, ctx: "NodeContext") -> None:
+        """Called once by the engine before the simulation starts."""
+        self.ctx = ctx
+
+    def begin_tick(self, tick: int) -> None:
+        """Engine hook: set the current tick before handlers run."""
+        self._tick = tick
+
+    def drain_due(self, tick: int) -> list[OutboxEntry]:
+        """Remove and return outbox entries due at or before ``tick``."""
+        due = [e for e in self._outbox if e.due_tick <= tick]
+        if due:
+            self._outbox = [e for e in self._outbox if e.due_tick > tick]
+            due.sort(key=lambda e: (e.due_tick, e.seq))
+        return due
+
+    def has_pending_output(self) -> bool:
+        """Whether any character is resting in this processor."""
+        return bool(self._outbox)
+
+    def next_due_tick(self) -> int | None:
+        """Earliest outbox due tick, or ``None`` when the outbox is empty."""
+        if not self._outbox:
+            return None
+        return min(e.due_tick for e in self._outbox)
+
+    # ------------------------------------------------------------------
+    # API for subclasses
+    # ------------------------------------------------------------------
+    def send(self, out_port: int, char: Char, *, extra_delay: int = 0) -> None:
+        """Queue ``char`` to leave through ``out_port``.
+
+        The character departs after its residence (minus the one tick the
+        wire takes), so the neighbour receives it ``residence(char) +
+        extra_delay`` ticks after now.  ``extra_delay`` implements "during
+        the *next* time step" phrasing in the paper (e.g. the tail follows
+        the head one tick later).
+        """
+        due = self._tick + residence(char) - 1 + extra_delay
+        self._outbox.append(OutboxEntry(due, out_port, char, self._seq))
+        self._seq += 1
+
+    def broadcast(self, char: Char, *, extra_delay: int = 0) -> None:
+        """Send ``char`` through every connected out-port."""
+        assert self.ctx is not None
+        for port in self.ctx.out_ports:
+            self.send(port, char, extra_delay=extra_delay)
+
+    def purge_outbox(self, predicate: Callable[[Char], bool]) -> int:
+        """Erase resting characters matching ``predicate``; return count.
+
+        This is the KILL token's "eradicate all traces ... characters"
+        action applied to characters currently resting in this processor.
+        """
+        before = len(self._outbox)
+        self._outbox = [e for e in self._outbox if not predicate(e.char)]
+        return before - len(self._outbox)
+
+    def outbox_chars(self) -> Iterable[Char]:
+        """The characters currently resting here (for invariant checks)."""
+        return (e.char for e in self._outbox)
+
+    # ------------------------------------------------------------------
+    # behaviour contract
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        """Nudge out of quiescence by the outside source (root only)."""
+
+    @abstractmethod
+    def handle(self, in_port: int, char: Char) -> None:
+        """Process one character that arrived this tick through ``in_port``."""
+
+    @abstractmethod
+    def state_snapshot(self) -> dict[str, Any]:
+        """A picture of every state register, for the finite-state audit.
+
+        Must include everything the automaton remembers between ticks
+        *except* the outbox (audited separately) and the immutable wiring
+        context.
+        """
+
+    # ------------------------------------------------------------------
+    @property
+    def tick(self) -> int:
+        """The current global clock tick."""
+        return self._tick

@@ -1,0 +1,40 @@
+"""Port-labeled directed multigraphs: the paper's network model.
+
+A network is a set of identical processors, each with in-ports and out-ports
+numbered ``1..delta``; a *wire* connects one processor's out-port to another
+processor's in-port and carries constant-size characters unidirectionally
+(paper §1.1).  :class:`~repro.topology.portgraph.PortGraph` is the immutable
+wiring description consumed by the simulator; generators produce the network
+families used in examples, tests and benchmarks.
+"""
+
+from repro.topology.portgraph import PortGraph, Wire
+from repro.topology.builder import PortGraphBuilder
+from repro.topology.properties import (
+    bfs_distances,
+    diameter,
+    eccentricity,
+    is_strongly_connected,
+)
+from repro.topology.isomorphism import port_isomorphic, rooted_port_map
+from repro.topology.serialize import from_json, to_dot, to_json
+from repro.topology import generators
+from repro.topology.faults import shutdown_out_ports, degrade_bidirectional
+
+__all__ = [
+    "PortGraph",
+    "Wire",
+    "PortGraphBuilder",
+    "bfs_distances",
+    "diameter",
+    "eccentricity",
+    "is_strongly_connected",
+    "port_isomorphic",
+    "rooted_port_map",
+    "to_json",
+    "from_json",
+    "to_dot",
+    "generators",
+    "shutdown_out_ports",
+    "degrade_bidirectional",
+]

@@ -1,0 +1,100 @@
+"""Convenience builder that assigns ports automatically.
+
+Most generators and tests only care about *which* processors are connected;
+the builder picks the lowest free out-port of the source and the lowest free
+in-port of the destination, mirroring how a technician would wire a rack.
+Explicit port control remains available through
+:meth:`PortGraph.add_wire` for tests that need specific port labels.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DegreeBoundError
+from repro.topology.portgraph import PortGraph, Wire
+from repro.util.validation import check_positive
+
+__all__ = ["PortGraphBuilder"]
+
+
+class PortGraphBuilder:
+    """Incrementally build a :class:`PortGraph` with automatic port numbers.
+
+    Args:
+        num_nodes: number of processors.
+        delta: degree bound.  If ``None`` the builder buffers connections and
+            sizes ``delta`` to the maximum degree actually used (minimum 2,
+            the paper's lower limit) when :meth:`build` is called.
+    """
+
+    def __init__(self, num_nodes: int, delta: int | None = None) -> None:
+        check_positive("num_nodes", num_nodes)
+        if delta is not None:
+            check_positive("delta", delta, minimum=2)
+        self._n = num_nodes
+        self._delta = delta
+        self._edges: list[tuple[int, int]] = []
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of processors the built graph will have."""
+        return self._n
+
+    def connect(self, src: int, dst: int) -> "PortGraphBuilder":
+        """Queue a unidirectional wire ``src -> dst`` (auto ports)."""
+        if not 0 <= src < self._n or not 0 <= dst < self._n:
+            raise ValueError(f"node ids must be in [0, {self._n})")
+        self._edges.append((src, dst))
+        return self
+
+    def connect_bidirectional(self, a: int, b: int) -> "PortGraphBuilder":
+        """Queue wires in both directions, simulating a bidirectional link.
+
+        The paper notes a bidirectional link is exactly a pair of opposed
+        unidirectional links.
+        """
+        return self.connect(a, b).connect(b, a)
+
+    def build(self) -> PortGraph:
+        """Materialize the :class:`PortGraph` (frozen, ports assigned).
+
+        Raises:
+            DegreeBoundError: if an explicit ``delta`` is too small for the
+                queued connections.
+        """
+        out_deg = [0] * self._n
+        in_deg = [0] * self._n
+        for src, dst in self._edges:
+            out_deg[src] += 1
+            in_deg[dst] += 1
+        needed = max([2, *out_deg, *in_deg])
+        if self._delta is None:
+            delta = needed
+        else:
+            delta = self._delta
+            if needed > delta:
+                raise DegreeBoundError(
+                    f"connections need degree {needed} but delta={delta}"
+                )
+        graph = PortGraph(self._n, delta)
+        next_out = [1] * self._n
+        next_in = [1] * self._n
+        for src, dst in self._edges:
+            graph.add_wire(src, next_out[src], dst, next_in[dst])
+            next_out[src] += 1
+            next_in[dst] += 1
+        return graph.freeze()
+
+    def queued_edges(self) -> list[tuple[int, int]]:
+        """The (src, dst) pairs queued so far, in insertion order."""
+        return list(self._edges)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PortGraphBuilder(num_nodes={self._n}, delta={self._delta}, "
+            f"edges={len(self._edges)})"
+        )
+
+
+def wire_endpoints(wire: Wire) -> tuple[int, int]:
+    """Return ``(src, dst)`` of a wire (helper for builders and tests)."""
+    return wire.src, wire.dst

@@ -1,0 +1,111 @@
+"""Fault injection: port-shutdown failures.
+
+The paper motivates general directed networks partly as *bidirectional
+networks with in-port or out-port shutdown failures at individual
+processors* (§1.2.2).  These helpers produce such degraded networks: start
+from a healthy (typically bidirectional) graph, kill a random subset of
+wires, and keep the result only if it is still a legal, strongly-connected
+network — exactly the population on which a topology-mapping protocol would
+be deployed after partial failures.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import TopologyError
+from repro.topology.portgraph import PortGraph, Wire
+from repro.topology.properties import is_strongly_connected
+from repro.util.rng import make_rng
+
+__all__ = ["remove_wires", "shutdown_out_ports", "degrade_bidirectional"]
+
+
+def remove_wires(graph: PortGraph, dead: set[Wire]) -> PortGraph:
+    """A copy of ``graph`` without the wires in ``dead`` (same ports kept).
+
+    Raises :class:`TopologyError` if a processor would lose its last in- or
+    out-port (the model requires at least one of each).
+    """
+    survivor = PortGraph(graph.num_nodes, graph.delta)
+    for wire in graph.wires():
+        if wire not in dead:
+            survivor.add_wire(wire.src, wire.out_port, wire.dst, wire.in_port)
+    return survivor.freeze()
+
+
+def shutdown_out_ports(
+    graph: PortGraph,
+    failure_rate: float,
+    *,
+    seed: int | random.Random | None = None,
+    require_strongly_connected: bool = True,
+    max_tries: int = 100,
+) -> PortGraph:
+    """Kill each wire independently with probability ``failure_rate``.
+
+    Retries up to ``max_tries`` fault patterns until the degraded network is
+    still legal (and strongly connected when required); raises
+    :class:`TopologyError` otherwise.  Deterministic per seed.
+    """
+    if not 0.0 <= failure_rate < 1.0:
+        raise ValueError(f"failure_rate must be in [0, 1), got {failure_rate}")
+    rng = make_rng(seed)
+    for _ in range(max_tries):
+        dead = {w for w in graph.wires() if rng.random() < failure_rate}
+        try:
+            degraded = remove_wires(graph, dead)
+        except TopologyError:
+            continue
+        if not require_strongly_connected or is_strongly_connected(degraded):
+            return degraded
+    raise TopologyError(
+        f"no legal degraded network found at failure_rate={failure_rate} "
+        f"after {max_tries} tries"
+    )
+
+
+def degrade_bidirectional(
+    graph: PortGraph,
+    one_way_fraction: float,
+    *,
+    seed: int | random.Random | None = None,
+    max_tries: int = 100,
+) -> PortGraph:
+    """Turn a fraction of bidirectional links into one-way links.
+
+    For each opposed wire pair ``u->v`` / ``v->u``, with probability
+    ``one_way_fraction`` one random direction is shut down.  This is the
+    paper's "bidirectional network with shutdown failures" scenario and the
+    workload of the ``degraded_datacenter`` example.  Retries until strongly
+    connected.
+    """
+    if not 0.0 <= one_way_fraction <= 1.0:
+        raise ValueError(
+            f"one_way_fraction must be in [0, 1], got {one_way_fraction}"
+        )
+    pairs: dict[tuple[int, int], list[Wire]] = {}
+    for wire in graph.wires():
+        pairs.setdefault((min(wire.src, wire.dst), max(wire.src, wire.dst)), []).append(
+            wire
+        )
+    rng = make_rng(seed)
+    for _ in range(max_tries):
+        dead: set[Wire] = set()
+        for key, wires in pairs.items():
+            if len(wires) < 2:
+                continue
+            forward = [w for w in wires if w.src == key[0]]
+            backward = [w for w in wires if w.src == key[1]]
+            if forward and backward and rng.random() < one_way_fraction:
+                dead.add(rng.choice(forward + backward))
+        try:
+            degraded = remove_wires(graph, dead)
+        except TopologyError:
+            continue
+        if is_strongly_connected(degraded):
+            return degraded
+    raise TopologyError(
+        f"no strongly-connected degraded network at "
+        f"one_way_fraction={one_way_fraction} after {max_tries} tries"
+    )

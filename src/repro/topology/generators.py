@@ -1,0 +1,427 @@
+"""Network family generators.
+
+Each generator returns a frozen, strongly-connected
+:class:`~repro.topology.portgraph.PortGraph`.  The families cover:
+
+* the paper's motivating scenarios (§1.2.2): one-way radio networks,
+  degraded bidirectional networks, satellite constellations;
+* classic bounded-degree interconnects used by the HPC community (rings,
+  tori, hypercubes, de Bruijn and Kautz graphs) so scaling experiments can
+  control ``N`` and ``D`` independently;
+* the **Lemma 5.1 family** (``tree_with_loop``): a full binary tree of
+  bidirectional edges with a directed loop through a permutation of the
+  bottom-level leaves — the family whose ``N^{CN}`` count drives the
+  ``Ω(N log N)`` lower bound;
+* random strongly-connected digraphs for property-based testing.
+
+All generators are deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+from repro.errors import TopologyError
+from repro.topology.builder import PortGraphBuilder
+from repro.topology.portgraph import PortGraph
+from repro.topology.properties import is_strongly_connected
+from repro.util.rng import make_rng
+from repro.util.validation import check_positive
+
+__all__ = [
+    "directed_ring",
+    "bidirectional_ring",
+    "bidirectional_line",
+    "de_bruijn",
+    "kautz",
+    "hypercube",
+    "directed_torus",
+    "complete_bidirectional",
+    "random_strongly_connected",
+    "random_regular_digraph",
+    "tree_with_loop",
+    "tree_with_loop_leaf_count",
+    "wrapped_butterfly",
+    "shuffle_exchange",
+    "ring_of_rings",
+    "manhattan_grid",
+    "all_families",
+]
+
+
+def directed_ring(n: int) -> PortGraph:
+    """A unidirectional cycle ``0 -> 1 -> ... -> n-1 -> 0``.
+
+    The smallest strongly-connected directed network; diameter ``n - 1``.
+    This is the worst case for backwards communication: the BCA must route a
+    reply all the way around the ring.
+    """
+    check_positive("n", n)
+    b = PortGraphBuilder(n)
+    for u in range(n):
+        b.connect(u, (u + 1) % n)
+    return b.build()
+
+
+def bidirectional_ring(n: int) -> PortGraph:
+    """A cycle with links in both directions; diameter ``n // 2``."""
+    check_positive("n", n, minimum=2)
+    b = PortGraphBuilder(n)
+    for u in range(n):
+        b.connect_bidirectional(u, (u + 1) % n)
+    return b.build()
+
+
+def bidirectional_line(n: int) -> PortGraph:
+    """A path with links in both directions; diameter ``n - 1``.
+
+    Useful for sweeping ``D`` linearly in ``N`` with tiny degree.
+    """
+    check_positive("n", n, minimum=2)
+    b = PortGraphBuilder(n)
+    for u in range(n - 1):
+        b.connect_bidirectional(u, u + 1)
+    return b.build()
+
+
+def de_bruijn(symbols: int, word_length: int) -> PortGraph:
+    """The de Bruijn digraph ``B(symbols, word_length)``.
+
+    ``symbols ** word_length`` nodes, out-degree = in-degree = ``symbols``,
+    diameter exactly ``word_length`` — the canonical family with
+    ``D = O(log N)`` at constant degree, which is the regime where the
+    paper's protocol is asymptotically optimal (Theorem 5.1).  Contains
+    self-loops (at constant words), exercising the protocol's self-loop
+    handling.
+    """
+    check_positive("symbols", symbols, minimum=2)
+    check_positive("word_length", word_length)
+    n = symbols**word_length
+    b = PortGraphBuilder(n, delta=symbols)
+    for u in range(n):
+        for s in range(symbols):
+            v = (u * symbols + s) % n
+            b.connect(u, v)
+    return b.build()
+
+
+def kautz(symbols: int, word_length: int) -> PortGraph:
+    """The Kautz digraph ``K(symbols, word_length)``.
+
+    ``(symbols + 1) * symbols**word_length`` nodes of degree ``symbols``;
+    like de Bruijn but self-loop-free with slightly better diameter per
+    node count.  Nodes are words ``a_0 a_1 ... a_wl`` over an alphabet of
+    ``symbols + 1`` letters with no two consecutive letters equal; edges
+    shift one letter in.
+    """
+    check_positive("symbols", symbols, minimum=2)
+    check_positive("word_length", word_length)
+    alphabet = range(symbols + 1)
+    words = []
+    for word in itertools.product(alphabet, repeat=word_length + 1):
+        if all(word[i] != word[i + 1] for i in range(word_length)):
+            words.append(word)
+    index = {w: i for i, w in enumerate(words)}
+    b = PortGraphBuilder(len(words), delta=symbols)
+    for word, u in index.items():
+        for letter in alphabet:
+            if letter == word[-1]:
+                continue
+            b.connect(u, index[word[1:] + (letter,)])
+    return b.build()
+
+
+def hypercube(dimension: int) -> PortGraph:
+    """The ``dimension``-cube with bidirectional links.
+
+    ``2**dimension`` nodes of degree ``dimension``; diameter ``dimension``.
+    """
+    check_positive("dimension", dimension)
+    n = 1 << dimension
+    b = PortGraphBuilder(n, delta=max(2, dimension))
+    for u in range(n):
+        for bit in range(dimension):
+            v = u ^ (1 << bit)
+            if u < v:
+                b.connect_bidirectional(u, v)
+    return b.build()
+
+
+def directed_torus(rows: int, cols: int) -> PortGraph:
+    """A unidirectional 2-D torus (wires go right and down only).
+
+    Strongly connected with degree 2 and diameter ``(rows-1) + (cols-1)``
+    (you can only wrap forward).  A common NoC-style substrate that gives a
+    two-parameter handle on ``N = rows * cols`` and ``D``.
+    """
+    check_positive("rows", rows, minimum=2)
+    check_positive("cols", cols, minimum=2)
+
+    def node(r: int, c: int) -> int:
+        return r * cols + c
+
+    b = PortGraphBuilder(rows * cols, delta=2)
+    for r in range(rows):
+        for c in range(cols):
+            b.connect(node(r, c), node(r, (c + 1) % cols))
+            b.connect(node(r, c), node((r + 1) % rows, c))
+    return b.build()
+
+
+def complete_bidirectional(n: int) -> PortGraph:
+    """The complete graph on ``n`` nodes with links both ways (D = 1).
+
+    Degree grows with ``n`` so this family deliberately stresses the
+    ``delta``-dependence of alphabet sizes and port scanning.
+    """
+    check_positive("n", n, minimum=2)
+    b = PortGraphBuilder(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            b.connect_bidirectional(u, v)
+    return b.build()
+
+
+def random_strongly_connected(
+    n: int,
+    *,
+    extra_edges: int = 0,
+    seed: int | random.Random | None = None,
+    allow_self_loops: bool = False,
+) -> PortGraph:
+    """A random strongly-connected digraph.
+
+    Construction: a directed Hamiltonian cycle through a random permutation
+    of the nodes (guaranteeing strong connectivity), plus ``extra_edges``
+    uniformly random additional wires (skipping duplicates of *ports*, which
+    cannot occur by construction, and self-loops unless allowed).  Degree
+    bound adapts to the realized degrees.
+    """
+    check_positive("n", n)
+    if extra_edges < 0:
+        raise ValueError(f"extra_edges must be >= 0, got {extra_edges}")
+    rng = make_rng(seed)
+    b = PortGraphBuilder(n)
+    order = list(range(n))
+    rng.shuffle(order)
+    if n == 1:
+        b.connect(0, 0)  # the minimal legal network: one self-loop
+    else:
+        for i in range(n):
+            b.connect(order[i], order[(i + 1) % n])
+    placed = 0
+    attempts = 0
+    max_attempts = 50 * (extra_edges + 1)
+    while placed < extra_edges and attempts < max_attempts:
+        attempts += 1
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v and not allow_self_loops:
+            continue
+        b.connect(u, v)
+        placed += 1
+    graph = b.build()
+    assert is_strongly_connected(graph)
+    return graph
+
+
+def random_regular_digraph(
+    n: int,
+    degree: int,
+    *,
+    seed: int | random.Random | None = None,
+    max_tries: int = 200,
+) -> PortGraph:
+    """A random digraph where every node has out-degree = in-degree = ``degree``.
+
+    Built as the union of ``degree`` random permutations (each permutation
+    contributes out-degree 1 and in-degree 1 everywhere); resampled until the
+    result is strongly connected.  Parallel edges and self-loops may occur —
+    both are legal in the model.
+
+    Raises :class:`TopologyError` if no strongly-connected sample is found in
+    ``max_tries`` attempts (vanishingly unlikely for ``degree >= 2``).
+    """
+    check_positive("n", n, minimum=2)
+    check_positive("degree", degree, minimum=2)
+    rng = make_rng(seed)
+    for _ in range(max_tries):
+        b = PortGraphBuilder(n, delta=degree)
+        for _ in range(degree):
+            perm = list(range(n))
+            rng.shuffle(perm)
+            for u in range(n):
+                b.connect(u, perm[u])
+        graph = b.build()
+        if is_strongly_connected(graph):
+            return graph
+    raise TopologyError(
+        f"no strongly-connected {degree}-regular digraph on {n} nodes found "
+        f"in {max_tries} tries"
+    )
+
+
+def tree_with_loop_leaf_count(depth: int) -> int:
+    """Number of bottom-level leaves of the Lemma 5.1 tree (``2**depth``)."""
+    check_positive("depth", depth)
+    return 1 << depth
+
+
+def tree_with_loop(
+    depth: int,
+    leaf_order: list[int] | None = None,
+    *,
+    seed: int | random.Random | None = None,
+) -> PortGraph:
+    """A member of the paper's Lemma 5.1 lower-bound family.
+
+    A full binary tree of ``depth`` levels below the root, every tree edge
+    bidirectional, plus a *directed* simple loop visiting all ``2**depth``
+    bottom-level leaves in the order given by ``leaf_order`` (a permutation
+    of ``range(2**depth)``; random under ``seed`` when omitted).
+
+    Every member is strongly connected with degree ``<= 5`` (3 tree port
+    pairs + loop in + loop out) and diameter ``O(depth) = O(log N)``;
+    distinct leaf orders yield (mostly) non-isomorphic topologies, and there
+    are ``(2**depth)!`` orders — the counting heart of Lemma 5.1.
+
+    Node ids follow heap layout: root 0, children of ``u`` are ``2u+1`` and
+    ``2u+2``; leaves occupy the last ``2**depth`` ids.
+    """
+    check_positive("depth", depth)
+    leaves = 1 << depth
+    n = (1 << (depth + 1)) - 1
+    if leaf_order is None:
+        rng = make_rng(seed)
+        leaf_order = list(range(leaves))
+        rng.shuffle(leaf_order)
+    if sorted(leaf_order) != list(range(leaves)):
+        raise TopologyError(
+            f"leaf_order must be a permutation of range({leaves})"
+        )
+    first_leaf = (1 << depth) - 1
+    b = PortGraphBuilder(n, delta=5)
+    for u in range((1 << depth) - 1):  # internal nodes
+        b.connect_bidirectional(u, 2 * u + 1)
+        b.connect_bidirectional(u, 2 * u + 2)
+    for i in range(leaves):
+        src = first_leaf + leaf_order[i]
+        dst = first_leaf + leaf_order[(i + 1) % leaves]
+        b.connect(src, dst)
+    return b.build()
+
+
+def wrapped_butterfly(dimension: int) -> PortGraph:
+    """The directed wrapped butterfly ``WB(dimension)``.
+
+    ``dimension * 2**dimension`` nodes of out-degree 2 (straight and cross
+    wires to the next level, levels wrap); strongly connected with diameter
+    ``O(dimension) = O(log N)`` — another constant-degree, low-diameter
+    family for the Theorem 5.1 optimality regime.  Node ``(level, row)``
+    has id ``level * 2**dimension + row``.
+    """
+    check_positive("dimension", dimension)
+    rows = 1 << dimension
+    b = PortGraphBuilder(dimension * rows, delta=2)
+    for level in range(dimension):
+        nxt = (level + 1) % dimension
+        for row in range(rows):
+            src = level * rows + row
+            b.connect(src, nxt * rows + row)                    # straight
+            b.connect(src, nxt * rows + (row ^ (1 << level)))   # cross
+    return b.build()
+
+
+def shuffle_exchange(dimension: int) -> PortGraph:
+    """The directed shuffle-exchange network on ``2**dimension`` nodes.
+
+    Out-port 1 is the *shuffle* wire (left-rotate the address), out-port 2
+    the *exchange* wire (flip the lowest bit).  Degree 2, diameter
+    ``O(dimension)``; contains the self-loops at all-zeros/all-ones (the
+    shuffle fixes them), exercising self-loop handling at scale.
+    """
+    check_positive("dimension", dimension)
+    n = 1 << dimension
+    b = PortGraphBuilder(n, delta=2)
+    for u in range(n):
+        shuffled = ((u << 1) | (u >> (dimension - 1))) & (n - 1)
+        b.connect(u, shuffled)
+        b.connect(u, u ^ 1)
+    return b.build()
+
+
+def ring_of_rings(outer: int, inner: int) -> PortGraph:
+    """A hierarchical network: a directed ring of ``outer`` gateway nodes,
+    each also the entry point of its own directed ring of ``inner`` nodes.
+
+    Models backbone-plus-site topologies (the site rings are only
+    reachable through their gateway).  ``outer * inner`` nodes, degree
+    ``<= 2``, strongly connected; diameter ``O(outer + inner)``.
+    Gateway of site ``s`` is node ``s * inner``.
+    """
+    check_positive("outer", outer, minimum=2)
+    check_positive("inner", inner, minimum=2)
+    b = PortGraphBuilder(outer * inner, delta=2)
+    for s in range(outer):
+        base = s * inner
+        for k in range(inner):
+            b.connect(base + k, base + (k + 1) % inner)  # site ring
+        next_gateway = ((s + 1) % outer) * inner
+        b.connect(base, next_gateway)                    # backbone hop
+    return b.build()
+
+
+def manhattan_grid(rows: int, cols: int) -> PortGraph:
+    """A Manhattan-street network: a grid of one-way streets.
+
+    Rows alternate east/west, columns alternate north/south (wrapping at
+    the edges), like midtown traffic.  Degree 2; strongly connected for
+    even ``rows`` and ``cols`` (odd dimensions can strand a direction, so
+    they are rejected).  The classic example of a *physically* directed
+    communication network.
+    """
+    check_positive("rows", rows, minimum=2)
+    check_positive("cols", cols, minimum=2)
+    if rows % 2 or cols % 2:
+        raise TopologyError(
+            "manhattan_grid needs even rows and cols to be strongly connected"
+        )
+
+    def node(r: int, c: int) -> int:
+        return r * cols + c
+
+    b = PortGraphBuilder(rows * cols, delta=2)
+    for r in range(rows):
+        for c in range(cols):
+            dc = 1 if r % 2 == 0 else -1       # even rows go east
+            b.connect(node(r, c), node(r, (c + dc) % cols))
+            dr = 1 if c % 2 == 0 else -1       # even cols go south
+            b.connect(node(r, c), node((r + dr) % rows, c))
+    return b.build()
+
+
+def all_families() -> dict[str, "PortGraph"]:
+    """A small instance of every family, keyed by name.
+
+    Handy for smoke tests and the E1 correctness sweep.
+    """
+    return {
+        "directed_ring": directed_ring(7),
+        "bidirectional_ring": bidirectional_ring(8),
+        "bidirectional_line": bidirectional_line(6),
+        "de_bruijn": de_bruijn(2, 3),
+        "kautz": kautz(2, 2),
+        "hypercube": hypercube(3),
+        "directed_torus": directed_torus(3, 4),
+        "complete_bidirectional": complete_bidirectional(5),
+        "random_strongly_connected": random_strongly_connected(
+            10, extra_edges=6, seed=7
+        ),
+        "random_regular_digraph": random_regular_digraph(9, 2, seed=11),
+        "tree_with_loop": tree_with_loop(2, seed=3),
+        "wrapped_butterfly": wrapped_butterfly(2),
+        "shuffle_exchange": shuffle_exchange(3),
+        "ring_of_rings": ring_of_rings(3, 3),
+        "manhattan_grid": manhattan_grid(4, 4),
+    }

@@ -1,0 +1,246 @@
+"""The :class:`PortGraph`: a port-labeled directed multigraph.
+
+This is the paper's network model made concrete:
+
+* processors (nodes) are integers ``0..n-1`` — note the *protocol* never uses
+  these identifiers; they exist only for the simulator and for ground-truth
+  comparison (the paper's processors are anonymous);
+* each processor owns out-ports and in-ports numbered ``1..delta`` (the paper
+  numbers ports from 1 and we follow it so transcripts read like the paper);
+* a :class:`Wire` attaches exactly one out-port to exactly one in-port;
+  a port carries at most one wire;
+* parallel edges between a pair of processors are legal (they use distinct
+  ports) and so are self-loops — both occur in the paper's model ("a pair of
+  processors is allowed to be connected with two communication links").
+
+The class is append-only while building and can be frozen; the simulator and
+all analyses treat it as immutable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, NamedTuple
+
+from repro.errors import (
+    DegreeBoundError,
+    NotStronglyConnectedError,
+    PortInUseError,
+    TopologyError,
+)
+from repro.util.validation import check_positive
+
+__all__ = ["Wire", "PortGraph"]
+
+
+class Wire(NamedTuple):
+    """One unidirectional communication link.
+
+    ``src`` sends through its ``out_port``; ``dst`` receives through its
+    ``in_port``.  Ports are 1-based, matching the paper's notation
+    ``FORWARD token (4, 1)`` for "out of out-port 4, into in-port 1".
+    """
+
+    src: int
+    out_port: int
+    dst: int
+    in_port: int
+
+
+class PortGraph:
+    """A directed network of ``n`` processors with degree bound ``delta``.
+
+    Args:
+        num_nodes: number of processors ``N >= 1``.
+        delta: uniform bound on the number of in-ports and out-ports per
+            processor.  The paper requires ``delta >= 2``.
+
+    The graph starts with no wires; use :meth:`add_wire` (or the friendlier
+    :class:`~repro.topology.builder.PortGraphBuilder`) and then
+    :meth:`freeze`.
+    """
+
+    def __init__(self, num_nodes: int, delta: int) -> None:
+        check_positive("num_nodes", num_nodes)
+        check_positive("delta", delta, minimum=2)
+        self._n = num_nodes
+        self._delta = delta
+        # _out[u][p] / _in[u][p] -> Wire for 1-based port p (index 0 unused).
+        self._out: list[list[Wire | None]] = [
+            [None] * (delta + 1) for _ in range(num_nodes)
+        ]
+        self._in: list[list[Wire | None]] = [
+            [None] * (delta + 1) for _ in range(num_nodes)
+        ]
+        self._wires: list[Wire] = []
+        self._frozen = False
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_wire(self, src: int, out_port: int, dst: int, in_port: int) -> Wire:
+        """Attach a wire from ``(src, out_port)`` to ``(dst, in_port)``.
+
+        Raises:
+            TopologyError: if the graph is frozen or a node id is invalid.
+            DegreeBoundError: if a port number exceeds ``delta``.
+            PortInUseError: if either endpoint port already has a wire.
+        """
+        if self._frozen:
+            raise TopologyError("cannot add wires to a frozen PortGraph")
+        self._check_node(src)
+        self._check_node(dst)
+        self._check_port(out_port)
+        self._check_port(in_port)
+        if self._out[src][out_port] is not None:
+            raise PortInUseError(f"out-port {out_port} of node {src} already wired")
+        if self._in[dst][in_port] is not None:
+            raise PortInUseError(f"in-port {in_port} of node {dst} already wired")
+        wire = Wire(src, out_port, dst, in_port)
+        self._out[src][out_port] = wire
+        self._in[dst][in_port] = wire
+        self._wires.append(wire)
+        return wire
+
+    def freeze(self) -> "PortGraph":
+        """Mark the graph immutable and validate basic model constraints.
+
+        Every processor must have at least one connected in-port and one
+        connected out-port (paper §1.1).  Returns ``self`` for chaining.
+        """
+        for u in range(self._n):
+            if not self.connected_out_ports(u):
+                raise TopologyError(f"node {u} has no connected out-port")
+            if not self.connected_in_ports(u):
+                raise TopologyError(f"node {u} has no connected in-port")
+        self._frozen = True
+        return self
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of processors ``N``."""
+        return self._n
+
+    @property
+    def delta(self) -> int:
+        """The degree bound ``delta`` (max in-ports = max out-ports)."""
+        return self._delta
+
+    @property
+    def num_wires(self) -> int:
+        """Number of wires (directed edges)."""
+        return len(self._wires)
+
+    @property
+    def frozen(self) -> bool:
+        """Whether :meth:`freeze` has been called."""
+        return self._frozen
+
+    def nodes(self) -> range:
+        """Iterate over processor ids."""
+        return range(self._n)
+
+    def wires(self) -> Iterator[Wire]:
+        """Iterate over all wires in insertion order."""
+        return iter(self._wires)
+
+    def out_wire(self, node: int, port: int) -> Wire | None:
+        """The wire attached to ``(node, out-port)``, or ``None``."""
+        self._check_node(node)
+        self._check_port(port)
+        return self._out[node][port]
+
+    def in_wire(self, node: int, port: int) -> Wire | None:
+        """The wire attached to ``(node, in-port)``, or ``None``."""
+        self._check_node(node)
+        self._check_port(port)
+        return self._in[node][port]
+
+    def connected_out_ports(self, node: int) -> tuple[int, ...]:
+        """Sorted tuple of out-port numbers of ``node`` that carry a wire."""
+        self._check_node(node)
+        return tuple(p for p in range(1, self._delta + 1) if self._out[node][p])
+
+    def connected_in_ports(self, node: int) -> tuple[int, ...]:
+        """Sorted tuple of in-port numbers of ``node`` that carry a wire."""
+        self._check_node(node)
+        return tuple(p for p in range(1, self._delta + 1) if self._in[node][p])
+
+    def successors(self, node: int) -> list[Wire]:
+        """Wires leaving ``node``, ordered by out-port number."""
+        self._check_node(node)
+        return [w for w in self._out[node][1:] if w is not None]
+
+    def predecessors(self, node: int) -> list[Wire]:
+        """Wires entering ``node``, ordered by in-port number."""
+        self._check_node(node)
+        return [w for w in self._in[node][1:] if w is not None]
+
+    def edge_set(self) -> frozenset[Wire]:
+        """The set of wires, for equality comparisons between graphs."""
+        return frozenset(self._wires)
+
+    def out_degree(self, node: int) -> int:
+        """Number of connected out-ports of ``node``."""
+        return len(self.connected_out_ports(node))
+
+    def in_degree(self, node: int) -> int:
+        """Number of connected in-ports of ``node``."""
+        return len(self.connected_in_ports(node))
+
+    # ------------------------------------------------------------------
+    # dunder / misc
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PortGraph(num_nodes={self._n}, delta={self._delta}, "
+            f"num_wires={len(self._wires)}, frozen={self._frozen})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: same size, bound and exact wire set.
+
+        This is *labeled* equality (node ids matter).  For the anonymous
+        equivalence the protocol recovers, use
+        :func:`repro.topology.isomorphism.port_isomorphic`.
+        """
+        if not isinstance(other, PortGraph):
+            return NotImplemented
+        return (
+            self._n == other._n
+            and self._delta == other._delta
+            and self.edge_set() == other.edge_set()
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._n, self._delta, self.edge_set()))
+
+    def require_strongly_connected(self) -> "PortGraph":
+        """Raise :class:`NotStronglyConnectedError` unless strongly connected."""
+        from repro.topology.properties import is_strongly_connected
+
+        if not is_strongly_connected(self):
+            raise NotStronglyConnectedError(
+                "the Global Topology Determination protocol requires a "
+                "strongly-connected network"
+            )
+        return self
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _check_node(self, node: int) -> None:
+        if not isinstance(node, int) or isinstance(node, bool):
+            raise TopologyError(f"node id must be int, got {type(node).__name__}")
+        if not 0 <= node < self._n:
+            raise TopologyError(f"node id {node} out of range [0, {self._n})")
+
+    def _check_port(self, port: int) -> None:
+        if not isinstance(port, int) or isinstance(port, bool):
+            raise TopologyError(f"port must be int, got {type(port).__name__}")
+        if not 1 <= port <= self._delta:
+            raise DegreeBoundError(
+                f"port {port} outside [1, {self._delta}] (degree bound delta)"
+            )

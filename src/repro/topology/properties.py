@@ -1,0 +1,128 @@
+"""Graph-theoretic properties of :class:`~repro.topology.portgraph.PortGraph`.
+
+These are our own implementations (plain BFS) because the simulator must not
+depend on networkx; the test suite cross-checks them against networkx.
+
+``D`` in the paper is the *directed* diameter: the maximum over ordered pairs
+``(u, v)`` of the shortest directed path length from ``u`` to ``v``.  For a
+strongly-connected graph this is finite.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import NotStronglyConnectedError
+from repro.topology.portgraph import PortGraph
+
+__all__ = [
+    "bfs_distances",
+    "is_strongly_connected",
+    "eccentricity",
+    "diameter",
+    "shortest_path_ports",
+]
+
+
+def bfs_distances(graph: PortGraph, source: int) -> list[int]:
+    """Hop distances from ``source`` to every node (``-1`` if unreachable)."""
+    dist = [-1] * graph.num_nodes
+    dist[source] = 0
+    queue: deque[int] = deque([source])
+    while queue:
+        u = queue.popleft()
+        for wire in graph.successors(u):
+            if dist[wire.dst] < 0:
+                dist[wire.dst] = dist[u] + 1
+                queue.append(wire.dst)
+    return dist
+
+
+def is_strongly_connected(graph: PortGraph) -> bool:
+    """Whether every node reaches every other node along directed wires.
+
+    Checked as: all nodes reachable from node 0, and node 0 reachable from
+    all nodes (BFS on the reversed graph).
+    """
+    if graph.num_nodes == 1:
+        return True
+    if any(d < 0 for d in bfs_distances(graph, 0)):
+        return False
+    # reverse reachability to node 0
+    rev: list[list[int]] = [[] for _ in range(graph.num_nodes)]
+    for wire in graph.wires():
+        rev[wire.dst].append(wire.src)
+    seen = [False] * graph.num_nodes
+    seen[0] = True
+    queue: deque[int] = deque([0])
+    count = 1
+    while queue:
+        u = queue.popleft()
+        for v in rev[u]:
+            if not seen[v]:
+                seen[v] = True
+                count += 1
+                queue.append(v)
+    return count == graph.num_nodes
+
+
+def eccentricity(graph: PortGraph, source: int) -> int:
+    """Longest shortest-path distance from ``source``.
+
+    Raises :class:`NotStronglyConnectedError` if some node is unreachable.
+    """
+    dist = bfs_distances(graph, source)
+    if min(dist) < 0:
+        raise NotStronglyConnectedError(
+            f"node {dist.index(-1)} unreachable from {source}"
+        )
+    return max(dist)
+
+
+def diameter(graph: PortGraph) -> int:
+    """The directed diameter ``D`` (max eccentricity over all sources)."""
+    return max(eccentricity(graph, u) for u in graph.nodes())
+
+
+def shortest_path_ports(
+    graph: PortGraph, source: int, target: int
+) -> list[tuple[int, int]] | None:
+    """One BFS shortest path from ``source`` to ``target`` as (out, in) hops.
+
+    The hop list has the same form as the canonical paths carried by snakes:
+    element ``k`` is ``(out-port used at the k-th node, in-port entered at
+    the (k+1)-th node)``.  Ties are broken toward *lower out-port numbers*,
+    which matches the deterministic flood order of the protocol (a snake is
+    broadcast through every out-port simultaneously; the tie that matters,
+    simultaneous head arrival, is broken by lowest in-port at the receiver —
+    this helper is only used for diagnostics and tests, not by the protocol).
+
+    Returns ``None`` when ``target`` is unreachable; the empty list when
+    ``source == target``.
+    """
+    if source == target:
+        return []
+    prev: dict[int, tuple[int, int, int]] = {}  # node -> (pred, out, in)
+    dist = [-1] * graph.num_nodes
+    dist[source] = 0
+    queue: deque[int] = deque([source])
+    while queue:
+        u = queue.popleft()
+        for wire in graph.successors(u):
+            if dist[wire.dst] < 0:
+                dist[wire.dst] = dist[u] + 1
+                prev[wire.dst] = (u, wire.out_port, wire.in_port)
+                if wire.dst == target:
+                    queue.clear()
+                    break
+                queue.append(wire.dst)
+    if dist[target] < 0:
+        return None
+    hops: list[tuple[int, int]] = []
+    node = target
+    while node != source:
+        pred, out_port, in_port = prev[node]
+        hops.append((out_port, in_port))
+        node = pred
+    hops.reverse()
+    return hops

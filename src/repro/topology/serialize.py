@@ -1,0 +1,62 @@
+"""Serialization of port graphs: JSON round-trip and Graphviz DOT export."""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import TopologyError
+from repro.topology.portgraph import PortGraph
+
+__all__ = ["to_json", "from_json", "to_dot"]
+
+_FORMAT = "repro.portgraph/v1"
+
+
+def to_json(graph: PortGraph, *, indent: int | None = None) -> str:
+    """Serialize ``graph`` to a JSON string (stable wire order)."""
+    doc: dict[str, Any] = {
+        "format": _FORMAT,
+        "num_nodes": graph.num_nodes,
+        "delta": graph.delta,
+        "wires": [
+            {"src": w.src, "out_port": w.out_port, "dst": w.dst, "in_port": w.in_port}
+            for w in graph.wires()
+        ],
+    }
+    return json.dumps(doc, indent=indent)
+
+
+def from_json(text: str) -> PortGraph:
+    """Parse a graph serialized by :func:`to_json` (returns it frozen)."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise TopologyError(f"invalid JSON: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("format") != _FORMAT:
+        raise TopologyError(f"not a {_FORMAT} document")
+    try:
+        graph = PortGraph(int(doc["num_nodes"]), int(doc["delta"]))
+        for w in doc["wires"]:
+            graph.add_wire(
+                int(w["src"]), int(w["out_port"]), int(w["dst"]), int(w["in_port"])
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TopologyError(f"malformed portgraph document: {exc}") from exc
+    return graph.freeze()
+
+
+def to_dot(graph: PortGraph, *, name: str = "network", root: int | None = None) -> str:
+    """Render ``graph`` as Graphviz DOT with port labels on edges.
+
+    Edge label ``o:i`` means "out of out-port o, into in-port i", the paper's
+    FORWARD-token convention.  The optional ``root`` is drawn doubled.
+    """
+    lines = [f"digraph {name} {{", "  rankdir=LR;"]
+    for u in graph.nodes():
+        shape = "doublecircle" if u == root else "circle"
+        lines.append(f'  n{u} [label="{u}", shape={shape}];')
+    for w in graph.wires():
+        lines.append(f'  n{w.src} -> n{w.dst} [label="{w.out_port}:{w.in_port}"];')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,18 @@
+"""Small shared helpers: deterministic RNG, validation, fitting, tables."""
+
+from repro.util.rng import make_rng, spawn_seeds
+from repro.util.validation import check_index, check_positive, check_type
+from repro.util.tables import format_table
+from repro.util.fitting import linear_fit, power_fit, FitResult
+
+__all__ = [
+    "make_rng",
+    "spawn_seeds",
+    "check_index",
+    "check_positive",
+    "check_type",
+    "format_table",
+    "linear_fit",
+    "power_fit",
+    "FitResult",
+]

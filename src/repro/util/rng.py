@@ -1,0 +1,38 @@
+"""Seeded randomness helpers.
+
+Every stochastic routine in the library takes either an integer seed or a
+:class:`random.Random` instance.  Centralizing construction here keeps
+experiments reproducible: the same seed always yields the same network, the
+same fault pattern and therefore the same protocol run (the protocol itself
+is fully deterministic).
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["make_rng", "spawn_seeds"]
+
+
+def make_rng(seed: int | random.Random | None) -> random.Random:
+    """Return a :class:`random.Random` for ``seed``.
+
+    ``seed`` may be ``None`` (fresh nondeterministic generator), an ``int``
+    (deterministic generator), or an existing ``Random`` (returned as-is so
+    callers can thread one generator through a pipeline of helpers).
+    """
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def spawn_seeds(seed: int | random.Random | None, count: int) -> list[int]:
+    """Derive ``count`` independent 63-bit child seeds from ``seed``.
+
+    Useful when an experiment needs one seed per trial but must stay
+    reproducible from a single top-level seed.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    rng = make_rng(seed)
+    return [rng.getrandbits(63) for _ in range(count)]

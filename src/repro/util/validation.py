@@ -1,0 +1,41 @@
+"""Tiny argument-validation helpers used across the package.
+
+These raise plain :class:`ValueError`/:class:`TypeError` (not library
+exceptions) because they indicate caller bugs rather than model violations.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["check_positive", "check_index", "check_type"]
+
+
+def check_positive(name: str, value: int, *, minimum: int = 1) -> int:
+    """Validate that ``value`` is an int ``>= minimum`` and return it."""
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def check_index(name: str, value: int, size: int) -> int:
+    """Validate that ``value`` is a valid index into a container of ``size``."""
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if not 0 <= value < size:
+        raise ValueError(f"{name} must be in [0, {size}), got {value}")
+    return value
+
+
+def check_type(name: str, value: Any, expected: type | tuple[type, ...]) -> Any:
+    """Validate ``isinstance(value, expected)`` and return ``value``."""
+    if not isinstance(value, expected):
+        names = (
+            expected.__name__
+            if isinstance(expected, type)
+            else " | ".join(t.__name__ for t in expected)
+        )
+        raise TypeError(f"{name} must be {names}, got {type(value).__name__}")
+    return value

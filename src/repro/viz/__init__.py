@@ -1,0 +1,13 @@
+"""ASCII rendering of networks, recovered maps and protocol traces."""
+
+from repro.viz.ascii_map import render_adjacency, render_recovered_map
+from repro.viz.timeline import render_traffic_profile, render_transcript_digest
+from repro.viz.spacetime import render_spacetime
+
+__all__ = [
+    "render_adjacency",
+    "render_recovered_map",
+    "render_traffic_profile",
+    "render_transcript_digest",
+    "render_spacetime",
+]

@@ -1,0 +1,39 @@
+"""ASCII adjacency rendering for examples and the CLI."""
+
+from __future__ import annotations
+
+from repro.topology.portgraph import PortGraph
+from repro.protocol.root_computer import ReconstructedMap
+
+__all__ = ["render_adjacency", "render_recovered_map"]
+
+
+def render_adjacency(graph: PortGraph, *, root: int | None = None) -> str:
+    """One line per processor: ``u: -(o:i)-> v ...`` with port labels."""
+    lines = []
+    for u in graph.nodes():
+        tag = "*" if u == root else " "
+        hops = "  ".join(
+            f"-({w.out_port}:{w.in_port})-> {w.dst}" for w in graph.successors(u)
+        )
+        lines.append(f"{tag}{u:>4}: {hops}")
+    return "\n".join(lines)
+
+
+def render_recovered_map(recovered: ReconstructedMap) -> str:
+    """Render the master computer's map with its assigned names.
+
+    Name 0 is the root; other names appear in discovery order, so the
+    rendering doubles as a readable DFS trace of the network.
+    """
+    by_src: dict[int, list[str]] = {}
+    for w in recovered.wires:
+        by_src.setdefault(w.src, []).append(
+            f"-({w.out_port}:{w.in_port})-> {w.dst}"
+        )
+    lines = [f"recovered map: {recovered.num_nodes} processors, "
+             f"{len(recovered.wires)} wires (name 0 = root)"]
+    for name in range(recovered.num_nodes):
+        hops = "  ".join(sorted(by_src.get(name, [])))
+        lines.append(f"{name:>5}: {hops}")
+    return "\n".join(lines)

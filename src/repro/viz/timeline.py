@@ -1,0 +1,52 @@
+"""Digest renderings of transcripts and traffic profiles."""
+
+from __future__ import annotations
+
+from repro.sim.metrics import TrafficMetrics
+from repro.sim.transcript import Transcript
+from repro.util.tables import format_table
+
+__all__ = ["render_traffic_profile", "render_transcript_digest"]
+
+
+def render_traffic_profile(metrics: TrafficMetrics, *, title: str = "traffic") -> str:
+    """Character deliveries aggregated by family, largest first."""
+    rows = sorted(metrics.by_family().items(), key=lambda kv: -kv[1])
+    total = metrics.total_delivered
+    table = [
+        (family, count, f"{100.0 * count / total:.1f}%" if total else "-")
+        for family, count in rows
+    ]
+    return format_table(
+        ["family/kind", "deliveries", "share"], table, title=title
+    )
+
+
+def render_transcript_digest(transcript: Transcript, *, limit: int = 40) -> str:
+    """The mapping-relevant transcript events, one per line.
+
+    Shows DFS arrivals, FORWARD/BACK observations and root pipes — the
+    events the master computer actually acts on — and summarizes the rest.
+    """
+    lines = []
+    shown = 0
+    skipped = 0
+    for e in transcript.events():
+        interesting = (
+            e.kind == "pipe"
+            or (e.kind == "recv" and e.char is not None
+                and e.char.kind in ("DFS", "FWD", "BACK"))
+        )
+        if not interesting:
+            skipped += 1
+            continue
+        if shown >= limit:
+            skipped += 1
+            continue
+        shown += 1
+        if e.kind == "pipe":
+            lines.append(f"t={e.tick:>6}  pipe  {e.label}{e.data or ''}")
+        else:
+            lines.append(f"t={e.tick:>6}  recv  {e.char} via in-port {e.port}")
+    lines.append(f"({shown} shown, {skipped} other transcript events)")
+    return "\n".join(lines)

@@ -1,0 +1,48 @@
+"""Shared fixtures: small canonical networks and protocol helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology import generators
+from repro.topology.builder import PortGraphBuilder
+from repro.topology.portgraph import PortGraph
+
+
+@pytest.fixture
+def ring4() -> PortGraph:
+    """Bidirectional 4-ring: the smallest comfortable all-paths testbed."""
+    return generators.bidirectional_ring(4)
+
+
+@pytest.fixture
+def dring5() -> PortGraph:
+    """Directed 5-ring: unidirectional everything, worst-case backtracking."""
+    return generators.directed_ring(5)
+
+
+@pytest.fixture
+def debruijn8() -> PortGraph:
+    """Binary de Bruijn on 8 nodes: degree 2, D=3, includes self-loops."""
+    return generators.de_bruijn(2, 3)
+
+
+@pytest.fixture
+def two_node_cycle() -> PortGraph:
+    """The minimal multi-processor network: 0 <-> 1 (two one-way wires)."""
+    b = PortGraphBuilder(2)
+    b.connect(0, 1).connect(1, 0)
+    return b.build()
+
+
+@pytest.fixture
+def self_loop_single() -> PortGraph:
+    """The minimal legal network: one processor with one self-loop."""
+    b = PortGraphBuilder(1)
+    b.connect(0, 0)
+    return b.build()
+
+
+def make_line_graph(n: int) -> PortGraph:
+    """Bidirectional line helper available to non-fixture callers."""
+    return generators.bidirectional_line(n)

@@ -1,0 +1,126 @@
+"""Counting, transcript-capacity and scaling-verdict analyses (Section 5)."""
+
+import math
+
+import pytest
+
+from repro.analysis.complexity import check_linear_scaling
+from repro.analysis.counting import (
+    exact_family_count,
+    family_loop_arrangements,
+    log2_family_count_lower_bound,
+    tree_automorphism_count_log2,
+    tree_family_description,
+)
+from repro.analysis.transcripts import (
+    implied_lower_bound_ticks,
+    log2_transcript_capacity,
+    lower_bound_curve,
+    minimum_ticks_to_distinguish,
+)
+from repro.errors import AnalysisError
+from repro.sim.characters import alphabet_size
+
+
+class TestLemma51Counting:
+    def test_loop_arrangements(self):
+        assert family_loop_arrangements(1) == 1          # (2-1)!
+        assert family_loop_arrangements(2) == 6          # (4-1)!
+        assert family_loop_arrangements(3) == math.factorial(7)
+
+    def test_automorphisms(self):
+        assert tree_automorphism_count_log2(2) == 3.0    # 2^(L-1), L=4
+
+    def test_bound_formula(self):
+        # log2((L-1)!) - (L-1)
+        expected = math.log2(math.factorial(7)) - 7
+        assert log2_family_count_lower_bound(3) == pytest.approx(expected, rel=1e-9)
+
+    def test_bound_grows_like_n_log_n(self):
+        # log G(N) / (N log N) approaches a positive constant.
+        ratios = []
+        for depth in (6, 8, 10, 12):
+            point = tree_family_description(depth)
+            ratios.append(point.log2_count_bound / point.log2_n_to_the_n)
+        assert all(r > 0.1 for r in ratios)
+        assert abs(ratios[-1] - ratios[-2]) < 0.1  # converging
+
+    def test_description_fields(self):
+        point = tree_family_description(3)
+        assert point.num_nodes == 15
+        assert point.leaves == 8
+        assert point.diameter_bound == 7
+
+    def test_exact_count_depth_1(self):
+        # Two leaves: only one loop arrangement.
+        assert exact_family_count(1) == 1
+
+    def test_exact_count_depth_2_within_bounds(self):
+        exact = exact_family_count(2)
+        assert 1 <= exact <= family_loop_arrangements(2)
+        assert exact >= 2 ** log2_family_count_lower_bound(2)
+
+    def test_exact_count_guard(self):
+        with pytest.raises(AnalysisError):
+            exact_family_count(3)  # 5040 graphs: guarded by default
+
+
+class TestLemma52Transcripts:
+    def test_capacity_formula(self):
+        expected = 3 * 10 * math.log2(alphabet_size(3))
+        assert log2_transcript_capacity(3, 10) == pytest.approx(expected)
+
+    def test_capacity_zero_ticks(self):
+        assert log2_transcript_capacity(2, 0) == 0.0
+
+    def test_capacity_rejects_negative(self):
+        with pytest.raises(AnalysisError):
+            log2_transcript_capacity(2, -1)
+
+    def test_minimum_ticks_pigeonhole(self):
+        # Need enough ticks that capacity >= topology count.
+        t = minimum_ticks_to_distinguish(1000.0, 5)
+        assert log2_transcript_capacity(5, t) >= 1000.0
+        assert log2_transcript_capacity(5, t - 1) < 1000.0
+
+    def test_minimum_ticks_trivial(self):
+        assert minimum_ticks_to_distinguish(0.0, 2) == 0
+        assert minimum_ticks_to_distinguish(-5.0, 2) == 0
+
+
+class TestTheorem51:
+    def test_implied_bound_monotone_in_depth(self):
+        bounds = [implied_lower_bound_ticks(d, 5) for d in range(2, 12)]
+        assert bounds == sorted(bounds)
+        assert bounds[-1] > bounds[0] > 0 or bounds[0] == 0
+
+    def test_curve_shape_superlinear(self):
+        # T(N)/N grows: the bound is genuinely super-linear (N log N).
+        curve = lower_bound_curve(list(range(6, 14)), 5)
+        per_node = [ticks / n for n, ticks in curve]
+        assert per_node[-1] > per_node[0]
+
+    def test_curve_rows(self):
+        curve = lower_bound_curve([3, 4], 5)
+        assert curve[0][0] == 15 and curve[1][0] == 31
+
+
+class TestScalingVerdicts:
+    def test_perfect_line(self):
+        verdict = check_linear_scaling([1, 2, 3, 4], [10, 20, 30, 40])
+        assert verdict.is_linear
+        assert verdict.ratio_spread == pytest.approx(1.0)
+
+    def test_quadratic_rejected(self):
+        xs = [1, 2, 4, 8, 16, 32]
+        verdict = check_linear_scaling(xs, [x * x for x in xs])
+        assert not verdict.is_linear
+
+    def test_noisy_line_accepted(self):
+        xs = [10, 20, 30, 40, 50]
+        ys = [105, 195, 310, 405, 490]
+        assert check_linear_scaling(xs, ys).is_linear
+
+    def test_rejects_nonpositive_x(self):
+        with pytest.raises(AnalysisError):
+            check_linear_scaling([0, 1], [1, 2])

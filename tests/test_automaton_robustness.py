@@ -1,0 +1,304 @@
+"""Direct handler-level tests of the protocol automaton.
+
+These drive a single :class:`ProtocolProcessor` by hand — no engine — to
+pin down the strict-protocol behaviour the integration tests can't reach:
+violation paths, debris handling (deviation D6), interception gating and
+register lifecycle.
+"""
+
+import pytest
+
+from repro.errors import ProtocolViolation
+from repro.protocol.automaton import ProtocolProcessor
+from repro.sim.characters import (
+    Char,
+    MSG_DFS_RETURN,
+    SCOPE_BCA,
+    SCOPE_RCA,
+    make_body,
+    make_head,
+    make_tail,
+)
+from repro.sim.engine import NodeContext
+
+
+def attach(proc: ProtocolProcessor, *, is_root: bool = False,
+           in_ports=(1, 2), out_ports=(1, 2)) -> ProtocolProcessor:
+    proc.attach(
+        NodeContext(
+            node=0,
+            is_root=is_root,
+            in_ports=tuple(in_ports),
+            out_ports=tuple(out_ports),
+            pipe=lambda label, data: None,
+        )
+    )
+    proc.begin_tick(1)
+    return proc
+
+
+def outbox_kinds(proc: ProtocolProcessor) -> list[str]:
+    return [c.kind for c in proc.outbox_chars()]
+
+
+class TestGrowingDebris:
+    def test_stray_body_at_unvisited_is_dropped(self):
+        proc = attach(ProtocolProcessor())
+        proc.handle(1, make_body("IG", 1, 1))
+        assert not proc.growing["IG"].visited
+        assert outbox_kinds(proc) == []
+
+    def test_stray_tail_at_unvisited_is_dropped(self):
+        proc = attach(ProtocolProcessor())
+        proc.handle(1, make_tail("OG"))
+        assert outbox_kinds(proc) == []
+
+    def test_head_claims_and_floods(self):
+        proc = attach(ProtocolProcessor())
+        proc.handle(2, make_head("IG", 1, 1))
+        assert proc.growing["IG"].visited
+        assert proc.growing["IG"].parent_in == 2
+        assert outbox_kinds(proc) == ["IGH", "IGH"]  # both out-ports
+
+    def test_non_parent_chars_ignored(self):
+        proc = attach(ProtocolProcessor())
+        proc.handle(2, make_head("IG", 1, 1))
+        before = len(list(proc.outbox_chars()))
+        proc.handle(1, make_body("IG", 1, 1))  # wrong port
+        assert len(list(proc.outbox_chars())) == before
+
+    def test_tail_appends_position_characters(self):
+        proc = attach(ProtocolProcessor())
+        proc.handle(2, make_head("IG", 1, 1))
+        proc.purge_outbox(lambda c: True)
+        proc.handle(2, make_tail("IG"))
+        kinds = outbox_kinds(proc)
+        # one fresh body per out-port plus the forwarded tail per out-port
+        assert kinds.count("IGB") == 2
+        assert kinds.count("IGT") == 2
+
+    def test_families_do_not_interact(self):
+        proc = attach(ProtocolProcessor())
+        proc.handle(1, make_head("IG", 1, 1))
+        proc.handle(2, make_head("BG", 1, 1))
+        assert proc.growing["IG"].parent_in == 1
+        assert proc.growing["BG"].parent_in == 2
+
+
+class TestKillHandling:
+    def test_kill_erases_marks_and_rebroadcasts(self):
+        proc = attach(ProtocolProcessor())
+        proc.handle(1, make_head("IG", 1, 1))
+        proc.handle(1, make_head("OG", 2, 1))
+        proc.purge_outbox(lambda c: True)
+        proc.handle(2, Char("KILL", payload=SCOPE_RCA))
+        assert not proc.growing["IG"].visited
+        assert not proc.growing["OG"].visited
+        assert outbox_kinds(proc) == ["KILL", "KILL"]
+
+    def test_kill_purges_resting_characters(self):
+        proc = attach(ProtocolProcessor())
+        proc.handle(1, make_head("IG", 1, 1))  # queues IGH copies
+        proc.growing["IG"].clear()             # marks gone, chars resting
+        proc.handle(2, Char("KILL", payload=SCOPE_RCA))
+        kinds = outbox_kinds(proc)
+        assert "IGH" not in kinds
+        assert "KILL" in kinds  # purged characters still trigger relay
+
+    def test_kill_absorbed_when_nothing_to_do(self):
+        proc = attach(ProtocolProcessor())
+        proc.handle(1, Char("KILL", payload=SCOPE_RCA))
+        assert outbox_kinds(proc) == []
+
+    def test_bca_kill_leaves_rca_marks(self):
+        proc = attach(ProtocolProcessor())
+        proc.handle(1, make_head("IG", 1, 1))
+        proc.handle(1, make_head("BG", 1, 1))
+        proc.purge_outbox(lambda c: True)
+        proc.handle(2, Char("KILL", payload=SCOPE_BCA))
+        assert proc.growing["IG"].visited      # untouched
+        assert not proc.growing["BG"].visited  # erased
+
+
+class TestDyingViolations:
+    def test_second_head_while_relaying(self):
+        proc = attach(ProtocolProcessor())
+        proc.handle(1, make_head("ID", 2, 1))
+        with pytest.raises(ProtocolViolation):
+            proc.handle(1, make_head("ID", 2, 1))
+
+    def test_body_without_head(self):
+        proc = attach(ProtocolProcessor())
+        with pytest.raises(ProtocolViolation):
+            proc.handle(1, make_body("OD", 1, 1))
+
+    def test_head_sets_loop_slot_and_relay(self):
+        proc = attach(ProtocolProcessor())
+        proc.handle(1, make_head("ID", 2, 1))
+        assert proc.loop.pred1 == 1 and proc.loop.succ1 == 2
+        assert proc.relay["ID"].active and proc.relay["ID"].promote_next
+
+    def test_body_promoted_to_head(self):
+        proc = attach(ProtocolProcessor())
+        proc.handle(1, make_head("ID", 2, 1))
+        proc.handle(1, make_body("ID", 1, 2))
+        assert outbox_kinds(proc) == ["IDH"]
+        proc.handle(1, make_body("ID", 2, 2))
+        assert outbox_kinds(proc) == ["IDH", "IDB"]
+
+    def test_tail_finishes_relay(self):
+        proc = attach(ProtocolProcessor())
+        proc.handle(1, make_head("OD", 2, 1))
+        proc.handle(1, make_tail("OD"))
+        assert not proc.relay["OD"].active
+        assert outbox_kinds(proc) == ["ODT"]
+
+    def test_id_and_od_relays_independent(self):
+        # A processor on both canonical paths relays ID and OD concurrently.
+        proc = attach(ProtocolProcessor())
+        proc.handle(1, make_head("ID", 2, 1))
+        proc.handle(2, make_head("OD", 1, 1))
+        assert proc.loop.pred1 == 1 and proc.loop.pred2 == 2
+        proc.handle(1, make_body("ID", 1, 1))
+        proc.handle(2, make_body("OD", 2, 1))
+        assert outbox_kinds(proc) == ["IDH", "ODH"]
+
+
+class TestLoopTokenViolations:
+    def test_token_off_loop(self):
+        proc = attach(ProtocolProcessor())
+        with pytest.raises(ProtocolViolation):
+            proc.handle(1, Char("FWD", 1, 1))
+
+    def test_token_wrong_port(self):
+        proc = attach(ProtocolProcessor())
+        proc.handle(1, make_head("ID", 2, 1))  # pred1=1
+        with pytest.raises(ProtocolViolation):
+            proc.handle(2, Char("BACK"))
+
+    def test_bdone_off_loop(self):
+        proc = attach(ProtocolProcessor())
+        with pytest.raises(ProtocolViolation):
+            proc.handle(1, Char("BDONE"))
+
+    def test_unmark_off_loop(self):
+        proc = attach(ProtocolProcessor())
+        with pytest.raises(ProtocolViolation):
+            proc.handle(1, Char("UNMARK", payload=SCOPE_RCA))
+        with pytest.raises(ProtocolViolation):
+            proc.handle(1, Char("UNMARK", payload=SCOPE_BCA))
+
+    def test_token_routed_through_slot(self):
+        proc = attach(ProtocolProcessor())
+        proc.handle(1, make_head("ID", 2, 1))
+        proc.handle(1, Char("FWD", 3, 3))
+        assert outbox_kinds(proc) == ["FWD"]
+
+
+class TestInitiatorGuards:
+    def test_rca_requires_idle(self):
+        proc = attach(ProtocolProcessor())
+        proc.start_rca(Char("FWD", 1, 1))
+        with pytest.raises(ProtocolViolation):
+            proc.start_rca(Char("BACK"))
+
+    def test_root_never_initiates_rca(self):
+        proc = attach(ProtocolProcessor(), is_root=True)
+        with pytest.raises(ProtocolViolation):
+            proc.start_rca(Char("FWD", 1, 1))
+
+    def test_bca_requires_idle(self):
+        proc = attach(ProtocolProcessor())
+        proc.start_bca(1, MSG_DFS_RETURN)
+        with pytest.raises(ProtocolViolation):
+            proc.start_bca(2, MSG_DFS_RETURN)
+
+    def test_bca_requires_connected_in_port(self):
+        proc = attach(ProtocolProcessor(), in_ports=(1,))
+        with pytest.raises(ProtocolViolation):
+            proc.start_bca(2, MSG_DFS_RETURN)
+
+    def test_rca_floods_ig_heads(self):
+        proc = attach(ProtocolProcessor())
+        proc.start_rca(Char("FWD", 1, 1))
+        kinds = outbox_kinds(proc)
+        assert kinds.count("IGH") == 2 and kinds.count("IGT") == 2
+        assert proc.growing["IG"].visited  # self-marked origin
+
+    def test_dfs_without_gtd_layer(self):
+        proc = attach(ProtocolProcessor())
+        with pytest.raises(ProtocolViolation):
+            proc.handle(1, Char("DFS", 1, 1))
+
+    def test_unknown_character(self):
+        proc = attach(ProtocolProcessor())
+        with pytest.raises(ProtocolViolation):
+            proc.handle(1, Char("XYZZY"))
+
+
+class TestBdTailDelivery:
+    def test_penultimate_detection_and_message(self):
+        received = []
+        proc = attach(ProtocolProcessor())
+        proc._on_bca_message = received.append  # type: ignore[method-assign]
+        proc.handle(1, make_head("BD", 2, 1))
+        proc.handle(1, make_tail("BD", payload="PING"))
+        assert received == ["PING"]
+        assert proc.bca_slot.is_target
+        assert outbox_kinds(proc) == ["BDT"]  # tail continues to B
+
+    def test_mid_loop_cell_not_target(self):
+        received = []
+        proc = attach(ProtocolProcessor())
+        proc._on_bca_message = received.append  # type: ignore[method-assign]
+        proc.handle(1, make_head("BD", 2, 1))
+        proc.handle(1, make_body("BD", 1, 1))
+        proc.handle(1, make_tail("BD", payload="PING"))
+        assert received == []
+        assert not proc.bca_slot.is_target
+
+    def test_tail_without_message_is_violation(self):
+        proc = attach(ProtocolProcessor())
+        proc.handle(1, make_head("BD", 2, 1))
+        with pytest.raises(ProtocolViolation):
+            proc.handle(1, make_tail("BD"))
+
+
+class TestRootDuties:
+    def test_root_converts_ig_to_og(self):
+        proc = attach(ProtocolProcessor(), is_root=True)
+        proc.handle(1, make_head("IG", 2, 1))
+        assert outbox_kinds(proc) == ["OGH", "OGH"]
+        assert proc.growing["OG"].visited  # origin-marked
+
+    def test_root_closed_after_accepting(self):
+        proc = attach(ProtocolProcessor(), is_root=True)
+        proc.handle(1, make_head("IG", 2, 1))
+        proc.purge_outbox(lambda c: True)
+        proc.handle(2, make_head("IG", 1, 1))  # second snake: ignored
+        assert outbox_kinds(proc) == []
+
+    def test_root_appends_own_body_on_tail(self):
+        proc = attach(ProtocolProcessor(), is_root=True)
+        proc.handle(1, make_head("IG", 2, 1))
+        proc.purge_outbox(lambda c: True)
+        proc.handle(1, make_tail("IG"))
+        kinds = outbox_kinds(proc)
+        assert kinds.count("OGB") == 2 and kinds.count("OGT") == 2
+
+    def test_root_id_to_od_conversion(self):
+        proc = attach(ProtocolProcessor(), is_root=True)
+        proc.handle(1, make_head("IG", 2, 1))
+        proc.handle(1, make_tail("IG"))
+        proc.purge_outbox(lambda c: True)
+        proc.handle(2, make_head("ID", 1, 2))
+        assert proc.loop.pred1 == 2 and proc.loop.succ2 == 1
+        proc.handle(2, make_body("ID", 2, 2))
+        assert outbox_kinds(proc) == ["ODH"]
+
+    def test_root_rejects_id_body_before_head(self):
+        proc = attach(ProtocolProcessor(), is_root=True)
+        proc.handle(1, make_head("IG", 2, 1))
+        proc.handle(1, make_tail("IG"))
+        with pytest.raises(ProtocolViolation):
+            proc.handle(2, make_body("ID", 1, 1))

@@ -1,0 +1,76 @@
+"""Baseline mappers: correctness and the resource trade they illustrate."""
+
+import pytest
+
+from repro import determine_topology
+from repro.baselines.dfs_unbounded import unbounded_dfs_map
+from repro.baselines.echo_mapper import echo_map
+from repro.baselines.oracle import oracle_map
+from repro.topology import generators
+
+
+class TestEchoMapper:
+    @pytest.mark.parametrize("name", sorted(generators.all_families()))
+    def test_exact_on_all_families(self, name):
+        g = generators.all_families()[name]
+        result = echo_map(g)
+        assert result.matches(g), name
+
+    def test_rounds_scale_with_diameter_not_n(self):
+        small_d = echo_map(generators.de_bruijn(2, 4))   # N=16, D=4
+        big_d = echo_map(generators.directed_ring(16))   # N=16, D=15
+        assert small_d.rounds < big_d.rounds
+
+    def test_messages_grow_with_network(self):
+        small = echo_map(generators.bidirectional_ring(4))
+        big = echo_map(generators.bidirectional_ring(16))
+        assert big.max_message_entries > small.max_message_entries
+        # the biggest message carries (almost) the whole map
+        assert big.max_message_entries >= big.wires.__len__() // 2
+
+    def test_agrees_with_oracle(self, debruijn8):
+        assert echo_map(debruijn8).wires == oracle_map(debruijn8)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_graphs(self, seed):
+        g = generators.random_strongly_connected(12, extra_edges=8, seed=seed)
+        assert echo_map(g).matches(g)
+
+    def test_single_node(self, self_loop_single):
+        assert echo_map(self_loop_single).matches(self_loop_single)
+
+    def test_nonzero_root(self, debruijn8):
+        assert echo_map(debruijn8, root=5).matches(debruijn8)
+
+
+class TestUnboundedDfs:
+    @pytest.mark.parametrize("name", sorted(generators.all_families()))
+    def test_exact_on_all_families(self, name):
+        g = generators.all_families()[name]
+        assert unbounded_dfs_map(g).matches(g), name
+
+    def test_forward_traversals_equal_wires(self, debruijn8):
+        result = unbounded_dfs_map(debruijn8)
+        assert result.forward_traversals == debruijn8.num_wires
+
+    def test_forward_count_matches_real_protocol_dfs(self, debruijn8):
+        """The baseline's DFS is the same DFS the protocol runs."""
+        baseline = unbounded_dfs_map(debruijn8)
+        real = determine_topology(debruijn8)
+        assert baseline.forward_traversals == real.metrics.delivered["DFS"]
+
+    def test_steps_linear_in_edges(self):
+        g = generators.complete_bidirectional(6)
+        result = unbounded_dfs_map(g)
+        assert result.steps <= 2 * g.num_wires + 2
+
+
+class TestCostComparison:
+    def test_echo_faster_but_heavier_than_protocol(self, debruijn8):
+        echo = echo_map(debruijn8)
+        protocol = determine_topology(debruijn8)
+        # echo wins on time by orders of magnitude...
+        assert echo.rounds * 20 < protocol.ticks
+        # ...but needs messages far beyond constant size, while the
+        # protocol's characters are constant-size by construction.
+        assert echo.max_message_entries > debruijn8.delta**2

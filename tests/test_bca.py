@@ -1,0 +1,88 @@
+"""The Backwards Communication Algorithm contract (§4.1, deviation D1)."""
+
+import pytest
+
+from repro.protocol.bca import run_single_bca
+from repro.protocol.invariants import collect_residue
+from repro.topology import generators
+from repro.topology.builder import PortGraphBuilder
+
+
+class TestContract:
+    def test_message_reaches_upstream(self, dring5):
+        # node 1's in-port 1 is fed by node 0.
+        result = run_single_bca(dring5, node=1, in_port=1, message="PING")
+        assert result.target == 0
+        assert result.delivered_at > 0
+
+    def test_initiator_learns_of_delivery_after_it(self, dring5):
+        result = run_single_bca(dring5, node=1, in_port=1)
+        assert result.initiator_done_at > result.delivered_at
+
+    def test_network_undisturbed(self, dring5):
+        result = run_single_bca(dring5, node=1, in_port=1)
+        assert collect_residue(result.engine) == []
+        assert result.engine.is_idle()
+
+    def test_payload_faithful(self, ring4):
+        result = run_single_bca(ring4, node=2, in_port=1, message="HELLO")
+        assert result.message == "HELLO"
+
+    @pytest.mark.parametrize("node", [1, 2, 3])
+    def test_every_in_port_of_every_node(self, node, debruijn8):
+        for in_port in debruijn8.connected_in_ports(node):
+            result = run_single_bca(debruijn8, node=node, in_port=in_port)
+            wire = debruijn8.in_wire(node, in_port)
+            assert result.target == wire.src
+            assert collect_residue(result.engine) == []
+
+    def test_unwired_port_rejected(self, dring5):
+        with pytest.raises(ValueError):
+            run_single_bca(dring5, node=1, in_port=2)
+
+
+class TestSelfLoop:
+    def test_bca_across_self_loop(self):
+        b = PortGraphBuilder(2)
+        b.connect(0, 0).connect(0, 1).connect(1, 0)
+        g = b.build()
+        # node 0's self-loop: out-port 1 -> in-port 1
+        result = run_single_bca(g, node=0, in_port=1, message="SELF")
+        assert result.target == 0  # its own upstream
+        assert result.delivered_at > 0
+        assert collect_residue(result.engine) == []
+
+
+class TestLinearInD:
+    def test_directed_ring_cost_linear(self):
+        # Backwards across one edge of a directed n-ring must circle the
+        # ring: cost Theta(n).
+        times = []
+        sizes = (4, 8, 16, 32)
+        for n in sizes:
+            g = generators.directed_ring(n)
+            r = run_single_bca(g, node=1, in_port=1)
+            times.append(r.initiator_done_at)
+        ratios = [t / n for t, n in zip(times, sizes)]
+        assert max(ratios) / min(ratios) < 1.5
+
+    def test_bidirectional_shortcut_is_constant(self):
+        # With a reverse wire available the loop has length 2 regardless of n.
+        times = []
+        for n in (4, 16, 64):
+            g = generators.bidirectional_ring(n)
+            r = run_single_bca(g, node=1, in_port=1)
+            times.append(r.initiator_done_at)
+        assert max(times) == min(times)
+
+
+class TestOrderingGuarantees:
+    def test_target_resume_after_delivery(self, dring5):
+        r = run_single_bca(dring5, node=1, in_port=1)
+        assert r.target_resumed_at > r.delivered_at
+
+    def test_resume_before_or_at_initiator_done(self, dring5):
+        # The UNMARK reaches the target (penultimate) strictly before it
+        # returns to the initiator.
+        r = run_single_bca(dring5, node=1, in_port=1)
+        assert r.target_resumed_at <= r.initiator_done_at

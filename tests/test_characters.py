@@ -1,0 +1,178 @@
+"""The character alphabet: constructors, predicates, speeds, counting."""
+
+import pytest
+
+from repro.sim.characters import (
+    STAR,
+    Char,
+    SNAKE_FAMILIES,
+    alphabet_size,
+    convert,
+    dying_family_of,
+    fill_in_port,
+    growing_family_of,
+    is_dying,
+    is_growing,
+    is_snake,
+    make_body,
+    make_head,
+    make_tail,
+    residence,
+    snake_family,
+    snake_role,
+    speed_of,
+)
+
+
+class TestConstructors:
+    @pytest.mark.parametrize("family", SNAKE_FAMILIES)
+    def test_head_kind(self, family):
+        head = make_head(family, 2)
+        assert head.kind == family + "H"
+        assert head.out_port == 2
+        assert head.in_port == STAR
+
+    def test_body(self):
+        body = make_body("IG", 3, 1)
+        assert body.kind == "IGB"
+        assert (body.out_port, body.in_port) == (3, 1)
+
+    def test_tail_payload(self):
+        tail = make_tail("BD", payload="DFS_RET")
+        assert tail.kind == "BDT"
+        assert tail.payload == "DFS_RET"
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            make_head("XX", 1)
+        with pytest.raises(ValueError):
+            make_tail("QQ")
+
+    def test_char_is_frozen(self):
+        c = make_head("IG", 1)
+        with pytest.raises(AttributeError):
+            c.kind = "OGH"
+
+
+class TestPredicates:
+    def test_growing_families(self):
+        assert is_growing(make_head("IG", 1))
+        assert is_growing(make_body("OG", 1))
+        assert is_growing(make_tail("BG"))
+        assert not is_growing(make_head("ID", 1))
+        assert not is_growing(Char("DFS"))
+
+    def test_dying_families(self):
+        assert is_dying(make_head("ID", 1))
+        assert is_dying(make_tail("OD"))
+        assert is_dying(make_body("BD", 1))
+        assert not is_dying(make_head("BG", 1))
+
+    def test_snake_accessors(self):
+        c = make_body("OD", 2, 3)
+        assert is_snake(c)
+        assert snake_family(c) == "OD"
+        assert snake_role(c) == "B"
+
+    def test_tokens_not_snakes(self):
+        for kind in ("DFS", "FWD", "BACK", "KILL", "UNMARK", "BDONE"):
+            assert not is_snake(Char(kind))
+
+    def test_scope_families(self):
+        assert growing_family_of("RCA") == ("IG", "OG")
+        assert growing_family_of("BCA") == ("BG",)
+
+    def test_dying_family_mapping(self):
+        assert dying_family_of("OG") == "ID"
+        assert dying_family_of("BG") == "BD"
+
+
+class TestSpeeds:
+    def test_snakes_are_speed_1(self):
+        for family in SNAKE_FAMILIES:
+            assert speed_of(make_head(family, 1)) == 1
+            assert residence(make_head(family, 1)) == 3
+
+    def test_kill_unmark_speed_3(self):
+        assert speed_of(Char("KILL", payload="RCA")) == 3
+        assert residence(Char("KILL", payload="RCA")) == 1
+        assert speed_of(Char("UNMARK", payload="BCA")) == 3
+
+    def test_loop_tokens_speed_1(self):
+        # FORWARD/BACK and BDONE circle at speed 1 (the KILL catch-up
+        # argument depends on them being strictly slower).
+        for kind in ("FWD", "BACK", "BDONE", "DFS"):
+            assert speed_of(Char(kind)) == 1
+
+
+class TestFillInPort:
+    def test_fills_star(self):
+        filled = fill_in_port(make_head("IG", 2), 4)
+        assert filled.in_port == 4
+
+    def test_concrete_untouched(self):
+        c = make_body("OG", 2, 3)
+        assert fill_in_port(c, 9) is c
+
+    def test_dfs_fills(self):
+        c = Char("DFS", out_port=1, in_port=STAR)
+        assert fill_in_port(c, 2).in_port == 2
+
+    def test_tokens_untouched(self):
+        c = Char("FWD", out_port=1, in_port=STAR)
+        assert fill_in_port(c, 5) is c  # FWD fields are payload, not routing
+
+
+class TestConvert:
+    def test_ig_to_og(self):
+        c = convert(make_body("IG", 2, 3), "OG")
+        assert c.kind == "OGB"
+        assert (c.out_port, c.in_port) == (2, 3)
+
+    def test_role_preserved(self):
+        assert convert(make_tail("ID"), "OD").kind == "ODT"
+
+    def test_rejects_tokens(self):
+        with pytest.raises(ValueError):
+            convert(Char("DFS"), "IG")
+
+    def test_rejects_unknown_family(self):
+        with pytest.raises(ValueError):
+            convert(make_head("IG", 1), "ZZ")
+
+
+class TestAlphabetSize:
+    def test_matches_paper_per_family_count(self):
+        # Paper §2.3: 2*(delta^2 + delta) + 1 characters per snake type.
+        for delta in (2, 3, 5):
+            per_family = 2 * (delta**2 + delta) + 1
+            total = alphabet_size(delta)
+            # 6 families plus tokens: total must exceed the snake count and
+            # grow exactly quadratically.
+            assert total > 6 * per_family
+
+    def test_quadratic_growth(self):
+        # |I|(delta) is a quadratic polynomial: second difference constant.
+        sizes = [alphabet_size(d) for d in (2, 3, 4, 5, 6)]
+        second = [sizes[i + 2] - 2 * sizes[i + 1] + sizes[i] for i in range(3)]
+        assert len(set(second)) == 1
+
+    def test_rejects_delta_below_2(self):
+        with pytest.raises(ValueError):
+            alphabet_size(1)
+
+    def test_known_value(self):
+        # 6 families * (2*(4+2)+1) = 78, +1 BD payload variant, DFS 6,
+        # FWD 4, BACK 1, BDONE 1, KILL 2, UNMARK 2, blank 1 = 96.
+        assert alphabet_size(2) == 96
+
+
+class TestStr:
+    def test_head_rendering(self):
+        assert str(make_head("IG", 2)) == "IGH(2,*)"
+
+    def test_body_rendering(self):
+        assert str(make_body("OD", 1, 3)) == "ODB(1,3)"
+
+    def test_payload_rendering(self):
+        assert "RCA" in str(Char("KILL", payload="RCA"))

@@ -1,0 +1,103 @@
+"""The CLI and the ASCII renderers."""
+
+import pytest
+
+from repro import determine_topology
+from repro.cli import build_parser, main
+from repro.topology import generators
+from repro.viz.ascii_map import render_adjacency, render_recovered_map
+from repro.viz.timeline import render_traffic_profile, render_transcript_digest
+
+
+class TestCli:
+    def test_families_lists_everything(self, capsys):
+        assert main(["families"]) == 0
+        out = capsys.readouterr().out
+        for name in generators.all_families():
+            assert name in out
+
+    def test_map_runs_and_reports_exact(self, capsys):
+        assert main(["map", "--family", "bidirectional-ring", "--size", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "exact=True" in out
+        assert "recovered map" in out
+
+    def test_map_traffic_flag(self, capsys):
+        assert main(["map", "--family", "directed-ring", "--size", "4", "--traffic"]) == 0
+        assert "deliveries" in capsys.readouterr().out
+
+    def test_map_verify_cleanup_flag(self, capsys):
+        assert (
+            main(["map", "--family", "directed-ring", "--size", "4",
+                  "--verify-cleanup"]) == 0
+        )
+        assert "exact=True" in capsys.readouterr().out
+
+    def test_map_random_seeded(self, capsys):
+        assert main(["map", "--family", "random", "--size", "6", "--seed", "3"]) == 0
+        assert "exact=True" in capsys.readouterr().out
+
+    def test_lower_bound_table(self, capsys):
+        assert main(["lower-bound", "--delta", "5", "--max-depth", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "min ticks" in out
+
+    def test_parser_rejects_unknown_family(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["map", "--family", "nope"])
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestViz:
+    def test_adjacency_lists_every_node(self, debruijn8):
+        out = render_adjacency(debruijn8, root=0)
+        assert out.count("\n") == debruijn8.num_nodes - 1
+        assert "*" in out  # root marker
+
+    def test_recovered_map_rendering(self, ring4):
+        result = determine_topology(ring4)
+        out = render_recovered_map(result.recovered)
+        assert "name 0 = root" in out
+        assert f"{ring4.num_wires} wires" in out
+
+    def test_traffic_profile_shares_sum(self, ring4):
+        result = determine_topology(ring4)
+        out = render_traffic_profile(result.metrics)
+        assert "%" in out and "deliveries" in out
+
+    def test_transcript_digest(self, ring4):
+        result = determine_topology(ring4)
+        out = render_transcript_digest(result.transcript, limit=5)
+        assert "pipe" in out
+        assert "TERMINAL" in out or "shown" in out
+
+
+class TestResultJson:
+    def test_to_json_roundtrips_map(self, debruijn8):
+        import json
+
+        from repro.topology.serialize import from_json
+        from repro.topology.isomorphism import port_isomorphic
+
+        result = determine_topology(debruijn8)
+        doc = json.loads(result.to_json())
+        assert doc["format"] == "repro.topology-result/v1"
+        assert doc["root"] == 0
+        assert doc["stats"]["ticks"] == result.ticks
+        graph = from_json(json.dumps(doc["map"]))
+        assert port_isomorphic(debruijn8, 0, graph, 0)
+
+    def test_cli_json_flag(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "map.json"
+        assert main(
+            ["map", "--family", "directed-ring", "--size", "5",
+             "--json", str(out)]
+        ) == 0
+        doc = json.loads(out.read_text())
+        assert doc["map"]["num_nodes"] == 5
+        assert "wrote" in capsys.readouterr().out

@@ -1,0 +1,62 @@
+"""The master computer as a *stream* consumer.
+
+The paper's computer draws the map "as the algorithm was proceeding"; the
+``feed`` API supports that.  These tests verify event-by-event feeding
+matches batch reconstruction and that partial knowledge is well-formed at
+every prefix.
+"""
+
+from repro import determine_topology
+from repro.protocol.root_computer import MasterComputer
+from repro.topology import generators
+
+
+def test_streaming_equals_batch(debruijn8):
+    result = determine_topology(debruijn8)
+    streaming = MasterComputer()
+    for event in result.transcript.events():
+        streaming.feed(event)
+    batch = MasterComputer().reconstruct(result.transcript)
+    assert streaming._terminal
+    assert streaming._signatures == batch.signatures
+    assert streaming._wires == batch.wires
+
+
+def test_partial_prefixes_never_overshoot(ring4):
+    """At every prefix, the partial map is a subset of the final map."""
+    result = determine_topology(ring4)
+    final = MasterComputer().reconstruct(result.transcript)
+    final_wires = {(w.src, w.out_port, w.dst, w.in_port) for w in final.wires}
+    computer = MasterComputer()
+    for event in result.transcript.events():
+        computer.feed(event)
+        partial = {
+            (w.src, w.out_port, w.dst, w.in_port) for w in computer._wires
+        }
+        assert partial <= final_wires
+
+
+def test_edges_appear_monotonically(debruijn8):
+    result = determine_topology(debruijn8)
+    computer = MasterComputer()
+    counts = []
+    for event in result.transcript.events():
+        computer.feed(event)
+        counts.append(len(computer._wires))
+    assert counts == sorted(counts)
+    assert counts[-1] == debruijn8.num_wires
+
+
+def test_stack_depth_tracks_dfs_depth(ring4):
+    """The stack top tracks the DFS token (paper §3.1): depth stays >= 1
+    after START and returns to exactly 1 at TERMINAL."""
+    result = determine_topology(ring4)
+    computer = MasterComputer()
+    depths = []
+    for event in result.transcript.events():
+        computer.feed(event)
+        if computer._stack:
+            depths.append(len(computer._stack))
+    assert min(depths) == 1
+    assert depths[-1] == 1
+    assert max(depths) > 1

@@ -1,0 +1,116 @@
+"""Dynamic networks: mutations mid-protocol corrupt the result (paper §1.1)."""
+
+import pytest
+
+from repro.dynamics import DynamicOutcome, WireMutation, run_dynamic_gtd
+from repro.dynamics.engine import DynamicEngine
+from repro.errors import TopologyError
+from repro.protocol.gtd import GTDProcessor
+from repro.topology import generators
+from repro.topology.portgraph import PortGraph, Wire
+
+
+def spare_port_ring(n: int) -> PortGraph:
+    g = PortGraph(n, 3)
+    for u in range(n):
+        g.add_wire(u, 1, (u + 1) % n, 1)
+        g.add_wire(u, 2, (u - 1) % n, 2)
+    return g.freeze()
+
+
+class TestWireMutation:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            WireMutation(tick=0, kind="swap", wire=Wire(0, 1, 1, 1))
+
+    def test_rejects_negative_tick(self):
+        with pytest.raises(ValueError):
+            WireMutation(tick=-1, kind="cut", wire=Wire(0, 1, 1, 1))
+
+    def test_cut_requires_existing_wire(self, ring4):
+        procs = [GTDProcessor() for _ in ring4.nodes()]
+        bad = WireMutation(tick=5, kind="cut", wire=Wire(0, 1, 3, 1))
+        with pytest.raises(TopologyError):
+            DynamicEngine(ring4, list(procs), [bad])
+
+    def test_add_requires_free_ports(self, ring4):
+        procs = [GTDProcessor() for _ in ring4.nodes()]
+        bad = WireMutation(tick=5, kind="add", wire=Wire(0, 1, 2, 1))
+        with pytest.raises(TopologyError):
+            DynamicEngine(ring4, list(procs), [bad])
+
+
+class TestOutcomes:
+    def test_no_mutations_accurate(self):
+        g = spare_port_ring(6)
+        result = run_dynamic_gtd(g, [])
+        assert result.outcome is DynamicOutcome.ACCURATE
+        assert result.lost_characters == 0
+
+    def test_post_termination_mutation_accurate(self):
+        g = spare_port_ring(6)
+        victim = g.out_wire(3, 1)
+        result = run_dynamic_gtd(
+            g, [WireMutation(tick=10**7, kind="cut", wire=victim)]
+        )
+        assert result.outcome is DynamicOutcome.ACCURATE
+
+    def test_early_cut_never_accurate(self):
+        g = spare_port_ring(8)
+        victim = g.out_wire(4, 1)
+        baseline = run_dynamic_gtd(g, []).ticks
+        result = run_dynamic_gtd(
+            g,
+            [WireMutation(tick=baseline // 4, kind="cut", wire=victim)],
+            max_ticks=baseline * 3,
+        )
+        assert result.outcome is not DynamicOutcome.ACCURATE
+
+    def test_mid_add_is_stale(self):
+        g = spare_port_ring(8)
+        result = run_dynamic_gtd(
+            g, [WireMutation(tick=100, kind="add", wire=Wire(0, 3, 4, 3))]
+        )
+        # the DFS never probes the new port: the map misses the wire
+        assert result.outcome is DynamicOutcome.STALE
+        assert result.recovered is not None
+        assert len(result.recovered.wires) == g.num_wires  # old count
+
+    def test_effective_topology_reflects_mutations(self):
+        g = spare_port_ring(4)
+        procs = [GTDProcessor() for _ in g.nodes()]
+        victim = g.out_wire(2, 1)
+        engine = DynamicEngine(
+            g,
+            list(procs),
+            [
+                WireMutation(tick=0, kind="cut", wire=victim),
+                WireMutation(tick=0, kind="add", wire=Wire(0, 3, 2, 3)),
+            ],
+        )
+        current = engine.effective_topology()
+        assert current.num_wires == g.num_wires  # one cut, one added
+        assert current.out_wire(2, 1) is None
+        assert current.out_wire(0, 3) == Wire(0, 3, 2, 3)
+
+    def test_lost_characters_counted(self):
+        g = spare_port_ring(8)
+        victim = g.out_wire(4, 1)
+        baseline = run_dynamic_gtd(g, []).ticks
+        result = run_dynamic_gtd(
+            g,
+            [WireMutation(tick=baseline // 3, kind="cut", wire=victim)],
+            max_ticks=baseline * 3,
+        )
+        assert result.lost_characters > 0
+
+    def test_added_wire_carries_characters(self):
+        # Deliveries over added wires do reach the destination processor:
+        # run with an addition from tick 0 and confirm traffic flows by
+        # checking the run completes (stale, but alive).
+        g = spare_port_ring(6)
+        result = run_dynamic_gtd(
+            g, [WireMutation(tick=0, kind="add", wire=Wire(1, 3, 4, 3))]
+        )
+        assert result.outcome in (DynamicOutcome.STALE, DynamicOutcome.ACCURATE)
+        assert result.ticks > 0

@@ -1,0 +1,227 @@
+"""The synchronous engine: delivery timing, ordering, speeds, watchdogs."""
+
+from typing import Any
+
+import pytest
+
+from repro.errors import SimulationError, TickBudgetExceeded
+from repro.sim.characters import Char, make_body, make_head
+from repro.sim.engine import Engine
+from repro.sim.processor import Processor
+from repro.topology import generators
+from repro.topology.builder import PortGraphBuilder
+
+
+class Recorder(Processor):
+    """Logs every arrival; forwards nothing unless told."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.log: list[tuple[int, int, Char]] = []
+
+    def handle(self, in_port: int, char: Char) -> None:
+        self.log.append((self.tick, in_port, char))
+
+    def state_snapshot(self) -> dict[str, Any]:
+        return {"log_len": len(self.log)}  # not protocol state; test double
+
+
+class Forwarder(Recorder):
+    """Re-emits every arrival through all out-ports (residence applies)."""
+
+    def handle(self, in_port: int, char: Char) -> None:
+        super().handle(in_port, char)
+        self.broadcast(char)
+
+
+class StarterRoot(Recorder):
+    """Emits a configured character on start."""
+
+    def __init__(self, char: Char, out_port: int = 1) -> None:
+        super().__init__()
+        self.char = char
+        self.out_port = out_port
+
+    def on_start(self) -> None:
+        self.send(self.out_port, self.char)
+
+
+def two_node_engine(root_proc, other_proc):
+    b = PortGraphBuilder(2)
+    g = b.connect(0, 1).connect(1, 0).build()
+    return Engine(g, [root_proc, other_proc], root=0)
+
+
+class TestDeliveryTiming:
+    def test_speed1_hop_takes_3_ticks(self):
+        recorder = Recorder()
+        engine = two_node_engine(StarterRoot(make_head("IG", 1)), recorder)
+        engine.start()
+        for _ in range(5):
+            engine.step_tick()
+        assert recorder.log and recorder.log[0][0] == 3
+
+    def test_speed3_hop_takes_1_tick(self):
+        recorder = Recorder()
+        engine = two_node_engine(StarterRoot(Char("KILL", payload="RCA")), recorder)
+        engine.start()
+        engine.step_tick()
+        assert recorder.log and recorder.log[0][0] == 1
+
+    def test_extra_delay_shifts_arrival(self):
+        class DelayRoot(Recorder):
+            def on_start(self) -> None:
+                self.send(1, make_head("IG", 1), extra_delay=2)
+
+        recorder = Recorder()
+        engine = two_node_engine(DelayRoot(), recorder)
+        engine.start()
+        for _ in range(7):
+            engine.step_tick()
+        assert recorder.log[0][0] == 5
+
+    def test_forwarding_chain_timing(self):
+        # 0 -> 1 -> 2 -> 0 directed ring, speed-1 char: arrives node 2 at 6.
+        g = generators.directed_ring(3)
+        procs = [StarterRoot(make_head("IG", 1)), Forwarder(), Recorder()]
+        engine = Engine(g, procs, root=0)
+        engine.start()
+        for _ in range(8):
+            engine.step_tick()
+        assert procs[2].log[0][0] == 6
+
+
+class TestOrderingWithinTick:
+    def test_kill_handled_before_growing(self):
+        # Both a KILL and a growing head arrive at tick 1 (KILL is speed-3
+        # and sent one tick later so they coincide): KILL must come first.
+        class DoubleRoot(Recorder):
+            def on_start(self) -> None:
+                self.send(1, make_head("IG", 1), extra_delay=-2)  # due now
+                self.send(1, Char("KILL", payload="RCA"))
+
+        recorder = Recorder()
+        engine = two_node_engine(DoubleRoot(), recorder)
+        engine.start()
+        engine.step_tick()
+        kinds = [c.kind for _, _, c in recorder.log]
+        assert kinds == ["KILL", "IGH"]
+
+    def test_lowest_in_port_first_for_same_priority(self):
+        # Two heads arrive the same tick through ports 1 and 2.
+        b = PortGraphBuilder(3)
+        g = (
+            b.connect(0, 2)  # 0 out1 -> 2 in1
+            .connect(1, 2)   # 1 out1 -> 2 in2
+            .connect(2, 0)
+            .connect(2, 1)
+            .connect(0, 1)
+            .connect(1, 0)
+            .build()
+        )
+
+        class R0(Recorder):
+            def on_start(self) -> None:
+                self.send(1, make_head("IG", 1))
+
+        procs = [R0(), R0(), Recorder()]
+        engine = Engine(g, procs, root=0)
+        engine.start()
+        procs[1].begin_tick(0)
+        procs[1].on_start()
+        engine.wake(1)
+        for _ in range(4):
+            engine.step_tick()
+        ports = [p for _, p, _ in procs[2].log]
+        assert ports == [1, 2]
+
+
+class TestEngineGuards:
+    def test_requires_frozen_graph(self):
+        g = PortGraphBuilder(2).connect(0, 1).connect(1, 0).build()
+        assert g.frozen  # builder freezes; construct unfrozen manually
+        from repro.topology.portgraph import PortGraph
+
+        raw = PortGraph(2, 2)
+        raw.add_wire(0, 1, 1, 1)
+        raw.add_wire(1, 1, 0, 1)
+        with pytest.raises(SimulationError):
+            Engine(raw, [Recorder(), Recorder()])
+
+    def test_processor_count_mismatch(self, two_node_cycle):
+        with pytest.raises(SimulationError):
+            Engine(two_node_cycle, [Recorder()])
+
+    def test_root_out_of_range(self, two_node_cycle):
+        with pytest.raises(SimulationError):
+            Engine(two_node_cycle, [Recorder(), Recorder()], root=5)
+
+    def test_emit_through_unconnected_port(self):
+        class BadRoot(Recorder):
+            def on_start(self) -> None:
+                self.send(2, make_head("IG", 2))  # port 2 not wired
+
+        engine = two_node_engine(BadRoot(), Recorder())
+        with pytest.raises(SimulationError):
+            engine.start()
+            for _ in range(4):
+                engine.step_tick()
+
+    def test_tick_budget_raises(self):
+        class Bouncer(Forwarder):
+            def on_start(self) -> None:
+                self.send(1, make_body("IG", 1))
+
+        engine = two_node_engine(Bouncer(), Forwarder())
+        with pytest.raises(TickBudgetExceeded):
+            engine.run(max_ticks=50, until=lambda: False)
+
+
+class TestIdleTracking:
+    def test_idle_after_char_absorbed(self):
+        recorder = Recorder()  # absorbs everything
+        engine = two_node_engine(StarterRoot(make_head("IG", 1)), recorder)
+        ticks = engine.run(max_ticks=100)
+        assert engine.is_idle()
+        assert ticks <= 5
+
+    def test_run_until_condition(self):
+        recorder = Recorder()
+        engine = two_node_engine(StarterRoot(make_head("IG", 1)), recorder)
+        t = engine.run(max_ticks=100, until=lambda: bool(recorder.log))
+        assert t == 3
+
+    def test_run_to_idle(self):
+        recorder = Recorder()
+        engine = two_node_engine(StarterRoot(make_head("IG", 1)), recorder)
+        engine.start()
+        engine.run_to_idle(max_ticks=50)
+        assert engine.is_idle()
+
+
+class TestTranscriptRecording:
+    def test_root_recv_and_send_recorded(self):
+        fwd = Forwarder()
+        engine = two_node_engine(StarterRoot(make_head("IG", 1)), fwd)
+        engine.run(max_ticks=20)
+        sends = [e for e in engine.transcript.events() if e.kind == "send"]
+        recvs = [e for e in engine.transcript.events() if e.kind == "recv"]
+        assert len(sends) == 1  # root's own emission
+        assert len(recvs) == 1  # the forwarded copy coming back
+
+    def test_metrics_count_hops(self):
+        fwd = Forwarder()
+        engine = two_node_engine(StarterRoot(make_head("IG", 1)), fwd)
+        engine.run(max_ticks=20)
+        assert engine.metrics.delivered["IGH"] == 2
+        assert engine.metrics.emitted["IGH"] == 2
+
+
+class TestInFlightChars:
+    def test_reports_resting_and_on_wire(self):
+        fwd = Forwarder()
+        engine = two_node_engine(StarterRoot(make_head("IG", 1)), fwd)
+        engine.start()
+        engine.step_tick()
+        chars = list(engine.in_flight_chars())
+        assert chars, "character should be resting in the root"

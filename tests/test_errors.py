@@ -1,0 +1,47 @@
+"""The exception hierarchy: everything hangs off ReproError."""
+
+import pytest
+
+from repro import errors
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [
+        errors.TopologyError,
+        errors.DegreeBoundError,
+        errors.PortInUseError,
+        errors.NotStronglyConnectedError,
+        errors.SimulationError,
+        errors.TickBudgetExceeded,
+        errors.ProtocolError,
+        errors.ProtocolViolation,
+        errors.CleanupViolation,
+        errors.TranscriptError,
+        errors.ReconstructionError,
+        errors.AnalysisError,
+    ],
+)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, errors.ReproError)
+
+
+def test_degree_bound_is_topology_error():
+    assert issubclass(errors.DegreeBoundError, errors.TopologyError)
+    assert issubclass(errors.PortInUseError, errors.TopologyError)
+
+
+def test_cleanup_violation_is_protocol_error():
+    assert issubclass(errors.CleanupViolation, errors.ProtocolError)
+
+
+def test_tick_budget_records_ticks():
+    exc = errors.TickBudgetExceeded(1234)
+    assert exc.ticks == 1234
+    assert "1234" in str(exc)
+
+
+def test_tick_budget_custom_message():
+    exc = errors.TickBudgetExceeded(7, "custom")
+    assert str(exc) == "custom"
+    assert exc.ticks == 7

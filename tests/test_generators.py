@@ -1,0 +1,246 @@
+"""Generator postconditions: legality, strong connectivity, stated shapes."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import generators
+from repro.topology.properties import diameter, is_strongly_connected
+
+
+def assert_legal(graph):
+    assert graph.frozen
+    assert is_strongly_connected(graph)
+    for u in graph.nodes():
+        assert 1 <= graph.out_degree(u) <= graph.delta
+        assert 1 <= graph.in_degree(u) <= graph.delta
+
+
+class TestRings:
+    @pytest.mark.parametrize("n", [1, 2, 3, 10])
+    def test_directed_ring(self, n):
+        g = generators.directed_ring(n)
+        assert_legal(g)
+        assert g.num_wires == n
+        if n > 1:
+            assert diameter(g) == n - 1
+
+    @pytest.mark.parametrize("n", [2, 5, 9])
+    def test_bidirectional_ring(self, n):
+        g = generators.bidirectional_ring(n)
+        assert_legal(g)
+        assert g.num_wires == 2 * n
+        assert diameter(g) == n // 2
+
+    @pytest.mark.parametrize("n", [2, 4, 7])
+    def test_bidirectional_line(self, n):
+        g = generators.bidirectional_line(n)
+        assert_legal(g)
+        assert g.num_wires == 2 * (n - 1)
+        assert diameter(g) == n - 1
+
+
+class TestDeBruijnKautz:
+    @pytest.mark.parametrize("k,length", [(2, 2), (2, 4), (3, 2)])
+    def test_de_bruijn_shape(self, k, length):
+        g = generators.de_bruijn(k, length)
+        assert_legal(g)
+        assert g.num_nodes == k**length
+        assert g.delta == k
+        assert diameter(g) == length
+
+    def test_de_bruijn_has_self_loops(self):
+        g = generators.de_bruijn(2, 3)
+        self_loops = [w for w in g.wires() if w.src == w.dst]
+        assert len(self_loops) == 2  # 000 and 111
+
+    @pytest.mark.parametrize("k,length", [(2, 1), (2, 2), (3, 1)])
+    def test_kautz_shape(self, k, length):
+        g = generators.kautz(k, length)
+        assert_legal(g)
+        assert g.num_nodes == (k + 1) * k**length
+        assert not any(w.src == w.dst for w in g.wires())
+
+    def test_kautz_diameter_at_most_word_length_plus_one(self):
+        g = generators.kautz(2, 2)
+        assert diameter(g) <= 3
+
+
+class TestHypercubeTorus:
+    @pytest.mark.parametrize("dim", [1, 2, 3, 4])
+    def test_hypercube(self, dim):
+        g = generators.hypercube(dim)
+        assert_legal(g)
+        assert g.num_nodes == 2**dim
+        assert g.num_wires == dim * 2**dim
+        assert diameter(g) == dim
+
+    @pytest.mark.parametrize("rows,cols", [(2, 2), (2, 5), (4, 3)])
+    def test_torus(self, rows, cols):
+        g = generators.directed_torus(rows, cols)
+        assert_legal(g)
+        assert g.num_nodes == rows * cols
+        assert g.num_wires == 2 * rows * cols
+        assert diameter(g) == (rows - 1) + (cols - 1)
+
+    def test_complete(self):
+        g = generators.complete_bidirectional(6)
+        assert_legal(g)
+        assert g.num_wires == 30
+        assert diameter(g) == 1
+
+
+class TestRandomFamilies:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_strongly_connected(self, seed):
+        g = generators.random_strongly_connected(12, extra_edges=8, seed=seed)
+        assert_legal(g)
+        assert g.num_wires >= 12
+
+    def test_random_reproducible(self):
+        a = generators.random_strongly_connected(10, extra_edges=5, seed=3)
+        b = generators.random_strongly_connected(10, extra_edges=5, seed=3)
+        assert a == b
+
+    def test_random_single_node(self):
+        g = generators.random_strongly_connected(1, seed=0)
+        assert g.num_wires == 1  # one self-loop
+
+    def test_random_no_self_loops_by_default(self):
+        g = generators.random_strongly_connected(10, extra_edges=20, seed=1)
+        assert not any(w.src == w.dst for w in g.wires())
+
+    def test_extra_edges_negative(self):
+        with pytest.raises(ValueError):
+            generators.random_strongly_connected(5, extra_edges=-1)
+
+    @pytest.mark.parametrize("degree", [2, 3])
+    def test_random_regular(self, degree):
+        g = generators.random_regular_digraph(10, degree, seed=4)
+        assert_legal(g)
+        for u in g.nodes():
+            assert g.out_degree(u) == degree
+            assert g.in_degree(u) == degree
+
+    def test_random_regular_reproducible(self):
+        a = generators.random_regular_digraph(8, 2, seed=9)
+        b = generators.random_regular_digraph(8, 2, seed=9)
+        assert a == b
+
+
+class TestTreeWithLoop:
+    @pytest.mark.parametrize("depth", [1, 2, 3])
+    def test_shape(self, depth):
+        g = generators.tree_with_loop(depth, seed=0)
+        assert_legal(g)
+        assert g.num_nodes == 2 ** (depth + 1) - 1
+        leaves = 2**depth
+        # tree wires: 2 per parent-child pair; loop wires: one per leaf
+        assert g.num_wires == 2 * (g.num_nodes - 1) + leaves
+
+    def test_leaf_count_helper(self):
+        assert generators.tree_with_loop_leaf_count(3) == 8
+
+    def test_diameter_logarithmic(self):
+        g = generators.tree_with_loop(4, seed=1)
+        # paper: diameter <= 2 log N + 1; here 2*depth + 1
+        assert diameter(g) <= 2 * 4 + 1
+
+    def test_explicit_order(self):
+        g1 = generators.tree_with_loop(2, leaf_order=[0, 1, 2, 3])
+        g2 = generators.tree_with_loop(2, leaf_order=[0, 2, 1, 3])
+        assert g1 != g2
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(TopologyError):
+            generators.tree_with_loop(2, leaf_order=[0, 1, 2, 2])
+
+    def test_degree_bound_five(self):
+        g = generators.tree_with_loop(3, seed=5)
+        assert g.delta == 5
+
+
+def test_all_families_index():
+    fams = generators.all_families()
+    assert len(fams) >= 10
+    for name, g in fams.items():
+        assert_legal(g)
+
+
+class TestWrappedButterfly:
+    @pytest.mark.parametrize("dim", [1, 2, 3])
+    def test_shape(self, dim):
+        g = generators.wrapped_butterfly(dim)
+        assert_legal(g)
+        assert g.num_nodes == dim * 2**dim
+        assert g.num_wires == 2 * g.num_nodes
+        for u in g.nodes():
+            assert g.out_degree(u) == 2
+
+    def test_low_diameter(self):
+        g = generators.wrapped_butterfly(3)
+        assert diameter(g) <= 2 * 3
+
+    def test_level_structure(self):
+        g = generators.wrapped_butterfly(2)
+        # node (level 0, row r) wires into level 1 rows r and r^1
+        rows = 4
+        targets = {w.dst for w in g.successors(0)}
+        assert targets == {rows + 0, rows + 1}
+
+
+class TestShuffleExchange:
+    @pytest.mark.parametrize("dim", [2, 3, 4])
+    def test_shape(self, dim):
+        g = generators.shuffle_exchange(dim)
+        assert_legal(g)
+        assert g.num_nodes == 2**dim
+        assert all(g.out_degree(u) == 2 for u in g.nodes())
+
+    def test_self_loops_at_constants(self):
+        g = generators.shuffle_exchange(3)
+        loops = {w.src for w in g.wires() if w.src == w.dst}
+        assert loops == {0, 2**3 - 1}
+
+    def test_shuffle_wire_is_rotation(self):
+        g = generators.shuffle_exchange(3)
+        w = g.out_wire(0b011, 1)
+        assert w.dst == 0b110
+
+
+class TestRingOfRings:
+    @pytest.mark.parametrize("outer,inner", [(2, 2), (3, 4), (5, 3)])
+    def test_shape(self, outer, inner):
+        g = generators.ring_of_rings(outer, inner)
+        assert_legal(g)
+        assert g.num_nodes == outer * inner
+        assert g.num_wires == outer * inner + outer
+
+    def test_gateways_have_degree_two(self):
+        g = generators.ring_of_rings(3, 4)
+        for s in range(3):
+            assert g.out_degree(s * 4) == 2
+
+    def test_inner_nodes_degree_one(self):
+        g = generators.ring_of_rings(3, 4)
+        assert g.out_degree(1) == 1
+
+
+class TestManhattanGrid:
+    @pytest.mark.parametrize("rows,cols", [(2, 2), (2, 4), (4, 4), (4, 6)])
+    def test_shape(self, rows, cols):
+        g = generators.manhattan_grid(rows, cols)
+        assert_legal(g)
+        assert g.num_nodes == rows * cols
+        assert g.num_wires == 2 * rows * cols
+
+    def test_rejects_odd_dimensions(self):
+        with pytest.raises(TopologyError):
+            generators.manhattan_grid(3, 4)
+        with pytest.raises(TopologyError):
+            generators.manhattan_grid(4, 5)
+
+    def test_alternating_directions(self):
+        g = generators.manhattan_grid(4, 4)
+        # row 0 goes east: node 0 -> 1; row 1 goes west: node 5 -> 4
+        assert any(w.dst == 1 for w in g.successors(0))
+        assert any(w.dst == 4 for w in g.successors(5))

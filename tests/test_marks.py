@@ -1,0 +1,138 @@
+"""Register bundles: growing marks, loop slots, BCA slot, dying relays."""
+
+from repro.protocol.marks import BcaSlot, DyingRelay, GrowingMarks, LoopSlots
+
+
+class TestGrowingMarks:
+    def test_initially_clear(self):
+        m = GrowingMarks()
+        assert not m.visited
+        assert m.parent_in is None
+
+    def test_mark_and_clear(self):
+        m = GrowingMarks()
+        m.mark(3)
+        assert m.visited and m.parent_in == 3
+        m.clear()
+        assert not m.visited and m.parent_in is None
+
+    def test_origin_mark(self):
+        m = GrowingMarks()
+        m.mark(None)  # flood origin: visited but no parent
+        assert m.visited and m.parent_in is None
+
+    def test_snapshot(self):
+        m = GrowingMarks()
+        m.mark(2)
+        assert m.snapshot() == {"visited": True, "parent_in": 2}
+
+
+class TestLoopSlotsSingle:
+    def test_slot1_routing(self):
+        s = LoopSlots()
+        s.set_slot(1, pred=2, succ=4)
+        assert s.any_set()
+        assert s.expected_pred() == 2
+        assert s.route(2) == 4
+
+    def test_slot2_routing(self):
+        s = LoopSlots()
+        s.set_slot(2, pred=1, succ=3)
+        assert s.route(1) == 3
+
+    def test_wrong_port_rejected(self):
+        s = LoopSlots()
+        s.set_slot(1, pred=2, succ=4)
+        assert s.route(3) is None
+
+    def test_unmark_forgets(self):
+        s = LoopSlots()
+        s.set_slot(1, pred=2, succ=4)
+        assert s.unmark(2) == 4
+        assert not s.any_set()
+
+    def test_route_on_empty(self):
+        assert LoopSlots().route(1) is None
+        assert LoopSlots().unmark(1) is None
+
+
+class TestLoopSlotsAlternation:
+    """A processor appearing twice on the loop (paper §2.4)."""
+
+    def make_double(self) -> LoopSlots:
+        s = LoopSlots()
+        s.set_slot(1, pred=1, succ=2)
+        s.set_slot(2, pred=3, succ=4)
+        return s
+
+    def test_loop_token_alternates_1_2_1(self):
+        s = self.make_double()
+        assert s.route(1) == 2  # first pass: slot 1
+        assert s.route(3) == 4  # second pass: slot 2
+        assert s.route(1) == 2  # back to slot 1
+
+    def test_out_of_order_rejected(self):
+        s = self.make_double()
+        assert s.route(3) is None  # slot 2 before slot 1: inappropriate
+
+    def test_unmark_first_pass_keeps_slot2(self):
+        s = self.make_double()
+        assert s.unmark(1) == 2
+        assert s.pred1 is None and s.pred2 == 3
+        assert s.any_set()
+
+    def test_unmark_both_passes_clears(self):
+        s = self.make_double()
+        s.unmark(1)
+        assert s.unmark(3) == 4
+        assert not s.any_set()
+
+    def test_unmark_wrong_order_rejected(self):
+        s = self.make_double()
+        assert s.unmark(3) is None
+
+    def test_full_token_round_then_unmark_round(self):
+        # The protocol sends FORWARD/BACK around once, then UNMARK once.
+        s = self.make_double()
+        assert s.route(1) == 2 and s.route(3) == 4
+        assert s.unmark(1) == 2 and s.unmark(3) == 4
+        assert not s.any_set()
+
+    def test_clear(self):
+        s = self.make_double()
+        s.clear()
+        assert not s.any_set()
+        assert s.expect == 1
+
+
+class TestBcaSlot:
+    def test_set_active_clear(self):
+        b = BcaSlot()
+        assert not b.active()
+        b.set(pred=1, succ=2)
+        assert b.active()
+        b.is_target = True
+        b.clear()
+        assert not b.active() and not b.is_target
+
+    def test_snapshot(self):
+        b = BcaSlot()
+        b.set(2, 3)
+        assert b.snapshot() == {"pred": 2, "succ": 3, "is_target": False}
+
+
+class TestDyingRelay:
+    def test_lifecycle(self):
+        r = DyingRelay()
+        assert not r.active
+        r.start(pred=1, succ=2)
+        assert r.active and r.promote_next
+        r.promote_next = False
+        r.finish()
+        assert not r.active and r.pred is None
+
+    def test_snapshot(self):
+        r = DyingRelay()
+        r.start(1, 2)
+        snap = r.snapshot()
+        assert snap["active"] and snap["promote_next"]

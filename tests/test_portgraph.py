@@ -1,0 +1,198 @@
+"""Unit tests for the PortGraph model and builder."""
+
+import pytest
+
+from repro.errors import (
+    DegreeBoundError,
+    PortInUseError,
+    NotStronglyConnectedError,
+    TopologyError,
+)
+from repro.topology.builder import PortGraphBuilder
+from repro.topology.portgraph import PortGraph, Wire
+
+
+class TestConstruction:
+    def test_basic_wire(self):
+        g = PortGraph(2, 2)
+        w = g.add_wire(0, 1, 1, 2)
+        assert w == Wire(0, 1, 1, 2)
+        assert g.out_wire(0, 1) == w
+        assert g.in_wire(1, 2) == w
+        assert g.num_wires == 1
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            PortGraph(2, 1)  # paper requires delta >= 2
+
+    def test_invalid_num_nodes(self):
+        with pytest.raises(ValueError):
+            PortGraph(0, 2)
+
+    def test_port_zero_rejected(self):
+        g = PortGraph(2, 2)
+        with pytest.raises(DegreeBoundError):
+            g.add_wire(0, 0, 1, 1)
+
+    def test_port_above_delta_rejected(self):
+        g = PortGraph(2, 2)
+        with pytest.raises(DegreeBoundError):
+            g.add_wire(0, 3, 1, 1)
+
+    def test_out_port_reuse_rejected(self):
+        g = PortGraph(3, 2)
+        g.add_wire(0, 1, 1, 1)
+        with pytest.raises(PortInUseError):
+            g.add_wire(0, 1, 2, 1)
+
+    def test_in_port_reuse_rejected(self):
+        g = PortGraph(3, 2)
+        g.add_wire(0, 1, 2, 1)
+        with pytest.raises(PortInUseError):
+            g.add_wire(1, 1, 2, 1)
+
+    def test_bad_node_id(self):
+        g = PortGraph(2, 2)
+        with pytest.raises(TopologyError):
+            g.add_wire(0, 1, 5, 1)
+        with pytest.raises(TopologyError):
+            g.add_wire(-1, 1, 0, 1)
+
+    def test_self_loop_allowed(self):
+        g = PortGraph(1, 2)
+        g.add_wire(0, 1, 0, 1)
+        assert g.num_wires == 1
+
+    def test_parallel_edges_on_distinct_ports(self):
+        g = PortGraph(2, 2)
+        g.add_wire(0, 1, 1, 1)
+        g.add_wire(0, 2, 1, 2)
+        assert g.num_wires == 2
+
+
+class TestFreeze:
+    def test_freeze_requires_in_and_out(self):
+        g = PortGraph(2, 2)
+        g.add_wire(0, 1, 1, 1)
+        with pytest.raises(TopologyError):
+            g.freeze()  # node 1 has no out-port, node 0 no in-port
+
+    def test_freeze_blocks_mutation(self):
+        g = PortGraph(2, 2)
+        g.add_wire(0, 1, 1, 1)
+        g.add_wire(1, 1, 0, 1)
+        g.freeze()
+        assert g.frozen
+        with pytest.raises(TopologyError):
+            g.add_wire(0, 2, 1, 2)
+
+    def test_freeze_returns_self(self):
+        g = PortGraph(1, 2)
+        g.add_wire(0, 1, 0, 1)
+        assert g.freeze() is g
+
+
+class TestInspection:
+    def test_connected_ports(self, ring4):
+        for u in ring4.nodes():
+            assert ring4.connected_out_ports(u) == (1, 2)
+            assert ring4.connected_in_ports(u) == (1, 2)
+
+    def test_successors_ordered_by_port(self, ring4):
+        succ = ring4.successors(0)
+        assert [w.out_port for w in succ] == [1, 2]
+
+    def test_predecessors(self, ring4):
+        preds = ring4.predecessors(0)
+        assert len(preds) == 2
+        assert all(w.dst == 0 for w in preds)
+
+    def test_degrees(self, dring5):
+        for u in dring5.nodes():
+            assert dring5.out_degree(u) == 1
+            assert dring5.in_degree(u) == 1
+
+    def test_edge_set_roundtrip(self, ring4):
+        assert len(ring4.edge_set()) == ring4.num_wires
+
+    def test_equality_and_hash(self, two_node_cycle):
+        b = PortGraphBuilder(2)
+        b.connect(0, 1).connect(1, 0)
+        other = b.build()
+        assert other == two_node_cycle
+        assert hash(other) == hash(two_node_cycle)
+
+    def test_inequality_different_wires(self, two_node_cycle):
+        g = PortGraph(2, 2)
+        g.add_wire(0, 2, 1, 1)
+        g.add_wire(1, 1, 0, 1)
+        assert g.freeze() != two_node_cycle
+
+    def test_eq_not_implemented_for_other_types(self, ring4):
+        assert ring4 != "graph"
+
+    def test_require_strongly_connected_passes(self, ring4):
+        assert ring4.require_strongly_connected() is ring4
+
+    def test_require_strongly_connected_fails(self):
+        # Two disconnected self-loop islands: legal but not strongly connected.
+        g = PortGraph(2, 2)
+        g.add_wire(0, 1, 0, 1)
+        g.add_wire(1, 1, 1, 1)
+        g.freeze()
+        with pytest.raises(NotStronglyConnectedError):
+            g.require_strongly_connected()
+
+    def test_freeze_rejects_missing_in_port(self):
+        g = PortGraph(2, 2)
+        g.add_wire(0, 1, 1, 1)
+        g.add_wire(1, 1, 1, 2)  # node 0 never receives
+        with pytest.raises(TopologyError):
+            g.freeze()
+
+
+class TestBuilder:
+    def test_auto_ports_lowest_first(self):
+        b = PortGraphBuilder(3)
+        b.connect(0, 1).connect(0, 2)
+        g = b.connect(1, 0).connect(2, 0).build()
+        assert g.out_wire(0, 1).dst == 1
+        assert g.out_wire(0, 2).dst == 2
+
+    def test_auto_delta_minimum_two(self):
+        b = PortGraphBuilder(2)
+        g = b.connect(0, 1).connect(1, 0).build()
+        assert g.delta == 2
+
+    def test_auto_delta_grows(self):
+        b = PortGraphBuilder(4)
+        for v in (1, 2, 3):
+            b.connect_bidirectional(0, v)
+        g = b.build()
+        assert g.delta == 3
+
+    def test_explicit_delta_too_small(self):
+        b = PortGraphBuilder(4, delta=2)
+        for v in (1, 2, 3):
+            b.connect_bidirectional(0, v)
+        with pytest.raises(DegreeBoundError):
+            b.build()
+
+    def test_connect_validates_ids(self):
+        b = PortGraphBuilder(2)
+        with pytest.raises(ValueError):
+            b.connect(0, 5)
+
+    def test_bidirectional_is_two_wires(self):
+        b = PortGraphBuilder(2)
+        g = b.connect_bidirectional(0, 1).build()
+        assert g.num_wires == 2
+        assert {(w.src, w.dst) for w in g.wires()} == {(0, 1), (1, 0)}
+
+    def test_queued_edges(self):
+        b = PortGraphBuilder(2)
+        b.connect(0, 1)
+        assert b.queued_edges() == [(0, 1)]
+
+    def test_built_graph_is_frozen(self, ring4):
+        assert ring4.frozen

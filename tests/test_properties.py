@@ -1,0 +1,144 @@
+"""Graph property routines, cross-checked against networkx."""
+
+import pytest
+
+from repro.errors import NotStronglyConnectedError
+from repro.topology import generators
+from repro.topology.portgraph import PortGraph
+from repro.topology.properties import (
+    bfs_distances,
+    diameter,
+    eccentricity,
+    is_strongly_connected,
+    shortest_path_ports,
+)
+
+
+def to_networkx(graph: PortGraph):
+    nx = pytest.importorskip("networkx")
+    g = nx.MultiDiGraph()
+    g.add_nodes_from(graph.nodes())
+    g.add_edges_from((w.src, w.dst) for w in graph.wires())
+    return g
+
+
+class TestBfsDistances:
+    def test_directed_ring(self):
+        g = generators.directed_ring(5)
+        assert bfs_distances(g, 0) == [0, 1, 2, 3, 4]
+
+    def test_unreachable_marked(self):
+        g = PortGraph(2, 2)
+        g.add_wire(0, 1, 0, 1)
+        g.add_wire(1, 1, 1, 1)
+        g.freeze()
+        assert bfs_distances(g, 0) == [0, -1]
+
+    def test_source_distance_zero(self, debruijn8):
+        for u in debruijn8.nodes():
+            assert bfs_distances(debruijn8, u)[u] == 0
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: generators.directed_ring(7),
+            lambda: generators.bidirectional_ring(8),
+            lambda: generators.de_bruijn(2, 3),
+            lambda: generators.directed_torus(3, 4),
+            lambda: generators.random_strongly_connected(11, extra_edges=7, seed=2),
+        ],
+    )
+    def test_matches_networkx(self, factory):
+        nx = pytest.importorskip("networkx")
+        graph = factory()
+        ours = bfs_distances(graph, 0)
+        theirs = nx.single_source_shortest_path_length(to_networkx(graph), 0)
+        for node in graph.nodes():
+            assert ours[node] == theirs[node]
+
+
+class TestStrongConnectivity:
+    def test_single_node(self, self_loop_single):
+        assert is_strongly_connected(self_loop_single)
+
+    def test_all_families(self):
+        for name, g in generators.all_families().items():
+            assert is_strongly_connected(g), name
+
+    def test_one_way_pair_not_strong(self):
+        g = PortGraph(2, 2)
+        g.add_wire(0, 1, 1, 1)
+        g.add_wire(1, 1, 1, 2)
+        g.add_wire(0, 2, 0, 1)
+        # node 1 never reaches node 0
+        assert not is_strongly_connected(g)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_networkx(self, seed):
+        nx = pytest.importorskip("networkx")
+        g = generators.random_strongly_connected(9, extra_edges=seed * 2, seed=seed)
+        assert is_strongly_connected(g) == nx.is_strongly_connected(to_networkx(g))
+
+
+class TestDiameter:
+    def test_directed_ring(self):
+        assert diameter(generators.directed_ring(6)) == 5
+
+    def test_bidirectional_ring(self):
+        assert diameter(generators.bidirectional_ring(8)) == 4
+
+    def test_de_bruijn(self):
+        assert diameter(generators.de_bruijn(2, 4)) == 4
+
+    def test_torus(self):
+        assert diameter(generators.directed_torus(3, 5)) == 2 + 4
+
+    def test_complete(self):
+        assert diameter(generators.complete_bidirectional(5)) == 1
+
+    def test_single_node(self, self_loop_single):
+        assert diameter(self_loop_single) == 0
+
+    def test_eccentricity_unreachable_raises(self):
+        g = PortGraph(2, 2)
+        g.add_wire(0, 1, 0, 1)
+        g.add_wire(1, 1, 1, 1)
+        with pytest.raises(NotStronglyConnectedError):
+            eccentricity(g, 0)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_networkx(self, seed):
+        nx = pytest.importorskip("networkx")
+        g = generators.random_strongly_connected(8, extra_edges=6, seed=seed)
+        assert diameter(g) == nx.diameter(to_networkx(g))
+
+
+class TestShortestPathPorts:
+    def test_trivial(self, ring4):
+        assert shortest_path_ports(ring4, 2, 2) == []
+
+    def test_adjacent(self, dring5):
+        hops = shortest_path_ports(dring5, 0, 1)
+        assert hops is not None and len(hops) == 1
+
+    def test_length_matches_distance(self, debruijn8):
+        for target in debruijn8.nodes():
+            hops = shortest_path_ports(debruijn8, 0, target)
+            assert hops is not None
+            assert len(hops) == bfs_distances(debruijn8, 0)[target]
+
+    def test_hops_are_real_wires(self, debruijn8):
+        hops = shortest_path_ports(debruijn8, 0, 7)
+        node = 0
+        assert hops is not None
+        for out_port, in_port in hops:
+            wire = debruijn8.out_wire(node, out_port)
+            assert wire is not None and wire.in_port == in_port
+            node = wire.dst
+        assert node == 7
+
+    def test_unreachable_none(self):
+        g = PortGraph(2, 2)
+        g.add_wire(0, 1, 0, 1)
+        g.add_wire(1, 1, 1, 1)
+        assert shortest_path_ports(g, 0, 1) is None

@@ -1,0 +1,128 @@
+"""Property-based tests: the protocol's guarantees on random networks.
+
+These are the paper's theorems as hypothesis properties:
+
+* Theorem 4.1 — exact recovery on arbitrary strongly-connected networks;
+* Lemma 4.2  — zero residue after every RCA/BCA (``verify_cleanup=True``
+  raises mid-run on any violation);
+* finite-stateness — processor memory independent of N;
+* BCA contract on arbitrary edges of arbitrary networks.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import determine_topology
+from repro.protocol.bca import run_single_bca
+from repro.protocol.invariants import collect_residue
+from repro.protocol.rca import run_single_rca
+from repro.topology import generators
+from repro.topology.builder import PortGraphBuilder
+from repro.topology.portgraph import PortGraph
+
+_SETTINGS = dict(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def strongly_connected_graphs(draw, max_nodes: int = 10) -> PortGraph:
+    """Random strongly-connected port graphs (cycle + random chords)."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    extra = draw(st.integers(min_value=0, max_value=2 * n))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    loops = draw(st.booleans())
+    return generators.random_strongly_connected(
+        n, extra_edges=extra, seed=seed, allow_self_loops=loops
+    )
+
+
+@st.composite
+def mixed_structured_graphs(draw) -> PortGraph:
+    """Small instances drawn from the structured families."""
+    builders = [
+        lambda k: generators.directed_ring(3 + k),
+        lambda k: generators.bidirectional_ring(3 + k),
+        lambda k: generators.bidirectional_line(3 + k),
+        lambda k: generators.directed_torus(2 + k % 2, 2 + k // 2),
+        lambda k: generators.tree_with_loop(1 + k % 2, seed=k),
+        lambda k: generators.random_regular_digraph(4 + k, 2, seed=k),
+    ]
+    which = draw(st.integers(min_value=0, max_value=len(builders) - 1))
+    k = draw(st.integers(min_value=0, max_value=4))
+    return builders[which](k)
+
+
+class TestTheorem41Property:
+    @given(graph=strongly_connected_graphs())
+    @settings(**_SETTINGS)
+    def test_exact_recovery_random(self, graph):
+        result = determine_topology(graph, verify_cleanup=True)
+        assert result.matches(graph)
+
+    @given(graph=mixed_structured_graphs())
+    @settings(**_SETTINGS)
+    def test_exact_recovery_structured(self, graph):
+        result = determine_topology(graph)
+        assert result.matches(graph)
+
+    @given(graph=strongly_connected_graphs(max_nodes=7), data=st.data())
+    @settings(**_SETTINGS)
+    def test_any_root_recovers(self, graph, data):
+        root = data.draw(st.integers(min_value=0, max_value=graph.num_nodes - 1))
+        result = determine_topology(graph, root=root)
+        assert result.matches(graph, root=root)
+
+
+class TestLemma42Property:
+    @given(graph=strongly_connected_graphs(max_nodes=8), data=st.data())
+    @settings(**_SETTINGS)
+    def test_single_rca_leaves_nothing(self, graph, data):
+        initiator = data.draw(
+            st.integers(min_value=1, max_value=graph.num_nodes - 1)
+        )
+        result = run_single_rca(graph, initiator=initiator)
+        assert collect_residue(result.engine) == []
+
+    @given(graph=strongly_connected_graphs(max_nodes=8), data=st.data())
+    @settings(**_SETTINGS)
+    def test_single_bca_leaves_nothing(self, graph, data):
+        node = data.draw(st.integers(min_value=0, max_value=graph.num_nodes - 1))
+        ports = graph.connected_in_ports(node)
+        in_port = data.draw(st.sampled_from(list(ports)))
+        result = run_single_bca(graph, node=node, in_port=in_port)
+        assert collect_residue(result.engine) == []
+        wire = graph.in_wire(node, in_port)
+        assert result.target == wire.src
+
+
+class TestFiniteStateProperty:
+    @given(graph=strongly_connected_graphs(max_nodes=9))
+    @settings(**_SETTINGS)
+    def test_audit_passes_at_termination(self, graph):
+        result = determine_topology(graph, audit_finite_state=True)
+        assert result.matches(graph)
+
+
+class TestBuilderProperty:
+    @given(
+        n=st.integers(min_value=2, max_value=12),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(**_SETTINGS)
+    def test_generated_graphs_legal(self, n, seed):
+        g = generators.random_strongly_connected(n, extra_edges=n, seed=seed)
+        for u in g.nodes():
+            assert 1 <= g.out_degree(u) <= g.delta
+            assert 1 <= g.in_degree(u) <= g.delta
+
+    @given(
+        perm=st.permutations(list(range(4))),
+    )
+    @settings(max_examples=24, deadline=None)
+    def test_tree_with_loop_all_orders_recoverable(self, perm):
+        g = generators.tree_with_loop(2, leaf_order=list(perm))
+        result = determine_topology(g)
+        assert result.matches(g)

@@ -1,0 +1,79 @@
+"""Property-based tests for the topology layer itself."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.topology import generators
+from repro.topology.isomorphism import port_isomorphic, rooted_port_map
+from repro.topology.portgraph import PortGraph
+from repro.topology.properties import bfs_distances, diameter, is_strongly_connected
+from repro.topology.serialize import from_json, to_json
+
+_SETTINGS = dict(max_examples=30, deadline=None)
+
+
+@st.composite
+def graphs(draw) -> PortGraph:
+    n = draw(st.integers(min_value=1, max_value=12))
+    extra = draw(st.integers(min_value=0, max_value=12))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return generators.random_strongly_connected(n, extra_edges=extra, seed=seed)
+
+
+class TestSerializationProperty:
+    @given(graph=graphs())
+    @settings(**_SETTINGS)
+    def test_json_roundtrip(self, graph):
+        assert from_json(to_json(graph)) == graph
+
+    @given(graph=graphs())
+    @settings(**_SETTINGS)
+    def test_roundtrip_preserves_isomorphism(self, graph):
+        again = from_json(to_json(graph))
+        assert port_isomorphic(graph, 0, again, 0)
+
+
+class TestIsomorphismProperty:
+    @given(graph=graphs(), seed=st.integers(min_value=0, max_value=999))
+    @settings(**_SETTINGS)
+    def test_relabeling_always_isomorphic(self, graph, seed):
+        import random
+
+        perm = list(graph.nodes())
+        random.Random(seed).shuffle(perm)
+        relabeled = PortGraph(graph.num_nodes, graph.delta)
+        for w in graph.wires():
+            relabeled.add_wire(perm[w.src], w.out_port, perm[w.dst], w.in_port)
+        relabeled.freeze()
+        mapping = rooted_port_map(graph, 0, relabeled, perm[0])
+        assert mapping is not None
+        assert all(mapping[u] == perm[u] for u in graph.nodes())
+
+    @given(graph=graphs())
+    @settings(**_SETTINGS)
+    def test_isomorphism_reflexive(self, graph):
+        assert port_isomorphic(graph, 0, graph, 0)
+
+
+class TestPropertiesProperty:
+    @given(graph=graphs())
+    @settings(**_SETTINGS)
+    def test_distances_consistent_with_diameter(self, graph):
+        d = diameter(graph)
+        assert all(
+            max(bfs_distances(graph, u)) <= d for u in graph.nodes()
+        )
+
+    @given(graph=graphs())
+    @settings(**_SETTINGS)
+    def test_generated_always_strong(self, graph):
+        assert is_strongly_connected(graph)
+
+    @given(graph=graphs())
+    @settings(**_SETTINGS)
+    def test_triangle_inequality_via_root(self, graph):
+        # d(u, v) <= d(u, 0) + d(0, v)
+        from_root = bfs_distances(graph, 0)
+        for u in list(graph.nodes())[:4]:
+            du = bfs_distances(graph, u)
+            for v in list(graph.nodes())[:4]:
+                assert du[v] <= du[0] + from_root[v]

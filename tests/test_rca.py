@@ -1,0 +1,142 @@
+"""The Root Communication Algorithm: Lemmas 4.1, 4.2 and 4.3 in miniature."""
+
+import pytest
+
+from repro.errors import ProtocolViolation
+from repro.sim.characters import Char
+from repro.protocol.invariants import assert_network_clean, collect_residue
+from repro.protocol.rca import run_single_rca
+from repro.topology import generators
+from repro.topology.properties import bfs_distances
+
+
+def reconstruct_streams(transcript):
+    """Pull (path1, path2) the way the master computer does."""
+    path1, path2 = [], []
+    phase = "open"
+    src = None
+    for e in transcript.events():
+        if e.kind != "recv" or e.char is None:
+            continue
+        c, port = e.char, e.port
+        fill = port if c.in_port == 0 else c.in_port
+        if phase == "open" and c.kind == "IGH":
+            phase, src = "ig", port
+            path1.append((c.out_port, fill))
+        elif phase == "ig" and port == src and c.kind == "IGB":
+            path1.append((c.out_port, fill))
+        elif phase == "ig" and port == src and c.kind == "IGT":
+            phase = "await_id"
+        elif phase == "await_id" and c.kind == "IDH":
+            phase = "id"
+            path2.append((c.out_port, fill))
+        elif phase == "id" and c.kind == "IDB":
+            path2.append((c.out_port, fill))
+        elif phase == "id" and c.kind == "IDT":
+            phase = "done"
+    return path1, path2
+
+
+class TestSingleRCA:
+    def test_completes_and_cleans(self, ring4):
+        result = run_single_rca(ring4, initiator=2)
+        assert result.completed_at > 0
+        assert_network_clean(result.engine)
+
+    def test_token_observed_at_root(self, ring4):
+        result = run_single_rca(ring4, initiator=2, token=Char("FWD", 2, 1))
+        assert [c.kind for c in result.forward_events] == ["FWD"]
+        assert result.forward_events[0].out_port == 2
+
+    def test_back_token(self, ring4):
+        result = run_single_rca(ring4, initiator=1, token=Char("BACK"))
+        assert [c.kind for c in result.forward_events] == ["BACK"]
+
+    def test_root_cannot_initiate(self, ring4):
+        with pytest.raises(ProtocolViolation):
+            run_single_rca(ring4, initiator=0)
+
+    @pytest.mark.parametrize("initiator", [1, 2, 3, 4])
+    def test_all_initiators_on_directed_ring(self, initiator, dring5):
+        result = run_single_rca(dring5, initiator=initiator)
+        assert_network_clean(result.engine)
+
+
+class TestLemma41CanonicalPaths:
+    """The transcript encodes shortest paths A->root and root->A."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: generators.bidirectional_ring(6),
+            lambda: generators.de_bruijn(2, 3),
+            lambda: generators.directed_torus(3, 3),
+            lambda: generators.random_strongly_connected(9, extra_edges=6, seed=4),
+        ],
+    )
+    def test_path_lengths_are_shortest(self, factory):
+        graph = factory()
+        to_root = {u: bfs_distances(graph, u)[0] for u in graph.nodes()}
+        from_root = bfs_distances(graph, 0)
+        for initiator in range(1, graph.num_nodes):
+            result = run_single_rca(graph, initiator=initiator)
+            path1, path2 = reconstruct_streams(result.transcript)
+            assert len(path1) == to_root[initiator], f"A={initiator} path1"
+            assert len(path2) == from_root[initiator], f"A={initiator} path2"
+
+    def test_paths_walk_real_wires(self, debruijn8):
+        result = run_single_rca(debruijn8, initiator=5)
+        path1, path2 = reconstruct_streams(result.transcript)
+        node = 5
+        for out_port, in_port in path1:
+            wire = debruijn8.out_wire(node, out_port)
+            assert wire is not None and wire.in_port == in_port
+            node = wire.dst
+        assert node == 0  # reached the root
+        for out_port, in_port in path2:
+            wire = debruijn8.out_wire(node, out_port)
+            assert wire is not None and wire.in_port == in_port
+            node = wire.dst
+        assert node == 5  # and back to A
+
+    def test_deterministic_signature(self, debruijn8):
+        a = run_single_rca(debruijn8, initiator=6)
+        b = run_single_rca(debruijn8, initiator=6)
+        assert reconstruct_streams(a.transcript) == reconstruct_streams(b.transcript)
+
+    def test_distinct_initiators_distinct_signatures(self, debruijn8):
+        sigs = set()
+        for initiator in range(1, 8):
+            r = run_single_rca(debruijn8, initiator=initiator)
+            sigs.add(tuple(map(tuple, reconstruct_streams(r.transcript))))
+        assert len(sigs) == 7
+
+
+class TestLemma42Cleanup:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_no_residue_on_random_graphs(self, seed):
+        graph = generators.random_strongly_connected(8, extra_edges=5, seed=seed)
+        result = run_single_rca(graph, initiator=1 + seed % 7)
+        assert collect_residue(result.engine) == []
+
+    def test_idle_at_end(self, ring4):
+        result = run_single_rca(ring4, initiator=3)
+        assert result.engine.is_idle()
+
+
+class TestLemma43LinearInD:
+    def test_ticks_proportional_to_distance(self):
+        # On a bidirectional line, RCA from the far end costs Theta(D).
+        times = []
+        for n in (4, 8, 16, 32):
+            g = generators.bidirectional_line(n)
+            r = run_single_rca(g, initiator=n - 1)
+            times.append(r.completed_at)
+        ratios = [t / n for t, n in zip(times, (4, 8, 16, 32))]
+        assert max(ratios) / min(ratios) < 1.5
+
+    def test_nearby_initiator_is_fast(self):
+        g = generators.bidirectional_line(32)
+        near = run_single_rca(g, initiator=1).completed_at
+        far = run_single_rca(g, initiator=31).completed_at
+        assert near * 5 < far

@@ -1,0 +1,168 @@
+"""Master computer unit tests on synthetic transcripts."""
+
+import pytest
+
+from repro.errors import ReconstructionError, TranscriptError
+from repro.sim.characters import Char, STAR, make_body, make_head, make_tail
+from repro.sim.transcript import Transcript
+from repro.protocol.gtd import PIPE_DFS_RETURNED, PIPE_START, PIPE_TERMINAL
+from repro.protocol.root_computer import MasterComputer, ReconstructedMap
+
+
+def rca_events(t: Transcript, tick: int, path1, path2, token: Char) -> int:
+    """Append a synthetic RCA (the root's view) to the transcript."""
+    out, inp = path1[0]
+    t.record_recv(tick, path1[0][1], Char("IGH", out, inp))
+    for out, inp in path1[1:]:
+        tick += 1
+        t.record_recv(tick, path1[-1][1], Char("IGB", out, inp))
+    tick += 1
+    t.record_recv(tick, path1[-1][1], make_tail("IG"))
+    tick += 1
+    t.record_recv(tick, path1[-1][1], Char("IDH", path2[0][0], path2[0][1]))
+    for out, inp in path2[1:]:
+        tick += 1
+        t.record_recv(tick, path1[-1][1], Char("IDB", out, inp))
+    tick += 1
+    t.record_recv(tick, path1[-1][1], make_tail("ID"))
+    tick += 1
+    t.record_recv(tick, path1[-1][1], token)
+    tick += 1
+    t.record_recv(tick, path1[-1][1], Char("UNMARK", payload="RCA"))
+    return tick + 1
+
+
+def minimal_two_node_transcript() -> Transcript:
+    """Root <-> A, probe out, A reports FORWARD, then returns, then done."""
+    t = Transcript()
+    t.record_pipe(0, PIPE_START, ())
+    t.record_send(0, 1, Char("DFS", 1, STAR))
+    # A's FORWARD RCA: path1 = A->root via (1,1); path2 = root->A via (1,1)
+    tick = rca_events(t, 5, [(1, 1)], [(1, 1)], Char("FWD", 1, 1))
+    # A explored its port back to root: DFS arrives at root (a forward edge
+    # onto the root).
+    t.record_recv(tick, 1, Char("DFS", 1, STAR))
+    tick += 1
+    # root bounces; A's probe returns: A runs a BACK RCA.
+    tick = rca_events(t, tick, [(1, 1)], [(1, 1)], Char("BACK"))
+    # A finished; returns the token to the root (its parent).
+    t.record_pipe(tick, PIPE_DFS_RETURNED, ())
+    t.record_pipe(tick + 1, PIPE_TERMINAL, ())
+    return t
+
+
+class TestHappyPath:
+    def test_two_node_reconstruction(self):
+        result = MasterComputer().reconstruct(minimal_two_node_transcript())
+        assert result.num_nodes == 2
+        wires = {(w.src, w.out_port, w.dst, w.in_port) for w in result.wires}
+        assert wires == {(0, 1, 1, 1), (1, 1, 0, 1)}
+
+    def test_to_portgraph(self):
+        result = MasterComputer().reconstruct(minimal_two_node_transcript())
+        graph = result.to_portgraph()
+        assert graph.num_nodes == 2
+        assert graph.num_wires == 2
+        assert graph.frozen
+
+    def test_signature_recorded(self):
+        result = MasterComputer().reconstruct(minimal_two_node_transcript())
+        assert result.signatures[1] == (((1, 1),), ((1, 1),))
+
+    def test_star_in_ports_resolved(self):
+        # Characters created adjacent to the root arrive with STAR in-ports;
+        # the computer must substitute the arrival port.
+        t = Transcript()
+        t.record_pipe(0, PIPE_START, ())
+        tick = 3
+        t.record_recv(tick, 2, Char("IGH", 1, STAR))     # arrival port 2
+        t.record_recv(tick + 1, 2, make_tail("IG"))
+        t.record_recv(tick + 2, 2, Char("IDH", 1, STAR))
+        t.record_recv(tick + 3, 2, make_tail("ID"))
+        t.record_recv(tick + 4, 2, Char("FWD", 1, 1))
+        t.record_recv(tick + 5, 2, Char("UNMARK", payload="RCA"))
+        t.record_recv(tick + 6, 1, Char("DFS", 1, STAR))
+        t.record_pipe(tick + 7, PIPE_DFS_RETURNED, ())
+        t.record_pipe(tick + 8, PIPE_TERMINAL, ())
+        # stack: push A (FWD), push root (DFS recv)... that DFS pop comes
+        # from a BACK; simplify: pop via DFS_RETURNED twice won't match.
+        # Instead just verify the signature fill-in:
+        computer = MasterComputer(strict=False)
+        try:
+            computer.reconstruct(t)
+        except (ReconstructionError, TranscriptError):
+            pass
+        sig = computer._signatures.get(1)
+        assert sig == (((1, 2),), ((1, 2),))
+
+
+class TestErrorDetection:
+    def test_terminal_missing(self):
+        t = Transcript()
+        t.record_pipe(0, PIPE_START, ())
+        with pytest.raises(TranscriptError):
+            MasterComputer().reconstruct(t)
+
+    def test_terminal_with_unbalanced_stack(self):
+        t = Transcript()
+        t.record_pipe(0, PIPE_START, ())
+        rca_events(t, 3, [(1, 1)], [(1, 1)], Char("FWD", 1, 1))
+        t.record_pipe(99, PIPE_TERMINAL, ())
+        with pytest.raises(ReconstructionError):
+            MasterComputer().reconstruct(t)
+
+    def test_pop_on_empty_stack(self):
+        t = Transcript()
+        t.record_pipe(0, PIPE_START, ())
+        t.record_pipe(1, PIPE_DFS_RETURNED, ())
+        with pytest.raises(ReconstructionError):
+            MasterComputer().reconstruct(t)
+
+    def test_duplicate_start(self):
+        t = Transcript()
+        t.record_pipe(0, PIPE_START, ())
+        t.record_pipe(1, PIPE_START, ())
+        with pytest.raises(TranscriptError):
+            MasterComputer().reconstruct(t)
+
+    def test_loop_token_before_paths(self):
+        t = Transcript()
+        t.record_pipe(0, PIPE_START, ())
+        t.record_recv(1, 1, Char("FWD", 1, 1))
+        with pytest.raises(TranscriptError):
+            MasterComputer().reconstruct(t)
+
+    def test_duplicate_out_port_strict(self):
+        t = Transcript()
+        t.record_pipe(0, PIPE_START, ())
+        tick = rca_events(t, 3, [(1, 1)], [(1, 1)], Char("FWD", 1, 1))
+        t.record_pipe(tick, PIPE_DFS_RETURNED, ())  # pop back to the root
+        # same out-port of the root mapped again, to a different processor
+        tick = rca_events(t, tick + 1, [(2, 2)], [(2, 2)], Char("FWD", 1, 2))
+        with pytest.raises(ReconstructionError):
+            MasterComputer(strict=True).reconstruct(t)
+
+    def test_id_outside_rca(self):
+        t = Transcript()
+        t.record_pipe(0, PIPE_START, ())
+        t.record_recv(1, 1, Char("IDB", 1, 1))
+        with pytest.raises(TranscriptError):
+            MasterComputer().reconstruct(t)
+
+
+class TestReconstructedMap:
+    def test_illegal_map_raises(self):
+        from repro.protocol.root_computer import MappedWire
+
+        bad = ReconstructedMap(
+            num_nodes=2,
+            wires=[
+                MappedWire(0, 1, 1, 1),
+                MappedWire(0, 1, 1, 2),  # same out-port twice
+            ],
+        )
+        with pytest.raises(ReconstructionError):
+            bad.to_portgraph()
+
+    def test_root_constant(self):
+        assert ReconstructedMap.ROOT == 0

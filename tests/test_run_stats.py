@@ -1,0 +1,71 @@
+"""Per-RCA episode mining from root transcripts."""
+
+import pytest
+
+from repro import determine_topology
+from repro.analysis.run_stats import RcaEpisode, episode_scaling, rca_episodes
+from repro.errors import TranscriptError
+from repro.sim.transcript import Transcript
+from repro.topology import generators
+
+
+class TestEpisodeExtraction:
+    def test_episode_count_matches_rca_runs(self, debruijn8):
+        result = determine_topology(debruijn8)
+        assert len(rca_episodes(result.transcript)) == result.rca_runs
+
+    def test_tokens_partition(self, ring4):
+        result = determine_topology(ring4)
+        episodes = rca_episodes(result.transcript)
+        fwd = [e for e in episodes if e.token == "FWD"]
+        back = [e for e in episodes if e.token == "BACK"]
+        assert len(fwd) + len(back) == len(episodes)
+        assert len(fwd) == ring4.num_wires - ring4.in_degree(0)
+        assert len(back) == ring4.num_wires - ring4.out_degree(0)
+
+    def test_loop_lengths_positive(self, debruijn8):
+        result = determine_topology(debruijn8)
+        for ep in rca_episodes(result.transcript):
+            assert ep.dist_to_root >= 1
+            assert ep.dist_from_root >= 1
+            assert ep.duration > 0
+
+    def test_durations_ordered(self, debruijn8):
+        result = determine_topology(debruijn8)
+        episodes = rca_episodes(result.transcript)
+        assert all(e.end_tick > e.start_tick for e in episodes)
+        starts = [e.start_tick for e in episodes]
+        assert starts == sorted(starts)  # RCAs are serialized
+
+    def test_empty_transcript(self):
+        assert rca_episodes(Transcript()) == []
+
+
+class TestEpisodeScaling:
+    def test_linear_on_ring(self):
+        result = determine_topology(generators.bidirectional_ring(10))
+        fit = episode_scaling(rca_episodes(result.transcript))
+        assert fit.r_squared > 0.999
+        assert 5 < fit.slope < 15
+
+    def test_degenerate_single_length(self):
+        eps = [
+            RcaEpisode(start_tick=0, end_tick=20, dist_to_root=1,
+                       dist_from_root=1, token="FWD"),
+            RcaEpisode(start_tick=30, end_tick=50, dist_to_root=1,
+                       dist_from_root=1, token="BACK"),
+        ]
+        fit = episode_scaling(eps)
+        assert fit.slope == 0.0
+        assert fit.intercept == pytest.approx(20.0)
+
+    def test_needs_two_episodes(self):
+        with pytest.raises(TranscriptError):
+            episode_scaling([])
+
+    def test_complete_graph_all_loops_length_two(self):
+        result = determine_topology(generators.complete_bidirectional(4))
+        episodes = rca_episodes(result.transcript)
+        assert all(e.loop_length == 2 for e in episodes)
+        fit = episode_scaling(episodes)
+        assert fit.r_squared == 1.0

@@ -1,0 +1,129 @@
+"""The runner API surface and the invariant sweeps."""
+
+import pytest
+
+from repro import determine_topology
+from repro.errors import CleanupViolation, NotStronglyConnectedError, TickBudgetExceeded
+from repro.protocol.gtd import GTDProcessor
+from repro.protocol.invariants import assert_network_clean, collect_residue
+from repro.protocol.runner import default_tick_budget
+from repro.sim.characters import SCOPE_BCA, SCOPE_RCA
+from repro.sim.engine import Engine
+from repro.topology import generators
+from repro.topology.portgraph import PortGraph
+
+
+class TestRunnerApi:
+    def test_result_fields(self, debruijn8):
+        r = determine_topology(debruijn8)
+        assert r.ticks > 0
+        assert r.drained_ticks >= r.ticks
+        assert r.diameter == 3
+        assert r.rca_runs > 0 and r.bca_runs > 0
+        assert len(r.transcript) > 0
+        assert r.metrics.total_delivered > 0
+
+    def test_graph_property_matches_recovered(self, debruijn8):
+        r = determine_topology(debruijn8)
+        assert r.graph.num_nodes == r.recovered.num_nodes
+        assert r.graph.num_wires == len(r.recovered.wires)
+
+    def test_rejects_weak_graph(self):
+        g = PortGraph(2, 2)
+        g.add_wire(0, 1, 0, 1)
+        g.add_wire(1, 1, 1, 1)
+        g.freeze()
+        with pytest.raises(NotStronglyConnectedError):
+            determine_topology(g)
+
+    def test_watchdog_fires_on_tiny_budget(self, debruijn8):
+        with pytest.raises(TickBudgetExceeded):
+            determine_topology(debruijn8, max_ticks=10)
+
+    def test_watchdog_fires_with_cleanup_checks(self, debruijn8):
+        with pytest.raises(TickBudgetExceeded):
+            determine_topology(debruijn8, max_ticks=10, verify_cleanup=True)
+
+    def test_default_budget_generous(self, debruijn8):
+        r = determine_topology(debruijn8)
+        assert default_tick_budget(debruijn8, r.diameter) > 5 * r.ticks
+
+    def test_verify_cleanup_passes_on_legal_runs(self, ring4):
+        r = determine_topology(ring4, verify_cleanup=True)
+        assert r.matches(ring4)
+
+    def test_nonstrict_reconstruction_also_works(self, ring4):
+        r = determine_topology(ring4, strict_reconstruction=False)
+        assert r.matches(ring4)
+
+
+class TestInvariantSweeps:
+    def make_idle_engine(self, graph):
+        procs = [GTDProcessor() for _ in graph.nodes()]
+        return Engine(graph, list(procs), root=0), procs
+
+    def test_clean_engine_has_no_residue(self, ring4):
+        engine, _ = self.make_idle_engine(ring4)
+        assert collect_residue(engine) == []
+        assert_network_clean(engine)  # no raise
+
+    def test_detects_growing_marks(self, ring4):
+        engine, procs = self.make_idle_engine(ring4)
+        procs[2].growing["IG"].mark(1)
+        findings = collect_residue(engine, scope=SCOPE_RCA)
+        assert any("IG-visited" in f for f in findings)
+        with pytest.raises(CleanupViolation):
+            assert_network_clean(engine, scope=SCOPE_RCA)
+
+    def test_scope_separation(self, ring4):
+        engine, procs = self.make_idle_engine(ring4)
+        procs[1].growing["BG"].mark(2)
+        assert collect_residue(engine, scope=SCOPE_RCA) == []
+        assert collect_residue(engine, scope=SCOPE_BCA) != []
+
+    def test_detects_loop_slots(self, ring4):
+        engine, procs = self.make_idle_engine(ring4)
+        procs[3].loop.set_slot(1, pred=1, succ=2)
+        assert any("marked-loop" in f for f in collect_residue(engine))
+
+    def test_detects_bca_slot(self, ring4):
+        engine, procs = self.make_idle_engine(ring4)
+        procs[0].bca_slot.set(1, 2)
+        assert any("BCA loop" in f for f in collect_residue(engine, scope=SCOPE_BCA))
+
+    def test_detects_relay(self, ring4):
+        engine, procs = self.make_idle_engine(ring4)
+        procs[2].relay["OD"].start(1, 2)
+        assert any("relay" in f for f in collect_residue(engine))
+
+    def test_detects_resting_characters(self, ring4):
+        from repro.sim.characters import make_head
+
+        engine, procs = self.make_idle_engine(ring4)
+        procs[1].begin_tick(0)
+        procs[1].send(1, make_head("IG", 1))
+        engine._live.add(1)
+        assert any("in flight" in f for f in collect_residue(engine))
+
+    def test_context_in_message(self, ring4):
+        engine, procs = self.make_idle_engine(ring4)
+        procs[2].growing["IG"].mark(1)
+        with pytest.raises(CleanupViolation, match="during-test"):
+            assert_network_clean(engine, context="during-test")
+
+
+class TestProcessorIdlePredicate:
+    def test_fresh_processor_idle(self):
+        assert GTDProcessor().is_protocol_idle()
+
+    def test_marked_processor_not_idle(self):
+        p = GTDProcessor()
+        p.growing["OG"].mark(3)
+        assert not p.is_protocol_idle()
+
+    def test_all_idle_after_full_run(self, debruijn8):
+        procs = [GTDProcessor() for _ in debruijn8.nodes()]
+        engine = Engine(debruijn8, list(procs), root=0)
+        engine.run(max_ticks=100_000, until=lambda: procs[0].terminal)
+        engine.run_to_idle(max_ticks=120_000)
+        assert all(p.is_protocol_idle() for p in procs)

@@ -1,0 +1,52 @@
+"""Larger-scale confidence runs (still seconds, not minutes).
+
+The unit and property tests stay tiny for speed; these runs push N into the
+dozens on the families with the most protocol churn, so size-dependent bugs
+(port exhaustion, queue ordering at high fan-in, long snake pipelines)
+cannot hide behind small-N coincidences.
+"""
+
+import pytest
+
+from repro import determine_topology
+from repro.analysis.run_stats import episode_scaling, rca_episodes
+from repro.topology import generators
+
+
+@pytest.mark.parametrize(
+    "name,factory",
+    [
+        ("de_bruijn_32", lambda: generators.de_bruijn(2, 5)),
+        ("butterfly_24", lambda: generators.wrapped_butterfly(3)),
+        ("tree_with_loop_31", lambda: generators.tree_with_loop(4, seed=7)),
+        ("manhattan_36", lambda: generators.manhattan_grid(6, 6)),
+        ("random_40", lambda: generators.random_strongly_connected(
+            40, extra_edges=30, seed=13
+        )),
+        ("directed_ring_48", lambda: generators.directed_ring(48)),
+    ],
+)
+def test_exact_recovery_at_scale(name, factory):
+    graph = factory()
+    result = determine_topology(graph)
+    assert result.matches(graph), name
+    assert result.recovered.num_nodes == graph.num_nodes
+    # accounting invariants hold at scale too
+    assert result.bca_runs == graph.num_wires
+    expected_rca = 2 * graph.num_wires - graph.in_degree(0) - graph.out_degree(0)
+    assert result.rca_runs == expected_rca
+
+
+def test_episode_scaling_at_scale():
+    graph = generators.bidirectional_ring(24)
+    result = determine_topology(graph)
+    fit = episode_scaling(rca_episodes(result.transcript))
+    assert fit.r_squared > 0.999
+    assert fit.slope == pytest.approx(9.0, abs=0.5)
+
+
+def test_signatures_all_distinct_at_scale():
+    graph = generators.de_bruijn(2, 5)  # 32 nodes
+    result = determine_topology(graph)
+    sigs = list(result.recovered.signatures.values())
+    assert len(set(sigs)) == 32

@@ -1,0 +1,81 @@
+"""Networks with non-contiguous port numbering.
+
+Every generator wires the lowest free ports, but nothing in the model says
+ports are contiguous: a processor may have wires on out-ports 2 and 5 with
+1, 3, 4 dark.  The protocol only ever consults its *connected* port sets
+(port awareness), so scattered numbering must work — these tests pin that
+down, including the DFS's "lowest-numbered connected out-port" rule.
+"""
+
+import pytest
+
+from repro import determine_topology
+from repro.protocol.bca import run_single_bca
+from repro.protocol.rca import run_single_rca
+from repro.topology.portgraph import PortGraph
+
+
+def scattered_two_cycle() -> PortGraph:
+    g = PortGraph(2, 5)
+    g.add_wire(0, 4, 1, 3)
+    g.add_wire(1, 5, 0, 2)
+    return g.freeze()
+
+
+def scattered_triangle() -> PortGraph:
+    g = PortGraph(3, 7)
+    g.add_wire(0, 6, 1, 2)
+    g.add_wire(1, 3, 2, 7)
+    g.add_wire(2, 5, 0, 4)
+    g.add_wire(0, 2, 2, 1)   # chord, also scattered
+    g.add_wire(2, 1, 1, 5)
+    g.add_wire(1, 7, 0, 7)
+    return g.freeze()
+
+
+class TestScatteredRecovery:
+    def test_two_cycle(self):
+        g = scattered_two_cycle()
+        result = determine_topology(g, verify_cleanup=True)
+        assert result.matches(g)
+        # the recovered map reports the *actual* odd port numbers
+        ports = {(w.out_port, w.in_port) for w in result.recovered.wires}
+        assert ports == {(4, 3), (5, 2)}
+
+    def test_triangle_with_chords(self):
+        g = scattered_triangle()
+        result = determine_topology(g, verify_cleanup=True)
+        assert result.matches(g)
+
+    def test_dfs_probes_lowest_connected_port_first(self):
+        g = scattered_triangle()
+        result = determine_topology(g)
+        first_dfs_send = next(
+            e for e in result.transcript.events()
+            if e.kind == "send" and e.char is not None and e.char.kind == "DFS"
+        )
+        assert first_dfs_send.port == min(
+            p for p in range(1, g.delta + 1) if g.out_wire(0, p)
+        )
+
+    def test_single_rca_on_scattered_ports(self):
+        g = scattered_triangle()
+        result = run_single_rca(g, initiator=2)
+        assert result.completed_at > 0
+
+    def test_single_bca_on_scattered_ports(self):
+        g = scattered_two_cycle()
+        result = run_single_bca(g, node=1, in_port=3)
+        assert result.target == 0
+
+    def test_port_labels_distinguish_topologies(self):
+        """Same shape, different port labels: maps must differ."""
+        a = scattered_two_cycle()
+        b = PortGraph(2, 5)
+        b.add_wire(0, 4, 1, 3)
+        b.add_wire(1, 5, 0, 1)  # in-port 1 instead of 2
+        b.freeze()
+        res_a = determine_topology(a)
+        res_b = determine_topology(b)
+        assert res_a.matches(a) and res_b.matches(b)
+        assert not res_a.matches(b) and not res_b.matches(a)

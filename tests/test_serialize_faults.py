@@ -1,0 +1,128 @@
+"""Serialization round-trips and fault injection."""
+
+import json
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import generators
+from repro.topology.faults import degrade_bidirectional, remove_wires, shutdown_out_ports
+from repro.topology.isomorphism import port_isomorphic
+from repro.topology.portgraph import PortGraph
+from repro.topology.properties import is_strongly_connected
+from repro.topology.serialize import from_json, to_dot, to_json
+
+
+class TestJson:
+    def test_roundtrip_identity(self, debruijn8):
+        again = from_json(to_json(debruijn8))
+        assert again == debruijn8
+
+    @pytest.mark.parametrize("name", sorted(generators.all_families()))
+    def test_roundtrip_all_families(self, name):
+        g = generators.all_families()[name]
+        assert from_json(to_json(g)) == g
+
+    def test_indent_option(self, ring4):
+        text = to_json(ring4, indent=2)
+        assert "\n" in text
+        assert from_json(text) == ring4
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TopologyError):
+            from_json("not json at all {")
+
+    def test_rejects_wrong_format(self):
+        with pytest.raises(TopologyError):
+            from_json(json.dumps({"format": "something-else"}))
+
+    def test_rejects_missing_fields(self):
+        doc = {"format": "repro.portgraph/v1", "num_nodes": 2}
+        with pytest.raises(TopologyError):
+            from_json(json.dumps(doc))
+
+    def test_rejects_malformed_wire(self):
+        doc = {
+            "format": "repro.portgraph/v1",
+            "num_nodes": 2,
+            "delta": 2,
+            "wires": [{"src": 0}],
+        }
+        with pytest.raises(TopologyError):
+            from_json(json.dumps(doc))
+
+
+class TestDot:
+    def test_contains_all_wires(self, ring4):
+        dot = to_dot(ring4)
+        assert dot.startswith("digraph")
+        for w in ring4.wires():
+            assert f'n{w.src} -> n{w.dst} [label="{w.out_port}:{w.in_port}"]' in dot
+
+    def test_root_doubled(self, ring4):
+        dot = to_dot(ring4, root=2)
+        assert 'n2 [label="2", shape=doublecircle]' in dot
+
+
+class TestRemoveWires:
+    def test_removes_exactly(self, ring4):
+        victim = next(iter(ring4.wires()))
+        smaller = remove_wires(ring4, {victim})
+        assert smaller.num_wires == ring4.num_wires - 1
+        assert victim not in smaller.edge_set()
+
+    def test_keeps_port_numbers(self, ring4):
+        victim = ring4.out_wire(0, 1)
+        smaller = remove_wires(ring4, {victim})
+        survivor = ring4.out_wire(0, 2)
+        assert smaller.out_wire(0, 2) == survivor
+
+    def test_rejects_isolating_removal(self, two_node_cycle):
+        with pytest.raises(TopologyError):
+            remove_wires(two_node_cycle, set(two_node_cycle.wires()))
+
+
+class TestShutdownFaults:
+    def test_zero_rate_is_identity(self, debruijn8):
+        assert shutdown_out_ports(debruijn8, 0.0, seed=1) == debruijn8
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_degraded_still_strong(self, seed):
+        g = generators.hypercube(3)
+        degraded = shutdown_out_ports(g, 0.2, seed=seed)
+        assert is_strongly_connected(degraded)
+        assert degraded.num_wires <= g.num_wires
+
+    def test_reproducible(self):
+        g = generators.hypercube(3)
+        a = shutdown_out_ports(g, 0.25, seed=7)
+        b = shutdown_out_ports(g, 0.25, seed=7)
+        assert a == b
+
+    def test_invalid_rate(self, ring4):
+        with pytest.raises(ValueError):
+            shutdown_out_ports(ring4, 1.0)
+        with pytest.raises(ValueError):
+            shutdown_out_ports(ring4, -0.1)
+
+
+class TestDegradeBidirectional:
+    @pytest.mark.parametrize("frac", [0.0, 0.3, 1.0])
+    def test_strongly_connected_output(self, frac):
+        g = generators.hypercube(3)
+        degraded = degrade_bidirectional(g, frac, seed=3)
+        assert is_strongly_connected(degraded)
+
+    def test_full_degradation_removes_wires(self):
+        g = generators.bidirectional_ring(8)
+        degraded = degrade_bidirectional(g, 1.0, seed=5)
+        assert degraded.num_wires < g.num_wires
+
+    def test_invalid_fraction(self, ring4):
+        with pytest.raises(ValueError):
+            degrade_bidirectional(ring4, 1.5)
+
+    def test_isomorphism_check_detects_change(self):
+        g = generators.bidirectional_ring(6)
+        degraded = degrade_bidirectional(g, 1.0, seed=2)
+        assert not port_isomorphic(g, 0, degraded, 0)

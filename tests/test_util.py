@@ -1,0 +1,184 @@
+"""Unit tests for repro.util: rng, validation, tables, fitting."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.util.fitting import linear_fit, power_fit
+from repro.util.rng import make_rng, spawn_seeds
+from repro.util.tables import format_table
+from repro.util.validation import check_index, check_positive, check_type
+
+
+class TestRng:
+    def test_int_seed_deterministic(self):
+        assert make_rng(42).random() == make_rng(42).random()
+
+    def test_distinct_seeds_differ(self):
+        assert make_rng(1).random() != make_rng(2).random()
+
+    def test_passthrough_of_random_instance(self):
+        rng = random.Random(7)
+        assert make_rng(rng) is rng
+
+    def test_none_gives_fresh_rng(self):
+        assert isinstance(make_rng(None), random.Random)
+
+    def test_spawn_seeds_reproducible(self):
+        assert spawn_seeds(5, 4) == spawn_seeds(5, 4)
+
+    def test_spawn_seeds_count(self):
+        assert len(spawn_seeds(5, 7)) == 7
+        assert spawn_seeds(5, 0) == []
+
+    def test_spawn_seeds_distinct(self):
+        seeds = spawn_seeds(9, 16)
+        assert len(set(seeds)) == 16
+
+    def test_spawn_seeds_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(1, -1)
+
+
+class TestValidation:
+    def test_check_positive_accepts(self):
+        assert check_positive("x", 3) == 3
+
+    def test_check_positive_minimum(self):
+        assert check_positive("x", 2, minimum=2) == 2
+        with pytest.raises(ValueError):
+            check_positive("x", 1, minimum=2)
+
+    def test_check_positive_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive("x", True)
+
+    def test_check_positive_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive("x", 3.0)
+
+    def test_check_index_range(self):
+        assert check_index("i", 0, 5) == 0
+        assert check_index("i", 4, 5) == 4
+        with pytest.raises(ValueError):
+            check_index("i", 5, 5)
+        with pytest.raises(ValueError):
+            check_index("i", -1, 5)
+
+    def test_check_type_single(self):
+        assert check_type("v", "s", str) == "s"
+        with pytest.raises(TypeError):
+            check_type("v", 1, str)
+
+    def test_check_type_tuple(self):
+        assert check_type("v", 1, (int, str)) == 1
+        with pytest.raises(TypeError):
+            check_type("v", 1.5, (int, str))
+
+
+class TestTables:
+    def test_simple_table(self):
+        out = format_table(["a", "b"], [[1, "x"], [23, "yy"]])
+        lines = out.splitlines()
+        assert lines[0].startswith("+")
+        assert "| a" in lines[1] or "|  a" in lines[1]
+        assert out.count("+") >= 6
+
+    def test_title(self):
+        out = format_table(["a"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_numeric_right_alignment(self):
+        out = format_table(["n"], [[1], [100]])
+        rows = [l for l in out.splitlines() if l.startswith("|")][1:]
+        assert rows[0] == "|   1 |"
+        assert rows[1] == "| 100 |"
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[1.23456]])
+        assert "1.235" in out
+
+    def test_large_float_scientific(self):
+        out = format_table(["x"], [[1.5e7]])
+        assert "e+07" in out
+
+    def test_zero(self):
+        assert "| 0 |" in format_table(["x"], [[0.0]])
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        out = format_table(["only", "headers"], [])
+        assert "only" in out
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        fit = linear_fit([1, 2, 3, 4], [3, 5, 7, 9])
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = linear_fit([0, 1], [1, 3])
+        assert fit.predict(10) == pytest.approx(21.0)
+
+    def test_constant_ys(self):
+        fit = linear_fit([1, 2, 3], [5, 5, 5])
+        assert fit.slope == pytest.approx(0.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_noisy_r2_below_one(self):
+        fit = linear_fit([1, 2, 3, 4], [2, 5, 5.5, 9])
+        assert 0 < fit.r_squared < 1
+
+    def test_too_few_points(self):
+        with pytest.raises(AnalysisError):
+            linear_fit([1], [1])
+
+    def test_constant_xs(self):
+        with pytest.raises(AnalysisError):
+            linear_fit([2, 2, 2], [1, 2, 3])
+
+    def test_length_mismatch(self):
+        with pytest.raises(AnalysisError):
+            linear_fit([1, 2], [1])
+
+    def test_matches_numpy_polyfit(self):
+        numpy = pytest.importorskip("numpy")
+        xs = [1.0, 2.5, 4.0, 7.5, 9.0]
+        ys = [2.2, 4.9, 8.1, 15.2, 17.9]
+        fit = linear_fit(xs, ys)
+        slope, intercept = numpy.polyfit(xs, ys, 1)
+        assert fit.slope == pytest.approx(slope)
+        assert fit.intercept == pytest.approx(intercept)
+
+
+class TestPowerFit:
+    def test_exact_power(self):
+        xs = [1, 2, 4, 8]
+        ys = [3 * x**2 for x in xs]
+        fit = power_fit(xs, ys)
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(3.0)
+
+    def test_linear_data_has_exponent_one(self):
+        xs = [1, 2, 3, 4, 5]
+        fit = power_fit(xs, [7 * x for x in xs])
+        assert fit.slope == pytest.approx(1.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(AnalysisError):
+            power_fit([0, 1], [1, 2])
+        with pytest.raises(AnalysisError):
+            power_fit([1, 2], [-1, 2])
+
+    def test_nlogn_exponent_between_1_and_2(self):
+        xs = [8, 16, 32, 64, 128]
+        ys = [x * math.log2(x) for x in xs]
+        fit = power_fit(xs, ys)
+        assert 1.0 < fit.slope < 1.5
