@@ -8,63 +8,57 @@ addition) across the protocol's lifetime and classify each run: accurate,
 stale (terminates with a map of a network that no longer exists), deadlock,
 or a protocol-level error.
 
+The sweep is one campaign: the ``spare-ring`` family (a bidirectional ring
+with a free port on every processor, so wires can appear mid-run) crossed
+with ``cut:FRACTION`` / ``add:FRACTION`` fault models at increasing
+fractions of the undisturbed runtime.
+
 Expected shape: mutations landing inside the active window almost never
 yield an accurate map; mutations after termination always do.
 """
 
 from __future__ import annotations
 
-from repro import determine_topology
-from repro.dynamics import DynamicOutcome, WireMutation, run_dynamic_gtd
-from repro.topology.portgraph import PortGraph, Wire
+from repro.campaigns import CampaignSpec, Scenario, run_campaign, run_scenario
 from repro.util.tables import format_table
 
 from _report import report
 
-
-def ring_with_spare_ports(n: int) -> PortGraph:
-    """A bidirectional ring built at delta=3 so port 3 is free everywhere."""
-    g = PortGraph(n, 3)
-    for u in range(n):
-        g.add_wire(u, 1, (u + 1) % n, 1)
-        g.add_wire(u, 2, (u - 1) % n, 2)
-    return g.freeze()
+FRACTIONS = (0.1, 0.3, 0.5, 0.7, 0.9, 1.2)
+SIZE = 8
 
 
 def run_sweep():
-    graph = ring_with_spare_ports(8)
-    baseline = determine_topology(graph)
+    baseline = run_scenario(Scenario(family="spare-ring", size=SIZE))
     horizon = baseline.ticks
-    victim = graph.out_wire(4, 1)
-    addition = Wire(0, 3, 4, 3)
-
+    campaign = run_campaign(
+        CampaignSpec(
+            families=("spare-ring",),
+            sizes=(SIZE,),
+            faults=tuple(
+                f"{kind}:{fraction}" for fraction in FRACTIONS for kind in ("cut", "add")
+            ),
+        )
+    )
+    by_fault = {r.scenario.fault: r for r in campaign.results}
     rows = []
     accurate_mid = 0
     mid_cases = 0
-    for fraction in (0.1, 0.3, 0.5, 0.7, 0.9, 1.2):
-        when = int(horizon * fraction)
-        cut = run_dynamic_gtd(
-            graph,
-            [WireMutation(tick=when, kind="cut", wire=victim)],
-            max_ticks=horizon * 3,
-        )
-        add = run_dynamic_gtd(
-            graph, [WireMutation(tick=when, kind="add", wire=addition)]
-        )
+    for fraction in FRACTIONS:
+        cut = by_fault[f"cut:{fraction}"]
+        add = by_fault[f"add:{fraction}"]
         rows.append(
             (
                 f"{fraction:.0%} of runtime",
-                when,
-                cut.outcome.value,
+                int(horizon * fraction),
+                cut.outcome,
                 cut.lost_characters,
-                add.outcome.value,
+                add.outcome,
             )
         )
         if fraction < 1.0:
             mid_cases += 2
-            accurate_mid += (cut.outcome is DynamicOutcome.ACCURATE) + (
-                add.outcome is DynamicOutcome.ACCURATE
-            )
+            accurate_mid += (cut.outcome == "accurate") + (add.outcome == "accurate")
     return rows, horizon, accurate_mid, mid_cases
 
 

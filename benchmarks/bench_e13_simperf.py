@@ -37,6 +37,31 @@ def test_e13_full_protocol_throughput(benchmark):
     )
 
 
+def test_e13_large_debruijn_throughput(benchmark):
+    """The scheduler-core acceptance case: a large de Bruijn network.
+
+    ~760k character-hops per run; this is where per-tick dispatch overhead
+    dominates and the event-wheel / dispatch-table refactor must show up.
+    """
+    graph = generators.de_bruijn(2, 6)  # N=64, E=128, D=6
+
+    def run():
+        return determine_topology(graph)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.matches(graph)
+    hops = result.metrics.total_delivered
+    rate = hops / benchmark.stats.stats.mean
+    benchmark.extra_info["character_hops"] = hops
+    benchmark.extra_info["hops_per_second"] = int(rate)
+    report(
+        "e13_simperf",
+        f"E13c: full protocol on de_bruijn(2,6): {hops} character-hops per "
+        f"run, {rate:,.0f} hops/s wall-clock "
+        f"(mean {benchmark.stats.stats.mean * 1e3:.1f} ms/run)",
+    )
+
+
 def test_e13_single_rca_throughput(benchmark):
     graph = generators.bidirectional_line(24)
 

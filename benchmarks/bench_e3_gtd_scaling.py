@@ -8,55 +8,54 @@ three families that move (N, D) differently:
 * de Bruijn graphs:    D = log2 N (the protocol's sweet spot),
 * directed tori:       D ~ 2*sqrt(N).
 
+The sweep itself is one campaign over the :mod:`repro.campaigns` scenario
+machinery — the same matrix runner the CLI exposes.
+
 Expected shape: ticks / (E * D) lands in a narrow constant band across all
 of them, and a line fit of ticks vs E * D explains the data.
 """
 
 from __future__ import annotations
 
-from repro import determine_topology
 from repro.analysis.complexity import check_linear_scaling
-from repro.topology import generators
+from repro.campaigns import Scenario, run_campaign
 from repro.util.tables import format_table
 
 from _report import report
 
-
-def workloads():
-    yield "bidirectional_ring", [
-        (f"bidirectional_ring({n})", generators.bidirectional_ring(n))
-        for n in (4, 8, 12, 16, 24)
-    ]
-    yield "de_bruijn", [
-        (f"de_bruijn(2,{length})", generators.de_bruijn(2, length))
-        for length in (2, 3, 4, 5)
-    ]
-    yield "directed_torus", [
-        (f"torus({rows}x{cols})", generators.directed_torus(rows, cols))
-        for rows, cols in ((2, 3), (3, 4), (4, 5), (5, 6))
-    ]
+#: family -> node counts; sizes resolve through the campaign registry to
+#: exactly the networks the seed benchmark used (de Bruijn word lengths
+#: 2..5, tori 2x3 .. 5x6).
+WORKLOADS = {
+    "bidirectional-ring": (4, 8, 12, 16, 24),
+    "de-bruijn": (4, 8, 16, 32),
+    "directed-torus": (6, 12, 20, 30),
+}
 
 
 def run_sweep():
-    table = []
-    per_family: dict[str, tuple[list, list]] = {}
-    all_ratios = []
-    for family, cases in workloads():
-        xs, ys = [], []
-        for name, graph in cases:
-            result = determine_topology(graph)
-            d = max(1, result.diameter)
-            work = graph.num_wires * d
-            ratio = result.ticks / work
-            table.append(
-                (name, graph.num_nodes, graph.num_wires, d, result.ticks,
-                 round(ratio, 2))
-            )
-            xs.append(work)
-            ys.append(result.ticks)
-            all_ratios.append(ratio)
-        per_family[family] = (xs, ys)
-    return table, per_family, all_ratios
+    campaign = run_campaign(
+        [
+            Scenario(family=family, size=size)
+            for family, sizes in WORKLOADS.items()
+            for size in sizes
+        ]
+    )
+    assert all(r.outcome == "exact" for r in campaign.results)
+    table = [
+        (
+            f"{r.scenario.family}({r.num_nodes})",
+            r.num_nodes,
+            r.num_wires,
+            max(1, r.diameter),
+            r.ticks,
+            round(r.ticks / r.work, 2),
+        )
+        for r in campaign.results
+    ]
+    per_family = campaign.series()
+    ratios = [r.ticks / r.work for r in campaign.results]
+    return table, per_family, ratios
 
 
 def test_e3_gtd_scales_with_nd(benchmark):

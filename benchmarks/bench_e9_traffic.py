@@ -9,7 +9,7 @@ traffic is O(E * D) characters.
 
 from __future__ import annotations
 
-from repro import determine_topology
+from repro.campaigns import Scenario, run_scenario
 from repro.protocol.rca import run_single_rca
 from repro.topology import generators
 from repro.util.tables import format_table
@@ -18,11 +18,11 @@ from _report import report
 
 
 def run_profile():
-    graph = generators.de_bruijn(2, 4)  # N=16, D=4
-    result = determine_topology(graph)
-    assert result.matches(graph)
-    fam = result.metrics.by_family()
-    total = result.metrics.total_delivered
+    # one campaign scenario: de_bruijn(2,4), N=16, D=4
+    result = run_scenario(Scenario(family="de-bruijn", size=16))
+    assert result.outcome == "exact"
+    fam = dict(result.by_family)
+    total = result.hops
     rows = [
         (family, count, round(100.0 * count / total, 1))
         for family, count in sorted(fam.items(), key=lambda kv: -kv[1])

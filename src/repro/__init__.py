@@ -25,7 +25,7 @@ from repro.protocol.root_computer import MasterComputer, ReconstructedMap
 from repro.topology.portgraph import PortGraph, Wire
 from repro.topology.builder import PortGraphBuilder
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",

@@ -1,0 +1,55 @@
+"""Layer 3 — declarative scenario campaigns over the simulation stack.
+
+A *campaign* is a matrix of scenarios — network family × size ×
+fault model × seed — executed over the shared run-orchestration layer
+(:mod:`repro.sim.run`) and aggregated into the statistics shapes of
+:mod:`repro.analysis.run_stats`.  The executor runs scenarios serially or
+fans them out over a :mod:`multiprocessing` pool; every scenario is
+seeded from its own declaration, so a parallel campaign produces results
+identical, scenario for scenario, to the serial run of the same matrix.
+
+The benchmark sweeps (E3 scaling, E9 traffic, E11 dynamics), the examples
+and the ``repro-topology campaign`` CLI subcommand are all one-liners over
+this machinery.
+
+Quickstart::
+
+    from repro.campaigns import CampaignSpec, run_campaign
+
+    spec = CampaignSpec(
+        families=("de-bruijn", "torus"),
+        sizes=(8, 16),
+        faults=("none", "shutdown:0.1"),
+        seeds=(0, 1, 2),
+    )
+    campaign = run_campaign(spec, jobs=4)
+    print(campaign.summary())
+"""
+
+from repro.campaigns.spec import (
+    FAMILY_BUILDERS,
+    CampaignSpec,
+    FaultModel,
+    Scenario,
+    build_family,
+    parse_fault,
+)
+from repro.campaigns.executor import (
+    CampaignResult,
+    ScenarioResult,
+    run_campaign,
+    run_scenario,
+)
+
+__all__ = [
+    "FAMILY_BUILDERS",
+    "CampaignSpec",
+    "FaultModel",
+    "Scenario",
+    "build_family",
+    "parse_fault",
+    "CampaignResult",
+    "ScenarioResult",
+    "run_campaign",
+    "run_scenario",
+]

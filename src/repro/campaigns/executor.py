@@ -1,0 +1,334 @@
+"""Campaign execution: serial or multiprocessing, deterministic either way.
+
+:func:`run_scenario` is the single-worker unit: build the scenario's
+network, apply its fault model, run the protocol through the shared run
+orchestration (:mod:`repro.sim.run` via
+:func:`~repro.protocol.runner.determine_topology` /
+:func:`~repro.dynamics.experiment.run_dynamic_gtd`), and reduce the outcome
+to a picklable :class:`ScenarioResult`.
+
+Determinism is structural: a scenario carries its own seed, every
+stochastic choice inside the worker derives from that seed through
+:func:`repro.util.rng.make_rng`, and no global random state is consulted.
+``run_campaign(spec, jobs=4)`` therefore produces results identical,
+scenario for scenario, to ``run_campaign(spec, jobs=1)`` — the campaign
+determinism test asserts exactly that equality.
+
+Aggregation reuses the shapes of :mod:`repro.analysis.run_stats`: per-RCA
+episodes are extracted from each root transcript inside the worker, and
+:meth:`CampaignResult.episode_fit` fits duration against loop length
+across the whole campaign (Lemma 4.3 at matrix scale).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import zlib
+from collections import Counter
+from dataclasses import asdict, dataclass
+from functools import lru_cache
+from typing import Callable, Sequence
+
+from repro.analysis.run_stats import RcaEpisode, episode_scaling, rca_episodes
+from repro.campaigns.spec import CampaignSpec, FaultModel, Scenario, build_family
+from repro.dynamics.engine import WireMutation
+from repro.dynamics.experiment import run_dynamic_gtd
+from repro.errors import ReproError, TickBudgetExceeded, TranscriptError
+from repro.protocol.runner import determine_topology
+from repro.topology.faults import shutdown_out_ports
+from repro.topology.portgraph import PortGraph, Wire
+from repro.util.fitting import FitResult
+from repro.util.rng import make_rng
+from repro.util.tables import format_table
+
+__all__ = ["ScenarioResult", "CampaignResult", "run_scenario", "run_campaign"]
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """One scenario's outcome, reduced to plain comparable values.
+
+    ``outcome`` is ``"exact"``/``"mismatch"`` for static scenarios and the
+    :class:`~repro.dynamics.experiment.DynamicOutcome` value
+    (``"accurate"``/``"stale"``/``"deadlock"``/``"protocol-error"``) for
+    dynamic ones.
+    """
+
+    scenario: Scenario
+    outcome: str
+    num_nodes: int
+    num_wires: int
+    diameter: int
+    ticks: int
+    drained_ticks: int
+    hops: int
+    rca_runs: int
+    bca_runs: int
+    by_family: tuple[tuple[str, int], ...]
+    episodes: tuple[RcaEpisode, ...]
+    lost_characters: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the recovered map matched the ground truth."""
+        return self.outcome in ("exact", "accurate")
+
+    @property
+    def work(self) -> int:
+        """The Lemma 4.4 work measure ``E * D`` for this network."""
+        return self.num_wires * max(1, self.diameter)
+
+
+def run_scenario(scenario: Scenario) -> ScenarioResult:
+    """Execute one scenario; deterministic in the scenario alone.
+
+    A cell whose fault model cannot be realized on its network (no cuttable
+    wire, no free port to add one, a shutdown pattern that never leaves a
+    legal graph) reports outcome ``"infeasible"`` instead of aborting the
+    rest of the matrix.
+    """
+    fault = scenario.fault_model()
+    graph = scenario.build_graph()
+    try:
+        if fault.kind in ("cut", "add"):
+            return _run_dynamic_scenario(scenario, graph, fault)
+        if fault.kind == "shutdown":
+            graph = shutdown_out_ports(
+                graph, fault.param, seed=_derive_seed(scenario, "shutdown")
+            )
+    except ReproError:
+        return _empty_result(scenario, graph, "infeasible")
+    return _run_static_scenario(scenario, graph)
+
+
+def _empty_result(scenario: Scenario, graph: PortGraph, outcome: str) -> ScenarioResult:
+    """A result shell for cells that produced no protocol run."""
+    return ScenarioResult(
+        scenario=scenario,
+        outcome=outcome,
+        num_nodes=graph.num_nodes,
+        num_wires=graph.num_wires,
+        diameter=0,
+        ticks=0,
+        drained_ticks=0,
+        hops=0,
+        rca_runs=0,
+        bca_runs=0,
+        by_family=(),
+        episodes=(),
+    )
+
+
+def _derive_seed(scenario: Scenario, purpose: str) -> int:
+    """A child seed unique to (scenario, purpose), stable across processes.
+
+    Uses crc32, not ``hash()`` — builtin string hashing is randomized per
+    interpreter, which would make fault patterns differ between workers
+    and between invocations.
+    """
+    key = f"{purpose}|{scenario.family}|{scenario.size}|{scenario.fault}|{scenario.seed}"
+    return zlib.crc32(key.encode()) & 0x7FFFFFFF
+
+
+def _run_static_scenario(scenario: Scenario, graph: PortGraph) -> ScenarioResult:
+    try:
+        result = determine_topology(graph)
+    except TickBudgetExceeded:
+        return _empty_result(scenario, graph, "deadlock")
+    return ScenarioResult(
+        scenario=scenario,
+        outcome="exact" if result.matches(graph) else "mismatch",
+        num_nodes=graph.num_nodes,
+        num_wires=graph.num_wires,
+        diameter=result.diameter,
+        ticks=result.ticks,
+        drained_ticks=result.drained_ticks,
+        hops=result.metrics.total_delivered,
+        rca_runs=result.rca_runs,
+        bca_runs=result.bca_runs,
+        by_family=tuple(sorted(result.metrics.by_family().items())),
+        episodes=tuple(_safe_episodes(result.transcript)),
+    )
+
+
+@lru_cache(maxsize=128)
+def _dynamic_baseline(family: str, size: int, seed: int) -> tuple[int, int]:
+    """(undisturbed ticks, diameter) for a scenario's healthy network.
+
+    Every dynamic fault cell of the same (family, size, seed) shares one
+    baseline run; the cache is per worker process, and the value is a pure
+    function of its key, so caching cannot perturb determinism.
+    """
+    graph = build_family(family, size, seed)
+    baseline = determine_topology(graph)
+    return baseline.ticks, baseline.diameter
+
+
+def _run_dynamic_scenario(
+    scenario: Scenario, graph: PortGraph, fault: FaultModel
+) -> ScenarioResult:
+    baseline_ticks, diam = _dynamic_baseline(
+        scenario.family, scenario.size, scenario.seed
+    )
+    when = int(baseline_ticks * fault.param)
+    rng = make_rng(_derive_seed(scenario, fault.kind))
+    if fault.kind == "cut":
+        mutation = WireMutation(tick=when, kind="cut", wire=_pick_victim(graph, rng))
+    else:
+        mutation = WireMutation(tick=when, kind="add", wire=_pick_addition(graph, rng))
+    outcome = run_dynamic_gtd(graph, [mutation], max_ticks=baseline_ticks * 3 + 1000)
+    return ScenarioResult(
+        scenario=scenario,
+        outcome=outcome.outcome.value,
+        num_nodes=graph.num_nodes,
+        num_wires=graph.num_wires,
+        diameter=diam,
+        ticks=outcome.ticks,
+        drained_ticks=outcome.ticks,
+        hops=0,
+        rca_runs=0,
+        bca_runs=0,
+        by_family=(),
+        episodes=(),
+        lost_characters=outcome.lost_characters,
+    )
+
+
+def _pick_victim(graph: PortGraph, rng) -> Wire:
+    """A deterministic-per-seed wire whose cut keeps every node legal."""
+    out_degree = Counter(w.src for w in graph.wires())
+    in_degree = Counter(w.dst for w in graph.wires())
+    candidates = [
+        w for w in graph.wires() if out_degree[w.src] > 1 and in_degree[w.dst] > 1
+    ]
+    if not candidates:
+        raise ReproError("no wire can be cut without making the network illegal")
+    return candidates[rng.randrange(len(candidates))]
+
+
+def _pick_addition(graph: PortGraph, rng) -> Wire:
+    """A deterministic-per-seed new wire between free ports."""
+    all_ports = set(range(1, graph.delta + 1))
+    srcs = [
+        (node, min(free))
+        for node in graph.nodes()
+        if (free := all_ports - set(graph.connected_out_ports(node)))
+    ]
+    dsts = [
+        (node, min(free))
+        for node in graph.nodes()
+        if (free := all_ports - set(graph.connected_in_ports(node)))
+    ]
+    if not srcs or not dsts:
+        raise ReproError(
+            "no free ports for an 'add' fault; use a family with spare ports "
+            "(e.g. 'spare-ring')"
+        )
+    src, out_port = srcs[rng.randrange(len(srcs))]
+    dst, in_port = dsts[rng.randrange(len(dsts))]
+    return Wire(src, out_port, dst, in_port)
+
+
+def _safe_episodes(transcript) -> list[RcaEpisode]:
+    try:
+        return rca_episodes(transcript)
+    except TranscriptError:
+        return []
+
+
+# ----------------------------------------------------------------------
+# the campaign runner
+# ----------------------------------------------------------------------
+def run_campaign(
+    spec: CampaignSpec | Sequence[Scenario],
+    *,
+    jobs: int = 1,
+) -> "CampaignResult":
+    """Run every scenario of ``spec``; fan out over ``jobs`` processes.
+
+    Results come back in matrix order regardless of ``jobs``; with the same
+    spec they are identical value-for-value for any worker count.
+    """
+    scenarios = spec.scenarios() if isinstance(spec, CampaignSpec) else list(spec)
+    if jobs < 1:
+        raise ReproError(f"jobs must be >= 1, got {jobs}")
+    if jobs == 1 or len(scenarios) <= 1:
+        results = [run_scenario(s) for s in scenarios]
+    else:
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+        with ctx.Pool(processes=min(jobs, len(scenarios))) as pool:
+            results = pool.map(run_scenario, scenarios)
+    return CampaignResult(results=results)
+
+
+@dataclass
+class CampaignResult:
+    """All scenario results of one campaign, in matrix order."""
+
+    results: list[ScenarioResult]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    # -- aggregation into the run_stats shapes --------------------------
+    def episodes(self) -> list[RcaEpisode]:
+        """Every RCA episode observed across the whole campaign."""
+        return [ep for r in self.results for ep in r.episodes]
+
+    def episode_fit(self) -> FitResult:
+        """Lemma 4.3 across the matrix: episode duration vs loop length."""
+        return episode_scaling(self.episodes())
+
+    def series(
+        self,
+        *,
+        x: Callable[[ScenarioResult], float] = lambda r: r.work,
+        y: Callable[[ScenarioResult], float] = lambda r: r.ticks,
+        group: Callable[[ScenarioResult], str] = lambda r: r.scenario.family,
+    ) -> dict[str, tuple[list[float], list[float]]]:
+        """Per-group (xs, ys) series, e.g. for scaling fits per family."""
+        out: dict[str, tuple[list[float], list[float]]] = {}
+        for r in self.results:
+            xs, ys = out.setdefault(group(r), ([], []))
+            xs.append(x(r))
+            ys.append(y(r))
+        return out
+
+    def outcome_counts(self) -> dict[str, int]:
+        """How many scenarios ended in each outcome."""
+        return dict(Counter(r.outcome for r in self.results))
+
+    # -- presentation ----------------------------------------------------
+    def table_rows(self) -> list[tuple]:
+        return [
+            (
+                r.scenario.label,
+                r.num_nodes,
+                r.num_wires,
+                r.diameter,
+                r.ticks,
+                r.hops,
+                r.outcome,
+            )
+            for r in self.results
+        ]
+
+    def summary(self) -> str:
+        """A paper-style table of the whole campaign."""
+        title = f"campaign: {len(self.results)} scenarios, outcomes {self.outcome_counts()}"
+        return format_table(
+            ["scenario", "N", "E", "D", "ticks", "hops", "outcome"],
+            self.table_rows(),
+            title=title,
+        )
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        """Serialize every scenario result (episodes included) to JSON."""
+        doc = {
+            "format": "repro.campaign-result/v1",
+            "scenarios": [asdict(r) for r in self.results],
+            "outcomes": self.outcome_counts(),
+        }
+        return json.dumps(doc, indent=indent)

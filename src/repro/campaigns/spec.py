@@ -1,0 +1,257 @@
+"""Campaign declarations: the scenario matrix and its vocabulary.
+
+A :class:`Scenario` is one fully-specified run — a named network family at
+an approximate size, a fault model, and a seed.  Scenarios are plain frozen
+dataclasses of primitives, so they pickle cheaply across worker-process
+boundaries and compare by value (the parallel-equals-serial determinism
+test relies on this).
+
+The family registry maps CLI-friendly names to builders with a uniform
+``(size, seed) -> PortGraph`` signature.  Families whose natural parameter
+is not a node count (de Bruijn word length, torus sides, tree depth) are
+wrapped so the builder returns the smallest instance with at least ``size``
+nodes — the same convention the ``map`` subcommand has always used.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.errors import ReproError
+from repro.topology import generators
+from repro.topology.portgraph import PortGraph
+
+__all__ = [
+    "FAMILY_BUILDERS",
+    "build_family",
+    "FaultModel",
+    "parse_fault",
+    "Scenario",
+    "CampaignSpec",
+]
+
+
+# ----------------------------------------------------------------------
+# family registry
+# ----------------------------------------------------------------------
+def _directed_ring(size: int, seed: int) -> PortGraph:
+    return generators.directed_ring(size)
+
+
+def _bidirectional_ring(size: int, seed: int) -> PortGraph:
+    return generators.bidirectional_ring(size)
+
+
+def _bidirectional_line(size: int, seed: int) -> PortGraph:
+    return generators.bidirectional_line(size)
+
+
+def _de_bruijn(size: int, seed: int) -> PortGraph:
+    length = 1
+    while 2**length < size:
+        length += 1
+    return generators.de_bruijn(2, length)
+
+
+def _hypercube(size: int, seed: int) -> PortGraph:
+    dimension = 1
+    while 2**dimension < size:
+        dimension += 1
+    return generators.hypercube(dimension)
+
+
+def _torus(size: int, seed: int) -> PortGraph:
+    side = 2
+    while side * side < size:
+        side += 1
+    return generators.directed_torus(side, side)
+
+
+def _directed_torus(size: int, seed: int) -> PortGraph:
+    """The most nearly-square ``rows x cols`` torus with ``>= size`` nodes."""
+    rows = max(2, math.isqrt(size))
+    cols = max(2, -(-size // rows))
+    return generators.directed_torus(rows, cols)
+
+
+def _random(size: int, seed: int) -> PortGraph:
+    return generators.random_strongly_connected(size, extra_edges=size, seed=seed)
+
+
+def _tree_with_loop(size: int, seed: int) -> PortGraph:
+    depth = 1
+    while (1 << (depth + 1)) - 1 < size:
+        depth += 1
+    return generators.tree_with_loop(depth, seed=seed)
+
+
+def _manhattan(size: int, seed: int) -> PortGraph:
+    side = 2
+    while side * side < size:
+        side += 2
+    return generators.manhattan_grid(side, side)
+
+
+def _ring_of_rings(size: int, seed: int) -> PortGraph:
+    outer = 2
+    while outer * 3 < size:
+        outer += 1
+    return generators.ring_of_rings(outer, 3)
+
+
+def _spare_ring(size: int, seed: int) -> PortGraph:
+    """A bidirectional ring built at delta=3 so port 3 is free everywhere.
+
+    The spare ports make this the canonical testbed for ``add`` fault
+    models: a wire can appear mid-run without colliding with existing
+    wiring (the E11 dynamics sweep runs on it).
+    """
+    graph = PortGraph(size, 3)
+    for u in range(size):
+        graph.add_wire(u, 1, (u + 1) % size, 1)
+        graph.add_wire(u, 2, (u - 1) % size, 2)
+    return graph.freeze()
+
+
+#: name -> builder(size, seed).  Sizes are "at least" for families whose
+#: natural parameter is not a node count.
+FAMILY_BUILDERS: dict[str, Callable[[int, int], PortGraph]] = {
+    "directed-ring": _directed_ring,
+    "bidirectional-ring": _bidirectional_ring,
+    "bidirectional-line": _bidirectional_line,
+    "de-bruijn": _de_bruijn,
+    "hypercube": _hypercube,
+    "torus": _torus,
+    "directed-torus": _directed_torus,
+    "random": _random,
+    "tree-with-loop": _tree_with_loop,
+    "manhattan": _manhattan,
+    "ring-of-rings": _ring_of_rings,
+    "spare-ring": _spare_ring,
+}
+
+
+def build_family(family: str, size: int, seed: int = 0) -> PortGraph:
+    """Build the ``family`` network of (at least) ``size`` nodes."""
+    try:
+        builder = FAMILY_BUILDERS[family]
+    except KeyError:
+        raise ReproError(
+            f"unknown network family {family!r}; known: {sorted(FAMILY_BUILDERS)}"
+        ) from None
+    return builder(size, seed)
+
+
+# ----------------------------------------------------------------------
+# fault models
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultModel:
+    """A parsed fault specification.
+
+    ``kind`` is one of:
+
+    * ``"none"`` — the healthy network;
+    * ``"shutdown"`` — pre-run port-shutdown failures: each wire dies
+      independently with probability ``param`` (§1.2.2; the degraded
+      network is the ground truth the recovered map is compared against);
+    * ``"cut"`` — one wire is cut mid-run, at ``param`` × the undisturbed
+      protocol runtime (the paper's introductory caveat);
+    * ``"add"`` — one wire appears mid-run, at ``param`` × the undisturbed
+      runtime (requires a family with free ports, e.g. ``spare-ring``).
+    """
+
+    kind: str
+    param: float = 0.0
+
+    def __str__(self) -> str:
+        return self.kind if self.kind == "none" else f"{self.kind}:{self.param:g}"
+
+
+_FAULT_KINDS = ("none", "shutdown", "cut", "add")
+
+
+def parse_fault(spec: str) -> FaultModel:
+    """Parse ``"none"``, ``"shutdown:0.1"``, ``"cut:0.5"`` or ``"add:0.5"``."""
+    kind, _, raw = spec.partition(":")
+    if kind not in _FAULT_KINDS:
+        raise ReproError(f"unknown fault model {spec!r}; known kinds: {_FAULT_KINDS}")
+    if kind == "none":
+        if raw:
+            raise ReproError(f"fault model 'none' takes no parameter, got {spec!r}")
+        return FaultModel("none")
+    if not raw:
+        raise ReproError(f"fault model {kind!r} needs a parameter, e.g. '{kind}:0.1'")
+    param = float(raw)
+    if kind == "shutdown" and not 0.0 <= param < 1.0:
+        raise ReproError(f"shutdown rate must be in [0, 1), got {param}")
+    if kind in ("cut", "add") and param < 0.0:
+        raise ReproError(f"{kind} time fraction must be >= 0, got {param}")
+    return FaultModel(kind, param)
+
+
+# ----------------------------------------------------------------------
+# scenarios and the matrix
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Scenario:
+    """One fully-specified campaign run."""
+
+    family: str
+    size: int
+    fault: str = "none"
+    seed: int = 0
+
+    @property
+    def label(self) -> str:
+        return f"{self.family}({self.size})/{self.fault}/s{self.seed}"
+
+    def build_graph(self) -> PortGraph:
+        """The healthy (pre-fault) network for this scenario."""
+        return build_family(self.family, self.size, self.seed)
+
+    def fault_model(self) -> FaultModel:
+        return parse_fault(self.fault)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A declarative scenario matrix: family × size × fault × seed.
+
+    Expansion order is row-major over the declaration order (families
+    outermost, seeds innermost) and is part of the contract: the executor
+    reports results in exactly this order regardless of worker count.
+    """
+
+    families: tuple[str, ...]
+    sizes: tuple[int, ...]
+    faults: tuple[str, ...] = ("none",)
+    seeds: tuple[int, ...] = (0,)
+
+    def __post_init__(self) -> None:
+        for family in self.families:
+            if family not in FAMILY_BUILDERS:
+                raise ReproError(
+                    f"unknown network family {family!r}; "
+                    f"known: {sorted(FAMILY_BUILDERS)}"
+                )
+        for fault in self.faults:
+            parse_fault(fault)  # validates eagerly, at declaration time
+        if not (self.families and self.sizes and self.faults and self.seeds):
+            raise ReproError("campaign matrix must have at least one of each axis")
+
+    def scenarios(self) -> list[Scenario]:
+        """Expand the matrix into its scenario list."""
+        return list(self._iter_scenarios())
+
+    def _iter_scenarios(self) -> Iterator[Scenario]:
+        for family in self.families:
+            for size in self.sizes:
+                for fault in self.faults:
+                    for seed in self.seeds:
+                        yield Scenario(family=family, size=size, fault=fault, seed=seed)
+
+    def __len__(self) -> int:
+        return len(self.families) * len(self.sizes) * len(self.faults) * len(self.seeds)

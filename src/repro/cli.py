@@ -3,9 +3,17 @@
 Subcommands:
 
 * ``map`` — run Global Topology Determination on a generated network and
-  print the recovered map plus statistics;
+  print the recovered map plus statistics; with ``--repeats``/``--jobs``
+  the run becomes a seed sweep over the campaign machinery;
+* ``campaign`` — run a declarative scenario matrix (family × size ×
+  fault model × seed) over the :mod:`repro.campaigns` executor;
 * ``families`` — list the built-in network families;
 * ``lower-bound`` — print the Theorem 5.1 implied lower-bound table.
+
+Network families are resolved through the shared campaign registry
+(:data:`repro.campaigns.spec.FAMILY_BUILDERS`), so the shell and the
+programmatic matrix runner accept exactly the same names, and every run is
+reproducible from ``--seed`` alone.
 """
 
 from __future__ import annotations
@@ -14,8 +22,10 @@ import argparse
 import sys
 
 from repro.analysis.transcripts import lower_bound_curve
+from repro.campaigns import CampaignSpec, Scenario, run_campaign
+from repro.campaigns.spec import FAMILY_BUILDERS, build_family
+from repro.errors import ReproError, TranscriptError
 from repro.protocol.runner import determine_topology
-from repro.topology import generators
 from repro.topology.properties import diameter
 from repro.util.tables import format_table
 from repro.viz.ascii_map import render_adjacency, render_recovered_map
@@ -23,53 +33,13 @@ from repro.viz.timeline import render_traffic_profile
 
 __all__ = ["main", "build_parser"]
 
-_FAMILIES = {
-    "directed-ring": lambda n, seed: generators.directed_ring(n),
-    "bidirectional-ring": lambda n, seed: generators.bidirectional_ring(n),
-    "de-bruijn": lambda n, seed: _de_bruijn_at_least(n),
-    "torus": lambda n, seed: _torus_at_least(n),
-    "random": lambda n, seed: generators.random_strongly_connected(
-        n, extra_edges=n, seed=seed
-    ),
-    "tree-with-loop": lambda n, seed: _tree_at_least(n, seed),
-    "manhattan": lambda n, seed: _manhattan_at_least(n),
-    "ring-of-rings": lambda n, seed: _ring_of_rings_at_least(n),
-}
+
+def _csv(text: str) -> list[str]:
+    return [item.strip() for item in text.split(",") if item.strip()]
 
 
-def _de_bruijn_at_least(n: int):
-    length = 1
-    while 2**length < n:
-        length += 1
-    return generators.de_bruijn(2, length)
-
-
-def _torus_at_least(n: int):
-    side = 2
-    while side * side < n:
-        side += 1
-    return generators.directed_torus(side, side)
-
-
-def _tree_at_least(n: int, seed: int | None):
-    depth = 1
-    while (1 << (depth + 1)) - 1 < n:
-        depth += 1
-    return generators.tree_with_loop(depth, seed=seed)
-
-
-def _manhattan_at_least(n: int):
-    side = 2
-    while side * side < n:
-        side += 2
-    return generators.manhattan_grid(side, side)
-
-
-def _ring_of_rings_at_least(n: int):
-    outer = 2
-    while outer * 3 < n:
-        outer += 1
-    return generators.ring_of_rings(outer, 3)
+def _csv_ints(text: str) -> list[int]:
+    return [int(item) for item in _csv(text)]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -82,9 +52,21 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_map = sub.add_parser("map", help="run the protocol and print the map")
-    p_map.add_argument("--family", choices=sorted(_FAMILIES), default="de-bruijn")
+    p_map.add_argument("--family", choices=sorted(FAMILY_BUILDERS), default="de-bruijn")
     p_map.add_argument("--size", type=int, default=8, help="approximate N")
-    p_map.add_argument("--seed", type=int, default=0)
+    p_map.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for network generation; the run is reproducible from it",
+    )
+    p_map.add_argument(
+        "--repeats", type=int, default=1, metavar="K",
+        help="run K seeds (--seed .. --seed+K-1) as a mini-campaign",
+    )
+    p_map.add_argument(
+        "--jobs", type=int, default=1, metavar="J",
+        help="worker processes for --repeats > 1 (results are identical "
+        "for any J)",
+    )
     p_map.add_argument("--traffic", action="store_true", help="show traffic profile")
     p_map.add_argument(
         "--verify-cleanup", action="store_true",
@@ -94,6 +76,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", metavar="PATH",
         help="also write the recovered map + stats as JSON to PATH",
     )
+
+    p_camp = sub.add_parser(
+        "campaign",
+        help="run a scenario matrix (family x size x fault x seed)",
+    )
+    p_camp.add_argument(
+        "--families", type=_csv, default=["de-bruijn"],
+        metavar="A,B,...", help=f"from: {', '.join(sorted(FAMILY_BUILDERS))}",
+    )
+    p_camp.add_argument("--sizes", type=_csv_ints, default=[8], metavar="N,N,...")
+    p_camp.add_argument(
+        "--faults", type=_csv, default=["none"], metavar="F,F,...",
+        help="none | shutdown:RATE | cut:FRACTION | add:FRACTION",
+    )
+    p_camp.add_argument(
+        "--seeds", type=int, default=1, metavar="K",
+        help="seeds per cell: --seed, --seed+1, ..., --seed+K-1",
+    )
+    p_camp.add_argument("--seed", type=int, default=0, help="first seed of the sweep")
+    p_camp.add_argument(
+        "--jobs", type=int, default=1, metavar="J",
+        help="worker processes (results are identical for any J)",
+    )
+    p_camp.add_argument(
+        "--episodes", action="store_true",
+        help="also print the Lemma 4.3 episode-scaling fit over the matrix",
+    )
+    p_camp.add_argument("--json", metavar="PATH", help="write all results as JSON")
 
     sub.add_parser("families", help="list built-in network families")
 
@@ -106,8 +116,22 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # stdout was closed early (e.g. piped into `head`); exit quietly
+        return 0
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "families":
-        for name, graph in generators.all_families().items():
+        # exactly the names map --family / campaign --families accept,
+        # instantiated at the default size for a feel of their shape
+        for name in sorted(FAMILY_BUILDERS):
+            graph = build_family(name, 8, seed=0)
             print(
                 f"{name:28s} N={graph.num_nodes:4d} delta={graph.delta} "
                 f"D={diameter(graph)}"
@@ -128,8 +152,12 @@ def main(argv: list[str] | None = None) -> int:
             )
         )
         return 0
+    if args.command == "campaign":
+        return _run_campaign_command(args)
     # map
-    graph = _FAMILIES[args.family](args.size, args.seed)
+    if args.repeats > 1:
+        return _run_map_sweep(args)
+    graph = build_family(args.family, args.size, args.seed)
     print(f"network: {args.family}, N={graph.num_nodes}, delta={graph.delta}")
     print(render_adjacency(graph, root=0))
     result = determine_topology(graph, verify_cleanup=args.verify_cleanup)
@@ -149,6 +177,59 @@ def main(argv: list[str] | None = None) -> int:
         with open(args.json, "w") as fh:
             fh.write(result.to_json())
         print(f"wrote {args.json}")
+    return 0
+
+
+def _run_map_sweep(args: argparse.Namespace) -> int:
+    """``map --repeats K [--jobs J]``: a seed sweep over the campaign runner."""
+    if args.verify_cleanup or args.traffic:
+        raise ReproError(
+            "--verify-cleanup and --traffic apply to a single map run; "
+            "drop --repeats (or run the seeds one at a time)"
+        )
+    scenarios = [
+        Scenario(family=args.family, size=args.size, seed=args.seed + i)
+        for i in range(args.repeats)
+    ]
+    campaign = run_campaign(scenarios, jobs=args.jobs)
+    print(campaign.summary())
+    exact = sum(1 for r in campaign.results if r.ok)
+    print(f"\nexact maps: {exact}/{len(campaign)}")
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(campaign.to_json())
+        print(f"wrote {args.json}")
+    return 0 if exact == len(campaign) else 1
+
+
+def _run_campaign_command(args: argparse.Namespace) -> int:
+    spec = CampaignSpec(
+        families=tuple(args.families),
+        sizes=tuple(args.sizes),
+        faults=tuple(args.faults),
+        seeds=tuple(range(args.seed, args.seed + args.seeds)),
+    )
+    campaign = run_campaign(spec, jobs=args.jobs)
+    print(campaign.summary())
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(campaign.to_json())
+        print(f"wrote {args.json}")
+    if args.episodes:
+        try:
+            fit = campaign.episode_fit()
+        except TranscriptError:
+            # dynamic-fault matrices can legitimately yield < 2 episodes
+            print("\nepisode scaling: not enough RCA episodes in this matrix")
+        else:
+            print(
+                f"\nepisode scaling (Lemma 4.3): duration ~ "
+                f"{fit.slope:.2f} * loop_length + {fit.intercept:.2f} "
+                f"(R^2 = {fit.r_squared:.4f})"
+            )
+    # Outcomes (stale/deadlock/...) are the campaign's *data*, not command
+    # failures — dynamics sweeps produce them by design — so the exit code
+    # only reflects whether the matrix itself ran.
     return 0
 
 

@@ -100,6 +100,20 @@ class DynamicEngine(Engine):
         super().step_tick()
         self._apply_due_mutations()
 
+    def _next_event_tick(self) -> int | None:
+        """Bound the engine's fast-forward by the next scheduled mutation.
+
+        Wire changes are external events: the clock must not skip past the
+        tick a mutation is due, or ``applied_mutations`` /
+        :meth:`effective_topology` would lag behind simulated time.
+        """
+        nxt = super()._next_event_tick()
+        if self._pending_mutations:
+            mutation_tick = self._pending_mutations[0].tick
+            if nxt is None or mutation_tick < nxt:
+                return mutation_tick
+        return nxt
+
     def _apply_due_mutations(self) -> None:
         while self._pending_mutations and self._pending_mutations[0].tick <= self.tick:
             mutation = self._pending_mutations.pop(0)
@@ -118,15 +132,9 @@ class DynamicEngine(Engine):
             # The cable is unplugged: the character vanishes.
             self.lost_characters += 1
             return
-        if key in self._added:
-            wire = self._added[key]
-            if node == self.root:
-                self.transcript.record_send(self.tick, out_port, char)
-            self.metrics.count_emission(char)
-            self._pending[self.tick + 1][wire.dst].append(
-                (wire.in_port, char, self._arrival_seq)
-            )
-            self._arrival_seq += 1
+        added = self._added.get(key)
+        if added is not None:
+            self._emit(added, node, out_port, char)
             return
         super()._put_on_wire(node, out_port, char)
 

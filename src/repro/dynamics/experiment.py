@@ -31,6 +31,7 @@ from repro.errors import (
 from repro.protocol.gtd import GTDProcessor
 from repro.protocol.root_computer import MasterComputer, ReconstructedMap
 from repro.protocol.runner import default_tick_budget
+from repro.sim.run import RunConfig, execute_run
 from repro.topology.isomorphism import port_isomorphic
 from repro.topology.portgraph import PortGraph
 from repro.topology.properties import diameter
@@ -74,7 +75,10 @@ def run_dynamic_gtd(
     engine = DynamicEngine(graph, list(processors), mutations, root=root)
     root_proc = processors[root]
     try:
-        engine.run(max_ticks=budget, until=lambda: root_proc.terminal)
+        run = execute_run(
+            engine,
+            RunConfig(max_ticks=budget, until=lambda: root_proc.terminal, drain=False),
+        )
     except (TickBudgetExceeded, ProtocolViolation) as exc:
         outcome = (
             DynamicOutcome.DEADLOCK
@@ -88,10 +92,10 @@ def run_dynamic_gtd(
             final_topology=engine.effective_topology(),
             lost_characters=engine.lost_characters,
         )
-    ticks = engine.tick
+    ticks = run.ticks
     final = engine.effective_topology()
     try:
-        recovered = MasterComputer(strict=False).reconstruct(engine.transcript)
+        recovered = MasterComputer(strict=False).reconstruct(run.transcript)
         recovered_graph = recovered.to_portgraph(delta=graph.delta)
         accurate = port_isomorphic(final, root, recovered_graph, ReconstructedMap.ROOT)
     except (ReconstructionError, TranscriptError):

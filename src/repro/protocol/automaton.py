@@ -119,10 +119,7 @@ class ProtocolProcessor(Processor):
         if kind == "KILL":
             self._handle_kill(char)
         elif kind == "UNMARK":
-            if char.payload == SCOPE_RCA:
-                self._handle_unmark_rca(in_port, char)
-            else:
-                self._handle_unmark_bca(in_port, char)
+            self._dispatch_unmark(in_port, char)
         elif is_dying(char):
             family = snake_family(char)
             if family == "BD":
@@ -136,9 +133,68 @@ class ProtocolProcessor(Processor):
         elif kind == "BDONE":
             self._handle_bdone(in_port, char)
         elif kind == "DFS":
-            self._on_dfs_char(in_port, fill_in_port(char, in_port))
+            self._dispatch_dfs(in_port, char)
         else:
             raise ProtocolViolation(f"unknown character {char} at node {self._node()}")
+
+    # Uniform (in_port, char) adapters for the scheduler's dispatch tables.
+    def _dispatch_kill(self, in_port: int, char: Char) -> None:
+        self._handle_kill(char)
+
+    def _dispatch_unmark(self, in_port: int, char: Char) -> None:
+        if char.payload == SCOPE_RCA:
+            self._handle_unmark_rca(in_port, char)
+        else:
+            self._handle_unmark_bca(in_port, char)
+
+    def _dispatch_dfs(self, in_port: int, char: Char) -> None:
+        self._on_dfs_char(in_port, fill_in_port(char, in_port))
+
+    def _dispatch_growing_ig(self, in_port: int, char: Char) -> None:
+        self._handle_growing("IG", in_port, fill_in_port(char, in_port))
+
+    def _dispatch_growing_og(self, in_port: int, char: Char) -> None:
+        self._handle_growing("OG", in_port, fill_in_port(char, in_port))
+
+    def _dispatch_growing_bg(self, in_port: int, char: Char) -> None:
+        self._handle_growing("BG", in_port, fill_in_port(char, in_port))
+
+    def _dispatch_dying_id(self, in_port: int, char: Char) -> None:
+        self._handle_rca_dying("ID", in_port, char)
+
+    def _dispatch_dying_od(self, in_port: int, char: Char) -> None:
+        self._handle_rca_dying("OD", in_port, char)
+
+    #: character kind -> adapter method name; expanded into bound-method
+    #: tables per instance by :meth:`handler_table`.
+    _DISPATCH_NAMES: dict[str, str] = {
+        "KILL": "_dispatch_kill",
+        "UNMARK": "_dispatch_unmark",
+        "DFS": "_dispatch_dfs",
+        "FWD": "_handle_loop_token",
+        "BACK": "_handle_loop_token",
+        "BDONE": "_handle_bdone",
+        "BDH": "_handle_bd",
+        "BDB": "_handle_bd",
+        "BDT": "_handle_bd",
+        **{f"IG{role}": "_dispatch_growing_ig" for role in "HBT"},
+        **{f"OG{role}": "_dispatch_growing_og" for role in "HBT"},
+        **{f"BG{role}": "_dispatch_growing_bg" for role in "HBT"},
+        **{f"ID{role}": "_dispatch_dying_id" for role in "HBT"},
+        **{f"OD{role}": "_dispatch_dying_od" for role in "HBT"},
+    }
+
+    def handler_table(self) -> dict[str, Any]:
+        """Precomputed per-kind dispatch table for the scheduler core.
+
+        Subclasses that override :meth:`handle` itself get an empty table,
+        so their override stays authoritative for every character.
+        """
+        if type(self).handle is not ProtocolProcessor.handle:
+            return {}
+        return {
+            kind: getattr(self, name) for kind, name in self._DISPATCH_NAMES.items()
+        }
 
     # ==================================================================
     # growing snakes (§2.3.2)

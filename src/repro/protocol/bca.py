@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.sim.engine import Engine
+from repro.sim.run import RunConfig, execute_run
 from repro.protocol.automaton import ProtocolProcessor
 from repro.topology.portgraph import PortGraph
 
@@ -84,12 +85,15 @@ def run_single_bca(
     engine.wake(node)
     target = processors[wire.src]
     budget = max_ticks or (400 * (graph.num_nodes + 2) + 2000)
-    engine.run(
-        max_ticks=budget,
-        until=lambda: initiator.initiator_done_at is not None,
-        start=False,
+    run = execute_run(
+        engine,
+        RunConfig(
+            max_ticks=budget,
+            until=lambda: initiator.initiator_done_at is not None,
+            start=False,
+            drain_slack=200,
+        ),
     )
-    engine.run_to_idle(max_ticks=budget + 200)
     assert target.delivered_at is not None, "message never delivered"
     assert initiator.initiator_done_at is not None
     # For a self-loop the initiator is its own target.
@@ -102,6 +106,6 @@ def run_single_bca(
         delivered_at=target.delivered_at,
         initiator_done_at=initiator.initiator_done_at,
         target_resumed_at=resumed,
-        ticks=engine.tick,
+        ticks=run.drained_ticks,
         engine=engine,
     )

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from repro.errors import ProtocolViolation
 from repro.sim.characters import Char
 from repro.sim.engine import Engine
+from repro.sim.run import RunConfig, execute_run
 from repro.sim.transcript import Transcript
 from repro.protocol.automaton import ProtocolProcessor
 from repro.topology.portgraph import PortGraph
@@ -78,14 +79,21 @@ def run_single_rca(
     driver.trigger(token or Char("FWD", out_port=1, in_port=1))
     engine.wake(initiator)
     budget = max_ticks or (400 * (graph.num_nodes + 2) + 2000)
-    engine.run(max_ticks=budget, until=lambda: driver.completed_at is not None, start=False)
+    run = execute_run(
+        engine,
+        RunConfig(
+            max_ticks=budget,
+            until=lambda: driver.completed_at is not None,
+            start=False,
+            drain_slack=200,
+        ),
+    )
     completed = driver.completed_at
     assert completed is not None
-    engine.run_to_idle(max_ticks=budget + 200)
     return RCARunResult(
         initiator=initiator,
-        ticks=engine.tick,
+        ticks=run.drained_ticks,
         completed_at=completed,
-        transcript=engine.transcript,
+        transcript=run.transcript,
         engine=engine,
     )

@@ -1,21 +1,29 @@
-"""High-level API: run Global Topology Determination end to end.
+"""Layer 2 front-end: run Global Topology Determination end to end.
 
+This module sits on the layered simulation stack: the scheduler core
+(:mod:`repro.sim.scheduler`) drives deterministic delivery, the shared run
+orchestration (:mod:`repro.sim.run`) owns the budget/drain plumbing via the
+:class:`~repro.sim.run.RunConfig`/:class:`~repro.sim.run.RunResult` pair,
+and this front-end contributes only what is protocol-specific:
 :func:`determine_topology` wires :class:`~repro.protocol.gtd.GTDProcessor`
-instances onto a network, runs the engine until the root announces
-termination, feeds the root transcript to the
+instances onto a network, runs until the root announces termination, feeds
+the root transcript to the
 :class:`~repro.protocol.root_computer.MasterComputer`, and packages the
 result.  Optional flags add the Lemma 4.2 cleanup verification after every
-RCA/BCA and the finite-state audit at termination.
+RCA/BCA (an ``after_tick`` hook in the run config) and the finite-state
+audit at termination.  Scenario matrices over this entry point live one
+layer up, in :mod:`repro.campaigns`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import NotStronglyConnectedError, TickBudgetExceeded
+from repro.errors import NotStronglyConnectedError
 from repro.sim.audit import assert_finite_state
 from repro.sim.engine import Engine
 from repro.sim.metrics import TrafficMetrics
+from repro.sim.run import RunConfig, execute_run
 from repro.sim.transcript import Transcript
 from repro.topology.isomorphism import port_isomorphic
 from repro.topology.portgraph import PortGraph
@@ -138,13 +146,14 @@ def determine_topology(
     engine = Engine(graph, list(processors), root=root)
     root_proc = processors[root]
 
-    engine.start()
-    if verify_cleanup:
-        _run_with_cleanup_checks(engine, processors, root_proc, budget)
-    else:
-        engine.run(max_ticks=budget, until=lambda: root_proc.terminal, start=False)
-    ticks = engine.tick
-    engine.run_to_idle(max_ticks=budget + 1000)
+    run = execute_run(
+        engine,
+        RunConfig(
+            max_ticks=budget,
+            until=lambda: root_proc.terminal,
+            after_tick=_cleanup_sweeper(processors) if verify_cleanup else None,
+        ),
+    )
     if verify_cleanup:
         assert_network_clean(engine, context="after termination")
     if audit_finite_state:
@@ -152,42 +161,41 @@ def determine_topology(
             assert_finite_state(proc, graph.delta)
 
     computer = MasterComputer(strict=strict_reconstruction)
-    recovered = computer.reconstruct(engine.transcript)
+    recovered = computer.reconstruct(run.transcript)
     return TopologyResult(
         recovered=recovered,
         graph=recovered.to_portgraph(delta=graph.delta),
-        ticks=ticks,
-        drained_ticks=engine.tick,
-        transcript=engine.transcript,
-        metrics=engine.metrics,
+        ticks=run.ticks,
+        drained_ticks=run.drained_ticks,
+        transcript=run.transcript,
+        metrics=run.metrics,
         rca_runs=sum(p.rca_completed for p in processors),
         bca_runs=sum(p.bca_completed for p in processors),
         diameter=diam,
     )
 
 
-def _run_with_cleanup_checks(
-    engine: Engine,
-    processors: list[GTDProcessor],
-    root_proc: GTDProcessor,
-    budget: int,
-) -> None:
-    """Step the engine, sweeping for residue after each RCA/BCA completes."""
-    last_rca = 0
-    last_bca = 0
-    while not root_proc.terminal:
-        if engine.tick >= budget:
-            raise TickBudgetExceeded(budget)
-        engine.step_tick()
+def _cleanup_sweeper(processors: list[GTDProcessor]):
+    """An ``after_tick`` hook sweeping for residue after each RCA/BCA.
+
+    Forces the run onto the exact single-step path, so every completed
+    RCA/BCA is checked at the very tick it finished (Lemma 4.2 as a
+    runtime assertion).
+    """
+    seen = {"rca": 0, "bca": 0}
+
+    def sweep(engine: Engine) -> None:
         rca = sum(p.rca_completed for p in processors)
         bca = sum(p.bca_completed for p in processors)
-        if rca != last_rca:
-            last_rca = rca
+        if rca != seen["rca"]:
+            seen["rca"] = rca
             assert_network_clean(
                 engine, scope=SCOPE_RCA, context=f"after RCA #{rca} (tick {engine.tick})"
             )
-        if bca != last_bca:
-            last_bca = bca
+        if bca != seen["bca"]:
+            seen["bca"] = bca
             assert_network_clean(
                 engine, scope=SCOPE_BCA, context=f"after BCA #{bca} (tick {engine.tick})"
             )
+
+    return sweep

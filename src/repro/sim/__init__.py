@@ -26,6 +26,8 @@ from repro.sim.characters import (
 )
 from repro.sim.engine import Engine, NodeContext
 from repro.sim.processor import Processor
+from repro.sim.run import RunConfig, RunResult, execute_run
+from repro.sim.scheduler import ActiveSet, EventWheel, priority_of
 from repro.sim.transcript import Transcript, TranscriptEvent
 from repro.sim.metrics import TrafficMetrics
 from repro.sim.audit import state_atom_count, assert_finite_state
@@ -46,6 +48,12 @@ __all__ = [
     "Engine",
     "NodeContext",
     "Processor",
+    "RunConfig",
+    "RunResult",
+    "execute_run",
+    "ActiveSet",
+    "EventWheel",
+    "priority_of",
     "Transcript",
     "TranscriptEvent",
     "TrafficMetrics",

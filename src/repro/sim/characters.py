@@ -170,7 +170,7 @@ def residence(char: Char) -> int:
     Speed-1 constructs rest 3 ticks; speed-3 constructs rest 1 tick, so a
     speed-3 token covers 3 hops in the time a snake covers 1.
     """
-    return 1 if speed_of(char) == 3 else 3
+    return 1 if char.kind in _SPEED3_KINDS else 3
 
 
 # ----------------------------------------------------------------------
@@ -203,7 +203,7 @@ def fill_in_port(char: Char, in_port: int) -> Char:
     whose in-port is already concrete are returned unchanged.
     """
     if char.in_port == STAR and (is_snake(char) or char.kind == "DFS"):
-        return replace(char, in_port=in_port)
+        return Char(char.kind, char.out_port, in_port, char.payload)
     return char
 
 

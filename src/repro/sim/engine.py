@@ -1,6 +1,20 @@
-"""The synchronous engine: global clock, wires, deterministic delivery.
+"""Layer 1 front door — the synchronous engine on top of the scheduler core.
 
-Per tick the engine:
+The simulation stack is layered:
+
+1. **Scheduler core** (:mod:`repro.sim.scheduler`): the event wheel
+   (timestamp-bucketed delivery queue), active-set tracking of processors
+   with resting characters, precomputed per-kind handling priorities and
+   per-processor handler dispatch tables.
+2. **Run orchestration** (:mod:`repro.sim.run`): the shared
+   :class:`~repro.sim.run.RunConfig`/:class:`~repro.sim.run.RunResult`
+   pair every front-end (``protocol.runner``, ``dynamics.experiment``, the
+   scripted RCA/BCA drivers) executes runs through.
+3. **Campaigns** (:mod:`repro.campaigns`): declarative scenario matrices
+   fanned out over worker processes.
+
+This module is the engine itself: the global clock, the wires, and the
+deterministic delivery semantics of the paper.  Per tick the engine:
 
 1. delivers every character scheduled to arrive now, invoking each
    receiving processor's handlers in a fixed priority order (KILL/UNMARK
@@ -10,23 +24,26 @@ Per tick the engine:
 2. drains due outbox entries onto wires (arrival next tick);
 3. records the root's I/O into the :class:`~repro.sim.transcript.Transcript`.
 
-Only *active* processors (those receiving characters or holding a non-empty
-outbox) cost any work, so an `O(N*D)`-tick protocol whose activity is
-localized simulates in time proportional to total character-hops, not
-``ticks * N``.
+Only processors with arrivals or due outbox entries cost any work on a
+tick, and :meth:`Engine.run` fast-forwards the clock across ticks on which
+provably nothing can happen (no arrival scheduled, no outbox entry due), so
+an ``O(N*D)``-tick protocol whose activity is localized simulates in time
+proportional to total character-hops — not ``ticks * N``.  Timing stays
+tick-exact: every delivery, drain and transcript record happens at exactly
+the tick it would have without the fast-forward.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Any, Callable, Iterable
 
 from repro.errors import SimulationError, TickBudgetExceeded
-from repro.sim.characters import Char, is_dying, is_growing
+from repro.sim.characters import Char
 from repro.sim.metrics import TrafficMetrics
 from repro.sim.processor import Processor
+from repro.sim.scheduler import ActiveSet, EventWheel, build_dispatch_tables
 from repro.sim.transcript import Transcript
-from repro.topology.portgraph import PortGraph
+from repro.topology.portgraph import PortGraph, Wire
 
 __all__ = ["NodeContext", "Engine"]
 
@@ -65,23 +82,6 @@ class NodeContext:
         self._pipe(label, tuple(data))
 
 
-def _priority(char: Char) -> int:
-    """In-tick handling priority; lower handles first.
-
-    KILL/UNMARK must be seen before growing characters arriving the same
-    tick so the speed-3 catch-up argument (Lemma 4.2) is exact.  Dying
-    characters outrank growing ones so loop marking is never raced by the
-    flood it is about to clean up.
-    """
-    if char.kind in ("KILL", "UNMARK"):
-        return 0
-    if is_dying(char):
-        return 1
-    if is_growing(char):
-        return 2
-    return 3  # DFS / FWD / BACK / BDONE
-
-
 class Engine:
     """Simulate ``processors`` on ``graph`` with a shared global clock.
 
@@ -117,12 +117,15 @@ class Engine:
         self.metrics = TrafficMetrics()
         #: optional omniscient tracer (see :mod:`repro.sim.tracer`)
         self.tracer = None
-        # pending[t] -> node -> list of (in_port, char, seq) arriving at t
-        self._pending: dict[int, dict[int, list[tuple[int, Char, int]]]] = defaultdict(
-            lambda: defaultdict(list)
-        )
-        self._arrival_seq = 0
-        self._live: set[int] = set()  # nodes with a non-empty outbox
+        self._wheel = EventWheel()
+        self._active = ActiveSet()
+        #: nodes with a non-empty outbox (shared with the active set; the
+        #: invariant sweeps read it directly)
+        self._live: set[int] = self._active.live
+        # wiring lookup precomputed off the frozen graph: node -> {out_port: Wire}
+        self._out_wires: list[dict[int, Wire]] = [{} for _ in range(graph.num_nodes)]
+        for wire in graph.wires():
+            self._out_wires[wire.src][wire.out_port] = wire
         for node, proc in enumerate(processors):
             proc.attach(
                 NodeContext(
@@ -133,6 +136,7 @@ class Engine:
                     pipe=(self._root_pipe if node == root else _discard_pipe),
                 )
             )
+        self._dispatch = build_dispatch_tables(processors)
 
     # ------------------------------------------------------------------
     def _root_pipe(self, label: str, data: tuple) -> None:
@@ -158,57 +162,120 @@ class Engine:
 
     def _drain_node(self, node: int) -> None:
         proc = self.processors[node]
-        for entry in proc.drain_due(self.tick):
-            self._put_on_wire(node, entry.out_port, entry.char)
-        if proc.has_pending_output():
-            self._live.add(node)
-        else:
-            self._live.discard(node)
+        entries = proc.drain_due(self.tick)
+        if entries:
+            put = self._put_on_wire
+            for entry in entries:
+                put(node, entry.out_port, entry.char)
+        self._active.update(node, proc.next_due_tick())
 
     def step_tick(self) -> None:
-        """Advance the global clock by one tick."""
+        """Advance the global clock by exactly one tick."""
         self.tick += 1
-        arrivals = self._pending.pop(self.tick, None)
+        tick = self.tick
+        arrivals = self._wheel.pop(tick)
 
-        touched: set[int] = set()
         if arrivals:
+            processors = self.processors
+            dispatch_tables = self._dispatch
+            root = self.root
+            tracer = self.tracer
+            delivered = self.metrics.delivered
             for node, items in arrivals.items():
-                proc = self.processors[node]
-                proc.begin_tick(self.tick)
-                touched.add(node)
-                items.sort(key=lambda it: (_priority(it[1]), it[0], it[2]))
-                for in_port, char, _ in items:
-                    if node == self.root:
-                        self.transcript.record_recv(self.tick, in_port, char)
-                    self.metrics.count_delivery(char)
-                    if self.tracer is not None:
-                        self.tracer.record_delivery(self.tick, node, in_port, char)
-                    proc.handle(in_port, char)
+                proc = processors[node]
+                proc.begin_tick(tick)
+                if len(items) > 1:
+                    # plain tuple sort: (priority, in_port, seq, char); seq
+                    # is unique so the comparison never reaches the char
+                    items.sort()
+                dispatch = dispatch_tables[node]
+                fallback = proc.handle
+                is_root = node == root
+                for _, in_port, _, char in items:
+                    if is_root:
+                        self.transcript.record_recv(tick, in_port, char)
+                    delivered[char.kind] += 1
+                    if tracer is not None:
+                        tracer.record_delivery(tick, node, in_port, char)
+                    handler = dispatch.get(char.kind)
+                    if handler is None:
+                        fallback(in_port, char)
+                    else:
+                        handler(in_port, char)
 
-        # Drain outboxes of every node that might have a due entry.
-        for node in list(self._live | touched):
+        # Drain outboxes with due entries, plus every node touched above
+        # (its handlers may have queued immediately-due output).
+        due = self._active.take_due(tick)
+        if arrivals:
+            due.update(arrivals)
+        for node in due:
             self._drain_node(node)
 
     def _put_on_wire(self, node: int, out_port: int, char: Char) -> None:
-        wire = self.graph.out_wire(node, out_port)
+        wire = self._out_wires[node].get(out_port)
         if wire is None:
             raise SimulationError(
                 f"node {node} emitted {char} through unconnected out-port {out_port}"
             )
+        # inline of _emit — this is the hottest emission path
         if node == self.root:
             self.transcript.record_send(self.tick, out_port, char)
-        self.metrics.count_emission(char)
+        self.metrics.emitted[char.kind] += 1
         if self.tracer is not None:
             self.tracer.record_emission(self.tick, node, out_port, char)
-        self._pending[self.tick + 1][wire.dst].append(
-            (wire.in_port, char, self._arrival_seq)
-        )
-        self._arrival_seq += 1
+        self._wheel.schedule(self.tick + 1, wire.dst, wire.in_port, char)
+
+    def _emit(self, wire: Wire, node: int, out_port: int, char: Char) -> None:
+        """Account for ``char`` leaving ``node`` and schedule its arrival.
+
+        Kept as a separate helper for engine subclasses that route
+        emissions over wires outside the frozen base graph (the dynamic
+        engine's added wires); the base ``_put_on_wire`` inlines this.
+        """
+        if node == self.root:
+            self.transcript.record_send(self.tick, out_port, char)
+        self.metrics.emitted[char.kind] += 1
+        if self.tracer is not None:
+            self.tracer.record_emission(self.tick, node, out_port, char)
+        self._wheel.schedule(self.tick + 1, wire.dst, wire.in_port, char)
 
     # ------------------------------------------------------------------
     def is_idle(self) -> bool:
         """No characters anywhere: resting, on wires, or scheduled."""
-        return not self._live and not self._pending
+        return not self._live and not self._wheel
+
+    def _next_event_tick(self) -> int | None:
+        """The earliest future tick at which anything can happen.
+
+        ``None`` means the network holds no scheduled arrival and no
+        resting character — nothing will ever happen again without outside
+        intervention.  Subclasses with external event sources (scheduled
+        wire mutations) override this to bound the fast-forward.
+        """
+        wheel_tick = self._wheel.next_tick()
+        due_tick = self._active.next_due()
+        if wheel_tick is None:
+            return due_tick
+        if due_tick is None:
+            return wheel_tick
+        return min(wheel_tick, due_tick)
+
+    def _advance(self, max_ticks: int) -> None:
+        """Step to the next tick at which an event can occur.
+
+        Fast-forwards the clock over provably-empty ticks; never advances
+        past ``max_ticks``.
+        """
+        nxt = self._next_event_tick()
+        if nxt is None:
+            # Dead network: nothing to deliver or drain, ever.  Advance one
+            # tick (matching the pre-scheduler engine) so idle detection and
+            # budget accounting observe the same tick values as before.
+            self.tick += 1
+            return
+        if nxt > self.tick + 1:
+            self.tick = min(nxt, max_ticks) - 1
+        self.step_tick()
 
     def run(
         self,
@@ -222,6 +289,9 @@ class Engine:
         Returns the tick at which the condition first held.  Raises
         :class:`TickBudgetExceeded` if ``max_ticks`` elapse first — the
         liveness watchdog every test and benchmark runs under.
+
+        ``until`` is evaluated at event boundaries (processor state can only
+        change when a character is delivered, so nothing is missed).
         """
         if start:
             self.start()
@@ -230,7 +300,7 @@ class Engine:
                 return self.tick
             if until is None and self.is_idle() and self.tick > 0:
                 return self.tick
-            self.step_tick()
+            self._advance(max_ticks)
         if until is not None and until():
             return self.tick
         raise TickBudgetExceeded(max_ticks)
@@ -240,7 +310,9 @@ class Engine:
         while self.tick < max_ticks:
             if self.is_idle():
                 return self.tick
-            self.step_tick()
+            self._advance(max_ticks)
+        if self.is_idle():
+            return self.tick
         raise TickBudgetExceeded(max_ticks)
 
     # ------------------------------------------------------------------
@@ -249,10 +321,7 @@ class Engine:
 
         Used by the Lemma 4.2 cleanup invariant checks.
         """
-        for _, per_node in self._pending.items():
-            for node, items in per_node.items():
-                for _, char, _ in items:
-                    yield node, char
+        yield from self._wheel.in_flight()
         for node in self._live:
             for char in self.processors[node].outbox_chars():
                 yield node, char

@@ -54,6 +54,7 @@ class Processor(ABC):
     def __init__(self) -> None:
         self.ctx: "NodeContext | None" = None
         self._outbox: list[OutboxEntry] = []
+        self._next_due: int | None = None  # min due_tick over _outbox
         self._seq = 0
         self._tick = 0
 
@@ -68,12 +69,35 @@ class Processor(ABC):
         """Engine hook: set the current tick before handlers run."""
         self._tick = tick
 
+    def handler_table(self) -> dict[str, Callable[[int, Char], None]]:
+        """Per-kind handler dispatch table for the scheduler core.
+
+        The engine precomputes one table per processor at attach time
+        (:func:`repro.sim.scheduler.build_dispatch_tables`); the delivery
+        loop then jumps ``table[char.kind]`` straight to a bound handler.
+        The base implementation publishes nothing, so every character falls
+        back to :meth:`handle` — subclasses with a closed character set
+        (notably :class:`~repro.protocol.automaton.ProtocolProcessor`)
+        override this to skip their dispatch chain.
+        """
+        return {}
+
     def drain_due(self, tick: int) -> list[OutboxEntry]:
         """Remove and return outbox entries due at or before ``tick``."""
-        due = [e for e in self._outbox if e.due_tick <= tick]
+        outbox = self._outbox
+        if not outbox or (self._next_due is not None and self._next_due > tick):
+            return []
+        due: list[OutboxEntry] = []
+        keep: list[OutboxEntry] = []
+        for e in outbox:
+            (due if e.due_tick <= tick else keep).append(e)
         if due:
-            self._outbox = [e for e in self._outbox if e.due_tick > tick]
-            due.sort(key=lambda e: (e.due_tick, e.seq))
+            self._outbox = keep
+            self._next_due = min(e.due_tick for e in keep) if keep else None
+            if len(due) > 1:
+                # appended in seq order, so a stable sort on due_tick alone
+                # reproduces the (due_tick, seq) order
+                due.sort(key=lambda e: e.due_tick)
         return due
 
     def has_pending_output(self) -> bool:
@@ -82,9 +106,7 @@ class Processor(ABC):
 
     def next_due_tick(self) -> int | None:
         """Earliest outbox due tick, or ``None`` when the outbox is empty."""
-        if not self._outbox:
-            return None
-        return min(e.due_tick for e in self._outbox)
+        return self._next_due
 
     # ------------------------------------------------------------------
     # API for subclasses
@@ -101,6 +123,8 @@ class Processor(ABC):
         due = self._tick + residence(char) - 1 + extra_delay
         self._outbox.append(OutboxEntry(due, out_port, char, self._seq))
         self._seq += 1
+        if self._next_due is None or due < self._next_due:
+            self._next_due = due
 
     def broadcast(self, char: Char, *, extra_delay: int = 0) -> None:
         """Send ``char`` through every connected out-port."""
@@ -116,6 +140,9 @@ class Processor(ABC):
         """
         before = len(self._outbox)
         self._outbox = [e for e in self._outbox if not predicate(e.char)]
+        self._next_due = (
+            min(e.due_tick for e in self._outbox) if self._outbox else None
+        )
         return before - len(self._outbox)
 
     def outbox_chars(self) -> Iterable[Char]:

@@ -1,0 +1,120 @@
+"""Layer 2 — shared run orchestration over the scheduler core.
+
+Every front-end of the simulation stack — the full-protocol runner
+(:mod:`repro.protocol.runner`), the dynamic-network experiment
+(:mod:`repro.dynamics.experiment`), and the scripted single-RCA/BCA
+drivers — used to hand-roll the same loop: start the engine, run under a
+tick budget until a termination predicate holds, optionally drain the
+straggling cleanup, and package ticks/transcript/metrics.  That plumbing
+lives here once, as a :class:`RunConfig`/:class:`RunResult` pair around
+:func:`execute_run`.
+
+The pair is deliberately engine-agnostic: anything exposing the
+:class:`~repro.sim.engine.Engine` run surface (``start``/``step_tick``/
+``run``/``run_to_idle``/``tick``/``transcript``/``metrics``) can be
+orchestrated, which is how the dynamic engine reuses it unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import TickBudgetExceeded
+from repro.sim.engine import Engine
+from repro.sim.metrics import TrafficMetrics
+from repro.sim.transcript import Transcript
+
+__all__ = ["RunConfig", "RunResult", "execute_run"]
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """How to drive one engine run.
+
+    Attributes:
+        max_ticks: the liveness watchdog — :class:`TickBudgetExceeded` is
+            raised if the condition has not held by then.
+        until: termination predicate, evaluated at event boundaries.
+            ``None`` means "run until the network goes idle".
+        start: whether :func:`execute_run` delivers the outside source's
+            nudge (``engine.start()``); front-ends that trigger processors
+            by hand (the scripted drivers) pass ``False`` and start first.
+        drain: whether to keep simulating after termination until no
+            character remains anywhere (the protocol's straggling cleanup).
+        drain_slack: extra ticks granted to the drain on top of
+            ``max_ticks``.
+        after_tick: optional per-event-tick hook (called with the engine
+            after each step).  Setting it forces the orchestrator onto the
+            exact single-step path — the cleanup-invariant runner uses it
+            to sweep the network after every completed RCA/BCA.
+    """
+
+    max_ticks: int
+    until: Callable[[], bool] | None = None
+    start: bool = True
+    drain: bool = True
+    drain_slack: int = 1000
+    after_tick: Callable[[Engine], None] | None = field(default=None, compare=False)
+
+
+@dataclass
+class RunResult:
+    """What one orchestrated engine run produced.
+
+    Attributes:
+        engine: the engine, in its post-run state.
+        ticks: the tick at which the run condition first held — the
+            paper's time-complexity measure.
+        drained_ticks: the tick at which the network was completely idle
+            (equal to ``ticks`` when the config did not drain).
+    """
+
+    engine: Engine
+    ticks: int
+    drained_ticks: int
+
+    @property
+    def transcript(self) -> Transcript:
+        """The root's transcript, as recorded by the engine."""
+        return self.engine.transcript
+
+    @property
+    def metrics(self) -> TrafficMetrics:
+        """Character-traffic counters, as accumulated by the engine."""
+        return self.engine.metrics
+
+
+def execute_run(engine: Engine, config: RunConfig) -> RunResult:
+    """Drive ``engine`` per ``config`` and package the outcome.
+
+    Raises :class:`TickBudgetExceeded` if the watchdog fires, after which
+    the engine is left at the tick it reached (callers that classify
+    deadlocks read ``engine.tick`` from the exception site).
+    """
+    if config.start:
+        engine.start()
+    if config.after_tick is not None:
+        ticks = _run_with_hook(engine, config)
+    else:
+        ticks = engine.run(
+            max_ticks=config.max_ticks, until=config.until, start=False
+        )
+    drained = ticks
+    if config.drain:
+        drained = engine.run_to_idle(max_ticks=config.max_ticks + config.drain_slack)
+    return RunResult(engine=engine, ticks=ticks, drained_ticks=drained)
+
+
+def _run_with_hook(engine: Engine, config: RunConfig) -> int:
+    """Single-step run path for configs with an ``after_tick`` hook."""
+    until = config.until
+    while True:
+        if until is not None and until():
+            return engine.tick
+        if until is None and engine.is_idle() and engine.tick > 0:
+            return engine.tick
+        if engine.tick >= config.max_ticks:
+            raise TickBudgetExceeded(config.max_ticks)
+        engine.step_tick()
+        config.after_tick(engine)

@@ -1,0 +1,211 @@
+"""Layer 1 — the scheduler core of the simulation stack.
+
+The :class:`~repro.sim.engine.Engine` used to hand-roll its delivery queue,
+active-set bookkeeping and per-character priority sort inside ``step_tick``.
+This module extracts those mechanisms into three reusable pieces that the
+engine (and its :class:`~repro.dynamics.engine.DynamicEngine` subclass)
+compose:
+
+* :class:`EventWheel` — a timestamp-bucketed delivery queue.  A scheduled
+  character is stored as a ``(priority, in_port, seq, char)`` tuple so one
+  plain tuple sort recovers the paper's deterministic in-tick handling
+  order (KILL/UNMARK first, then dying snakes, then growing snakes, then
+  tokens; ties broken by in-port then FIFO) without calling a key function
+  per character.  ``seq`` is globally unique, so the tuple comparison never
+  reaches the (unorderable) :class:`~repro.sim.characters.Char`.
+* :class:`ActiveSet` — tracks which processors hold resting characters and
+  the earliest tick any of them is due to leave, via a lazily-invalidated
+  min-heap.  The engine drains only processors with due outbox entries
+  instead of sweeping every live node every tick.
+* :data:`KIND_PRIORITY` — the in-tick handling priority precomputed per
+  character *kind* (the closed set of kind strings is the character class);
+  enqueueing looks the priority up once instead of re-deriving it from
+  string predicates inside the sort.
+
+Both structures expose ``next_*`` queries so the engine can fast-forward
+the global clock across ticks in which provably nothing happens (see
+``Engine._next_event_tick``) while staying tick-exact about everything it
+delivers, drains or records.
+
+:func:`build_dispatch_tables` completes the layer: it asks each processor
+for a precomputed handler table keyed by character kind
+(:meth:`repro.sim.processor.Processor.handler_table`), so the hot delivery
+loop jumps straight to the right handler instead of walking an
+``if kind == ...`` chain per character.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import TYPE_CHECKING, Callable, Iterator
+
+from repro.sim.characters import (
+    DYING_FAMILIES,
+    GROWING_FAMILIES,
+    Char,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.processor import Processor
+
+__all__ = [
+    "PRIORITY_CONTROL",
+    "PRIORITY_DYING",
+    "PRIORITY_GROWING",
+    "PRIORITY_TOKEN",
+    "KIND_PRIORITY",
+    "priority_of",
+    "EventWheel",
+    "ActiveSet",
+    "build_dispatch_tables",
+]
+
+#: KILL/UNMARK must be seen before growing characters arriving the same
+#: tick so the speed-3 catch-up argument (Lemma 4.2) is exact.
+PRIORITY_CONTROL = 0
+#: Dying characters outrank growing ones so loop marking is never raced by
+#: the flood it is about to clean up.
+PRIORITY_DYING = 1
+PRIORITY_GROWING = 2
+#: DFS / FWD / BACK / BDONE and anything a test double invents.
+PRIORITY_TOKEN = 3
+
+
+def priority_of(kind: str) -> int:
+    """In-tick handling priority of a character kind; lower handles first."""
+    if kind in ("KILL", "UNMARK"):
+        return PRIORITY_CONTROL
+    if len(kind) == 3:
+        family = kind[:2]
+        if family in DYING_FAMILIES:
+            return PRIORITY_DYING
+        if family in GROWING_FAMILIES:
+            return PRIORITY_GROWING
+    return PRIORITY_TOKEN
+
+
+class _PriorityTable(dict):
+    """``{kind: priority}`` cache, self-populating on first sight of a kind."""
+
+    def __missing__(self, kind: str) -> int:
+        prio = priority_of(kind)
+        self[kind] = prio
+        return prio
+
+
+#: The precomputed priority table.  Character kinds form a small closed set,
+#: so after warm-up every enqueue is one dict hit.
+KIND_PRIORITY: dict[str, int] = _PriorityTable()
+
+
+class EventWheel:
+    """Timestamp-bucketed delivery queue.
+
+    ``schedule`` files a character for delivery to ``(node, in_port)`` at an
+    absolute tick; ``pop`` hands back everything due at a tick, grouped by
+    node, as sortable ``(priority, in_port, seq, char)`` tuples.
+    """
+
+    __slots__ = ("_buckets", "_ticks", "_seq")
+
+    def __init__(self) -> None:
+        # tick -> node -> [(priority, in_port, seq, char), ...]
+        self._buckets: dict[int, dict[int, list[tuple[int, int, int, Char]]]] = {}
+        self._ticks: list[int] = []  # min-heap of bucket keys (lazily cleaned)
+        self._seq = 0
+
+    def schedule(self, tick: int, node: int, in_port: int, char: Char) -> None:
+        """File ``char`` for delivery at ``tick`` through ``in_port``."""
+        bucket = self._buckets.get(tick)
+        if bucket is None:
+            bucket = self._buckets[tick] = {}
+            heappush(self._ticks, tick)
+        entry = (KIND_PRIORITY[char.kind], in_port, self._seq, char)
+        self._seq += 1
+        items = bucket.get(node)
+        if items is None:
+            bucket[node] = [entry]
+        else:
+            items.append(entry)
+
+    def pop(self, tick: int) -> dict[int, list[tuple[int, int, int, Char]]] | None:
+        """Remove and return the arrivals bucket for ``tick`` (or ``None``)."""
+        return self._buckets.pop(tick, None)
+
+    def next_tick(self) -> int | None:
+        """The earliest tick holding scheduled arrivals, or ``None``."""
+        ticks = self._ticks
+        buckets = self._buckets
+        while ticks and ticks[0] not in buckets:
+            heappop(ticks)
+        return ticks[0] if ticks else None
+
+    def __bool__(self) -> bool:
+        return bool(self._buckets)
+
+    def __len__(self) -> int:
+        return sum(
+            len(items) for bucket in self._buckets.values() for items in bucket.values()
+        )
+
+    def in_flight(self) -> Iterator[tuple[int, Char]]:
+        """All scheduled characters as ``(destination, char)`` pairs."""
+        for bucket in self._buckets.values():
+            for node, items in bucket.items():
+                for _, _, _, char in items:
+                    yield node, char
+
+
+class ActiveSet:
+    """Which processors hold resting characters, and when the next is due.
+
+    ``live`` is the plain set of nodes with a non-empty outbox (the engine
+    exposes it as ``engine._live`` for the invariant sweeps).  The due-heap
+    is lazily invalidated: an entry may be stale (the node drained or went
+    idle since the push), which costs one wasted pop, never a missed event.
+    """
+
+    __slots__ = ("live", "_due")
+
+    def __init__(self) -> None:
+        self.live: set[int] = set()
+        self._due: list[tuple[int, int]] = []  # (due_tick, node)
+
+    def update(self, node: int, next_due: int | None) -> None:
+        """Record ``node``'s outbox state after a drain."""
+        if next_due is None:
+            self.live.discard(node)
+        else:
+            self.live.add(node)
+            heappush(self._due, (next_due, node))
+
+    def take_due(self, tick: int) -> set[int]:
+        """Pop and return every node with a (possibly stale) entry due by ``tick``."""
+        due: set[int] = set()
+        heap = self._due
+        while heap and heap[0][0] <= tick:
+            due.add(heappop(heap)[1])
+        return due
+
+    def next_due(self) -> int | None:
+        """Earliest recorded due tick, or ``None``.
+
+        May be stale (earlier than the true next due tick); the engine
+        tolerates that with one empty drain pass.
+        """
+        return self._due[0][0] if self._due else None
+
+    def __bool__(self) -> bool:
+        return bool(self.live)
+
+
+def build_dispatch_tables(
+    processors: list["Processor"],
+) -> list[dict[str, Callable[[int, Char], None]]]:
+    """Precompute one handler table per processor, keyed by character kind.
+
+    Processors that do not publish a table (the base
+    :meth:`~repro.sim.processor.Processor.handler_table` returns an empty
+    dict) fall back to their ``handle`` method in the delivery loop.
+    """
+    return [proc.handler_table() for proc in processors]

@@ -1,0 +1,227 @@
+"""Campaigns: matrix expansion, fault parsing, determinism, aggregation, CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaigns import (
+    CampaignSpec,
+    FaultModel,
+    Scenario,
+    build_family,
+    parse_fault,
+    run_campaign,
+    run_scenario,
+)
+from repro.campaigns.spec import FAMILY_BUILDERS
+from repro.cli import main
+from repro.errors import ReproError
+
+
+class TestSpec:
+    def test_matrix_expansion_order(self):
+        spec = CampaignSpec(
+            families=("de-bruijn", "torus"),
+            sizes=(4, 8),
+            faults=("none",),
+            seeds=(0, 1),
+        )
+        scenarios = spec.scenarios()
+        assert len(scenarios) == len(spec) == 8
+        assert scenarios[0] == Scenario("de-bruijn", 4, "none", 0)
+        assert scenarios[1] == Scenario("de-bruijn", 4, "none", 1)
+        assert scenarios[2] == Scenario("de-bruijn", 8, "none", 0)
+        assert scenarios[4] == Scenario("torus", 4, "none", 0)
+
+    def test_unknown_family_rejected_eagerly(self):
+        with pytest.raises(ReproError, match="unknown network family"):
+            CampaignSpec(families=("nope",), sizes=(4,))
+
+    def test_bad_fault_rejected_eagerly(self):
+        with pytest.raises(ReproError):
+            CampaignSpec(families=("torus",), sizes=(4,), faults=("melt:1",))
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ReproError, match="at least one"):
+            CampaignSpec(families=("torus",), sizes=())
+
+    def test_family_registry_builds_legal_graphs(self):
+        for name in FAMILY_BUILDERS:
+            graph = build_family(name, 6, seed=1)
+            assert graph.frozen
+            assert graph.num_nodes >= 6 or name in ("de-bruijn", "hypercube")
+
+    def test_build_family_unknown(self):
+        with pytest.raises(ReproError):
+            build_family("nope", 8)
+
+
+class TestFaultParsing:
+    def test_none(self):
+        assert parse_fault("none") == FaultModel("none")
+
+    def test_shutdown(self):
+        assert parse_fault("shutdown:0.25") == FaultModel("shutdown", 0.25)
+
+    def test_cut_and_add(self):
+        assert parse_fault("cut:0.5") == FaultModel("cut", 0.5)
+        assert parse_fault("add:1.2") == FaultModel("add", 1.2)
+
+    def test_roundtrip_str(self):
+        for spec in ("none", "shutdown:0.25", "cut:0.5"):
+            assert str(parse_fault(spec)) == spec
+
+    @pytest.mark.parametrize(
+        "bad", ["melt:1", "shutdown", "shutdown:1.5", "cut:-1", "none:3"]
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(ReproError):
+            parse_fault(bad)
+
+
+SMALL_SPEC = CampaignSpec(
+    families=("de-bruijn", "bidirectional-ring"),
+    sizes=(6,),
+    faults=("none", "shutdown:0.1"),
+    seeds=(0, 1),
+)
+
+
+class TestDeterminism:
+    def test_parallel_equals_serial_result_for_result(self):
+        serial = run_campaign(SMALL_SPEC, jobs=1)
+        parallel = run_campaign(SMALL_SPEC, jobs=4)
+        assert serial.results == parallel.results
+
+    def test_two_serial_invocations_identical(self):
+        a = run_campaign(SMALL_SPEC, jobs=1)
+        b = run_campaign(SMALL_SPEC, jobs=1)
+        assert a.results == b.results
+
+    def test_dynamic_scenarios_deterministic_across_workers(self):
+        spec = CampaignSpec(
+            families=("spare-ring",),
+            sizes=(6,),
+            faults=("cut:0.5", "add:0.5", "cut:1.2"),
+            seeds=(0, 1),
+        )
+        serial = run_campaign(spec, jobs=1)
+        parallel = run_campaign(spec, jobs=3)
+        assert serial.results == parallel.results
+        # post-termination mutations leave the map accurate
+        late = [r for r in serial.results if r.scenario.fault == "cut:1.2"]
+        assert all(r.outcome == "accurate" for r in late)
+
+    def test_distinct_seeds_can_differ(self):
+        # the seed is threaded into the fault pattern: same cell, different
+        # seeds must be able to produce different degraded networks
+        results = run_campaign(
+            CampaignSpec(
+                families=("bidirectional-ring",),
+                sizes=(8,),
+                faults=("shutdown:0.2",),
+                seeds=tuple(range(6)),
+            )
+        ).results
+        assert len({r.num_wires for r in results}) > 1
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ReproError):
+            run_campaign(SMALL_SPEC, jobs=0)
+
+
+class TestScenarioResults:
+    def test_healthy_scenario_is_exact(self):
+        result = run_scenario(Scenario("de-bruijn", 8))
+        assert result.outcome == "exact" and result.ok
+        assert result.hops > 0 and result.ticks > 0
+        assert result.work == result.num_wires * result.diameter
+        assert result.episodes, "episodes must be mined from the transcript"
+
+    def test_shutdown_truth_is_degraded_network(self):
+        result = run_scenario(Scenario("bidirectional-ring", 8, "shutdown:0.2", 3))
+        assert result.outcome == "exact"
+        assert result.num_wires <= 16
+
+    def test_aggregation_shapes(self):
+        campaign = run_campaign(SMALL_SPEC)
+        fit = campaign.episode_fit()
+        assert fit.r_squared > 0.9
+        series = campaign.series()
+        assert set(series) == {"de-bruijn", "bidirectional-ring"}
+        assert campaign.outcome_counts() == {"exact": len(campaign)}
+
+    def test_json_roundtrip(self):
+        campaign = run_campaign(
+            CampaignSpec(families=("de-bruijn",), sizes=(6,))
+        )
+        doc = json.loads(campaign.to_json())
+        assert doc["format"] == "repro.campaign-result/v1"
+        assert doc["outcomes"] == {"exact": 1}
+        [scenario] = doc["scenarios"]
+        assert scenario["scenario"]["family"] == "de-bruijn"
+        assert scenario["hops"] > 0
+
+
+class TestCli:
+    def test_campaign_subcommand(self, capsys, tmp_path):
+        out = tmp_path / "campaign.json"
+        assert main([
+            "campaign", "--families", "de-bruijn", "--sizes", "6",
+            "--faults", "none", "--seeds", "2", "--jobs", "2",
+            "--episodes", "--json", str(out),
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "outcomes" in text and "episode scaling" in text
+        assert json.loads(out.read_text())["outcomes"] == {"exact": 2}
+
+    def test_map_repeats_with_jobs(self, capsys):
+        assert main([
+            "map", "--family", "de-bruijn", "--size", "6",
+            "--seed", "5", "--repeats", "2", "--jobs", "2",
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "exact maps: 2/2" in text
+
+    def test_map_single_run_still_prints_map(self, capsys):
+        assert main(["map", "--family", "bidirectional-ring", "--size", "5"]) == 0
+        assert "exact=True" in capsys.readouterr().out
+
+    def test_bad_fault_is_a_clean_error(self, capsys):
+        assert main(["campaign", "--families", "de-bruijn", "--sizes", "6",
+                     "--faults", "melt:1"]) == 2
+        assert "unknown fault model" in capsys.readouterr().err
+
+    def test_map_repeats_rejects_single_run_flags(self, capsys):
+        assert main(["map", "--family", "de-bruijn", "--size", "6",
+                     "--repeats", "2", "--verify-cleanup"]) == 2
+        assert "--verify-cleanup" in capsys.readouterr().err
+
+    def test_episodes_flag_survives_dynamic_only_matrix(self, capsys, tmp_path):
+        out = tmp_path / "dyn.json"
+        assert main([
+            "campaign", "--families", "spare-ring", "--sizes", "6",
+            "--faults", "cut:0.5", "--episodes", "--json", str(out),
+        ]) == 0
+        assert "not enough RCA episodes" in capsys.readouterr().out
+        assert out.exists(), "--json must be written even without episodes"
+
+
+class TestInfeasibleCells:
+    def test_infeasible_cell_does_not_abort_matrix(self):
+        # de-bruijn has no free ports: add:* is infeasible there, but the
+        # other cells of the matrix must still run (serial and parallel).
+        spec = CampaignSpec(
+            families=("de-bruijn", "spare-ring"),
+            sizes=(6,),
+            faults=("none", "add:1.2"),
+        )
+        serial = run_campaign(spec, jobs=1)
+        parallel = run_campaign(spec, jobs=2)
+        assert serial.results == parallel.results
+        by_label = {r.scenario.label: r.outcome for r in serial.results}
+        assert by_label["de-bruijn(6)/none/s0"] == "exact"
+        assert by_label["de-bruijn(6)/add:1.2/s0"] == "infeasible"
+        assert by_label["spare-ring(6)/add:1.2/s0"] == "accurate"

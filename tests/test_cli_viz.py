@@ -11,9 +11,12 @@ from repro.viz.timeline import render_traffic_profile, render_transcript_digest
 
 class TestCli:
     def test_families_lists_everything(self, capsys):
+        """The listing shows exactly the names map/campaign accept."""
+        from repro.campaigns.spec import FAMILY_BUILDERS
+
         assert main(["families"]) == 0
         out = capsys.readouterr().out
-        for name in generators.all_families():
+        for name in FAMILY_BUILDERS:
             assert name in out
 
     def test_map_runs_and_reports_exact(self, capsys):

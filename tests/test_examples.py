@@ -1,14 +1,19 @@
 """Every example must run clean end to end (they assert their own claims)."""
 
+import os
 import pathlib
 import subprocess
 import sys
 
 import pytest
 
-EXAMPLES = sorted(
-    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
-)
+_ROOT = pathlib.Path(__file__).parent.parent
+EXAMPLES = sorted((_ROOT / "examples").glob("*.py"))
+
+#: examples import repro as an installed package would; make sure the
+#: subprocess finds the in-repo sources whatever env pytest ran under
+_ENV = dict(os.environ)
+_ENV["PYTHONPATH"] = str(_ROOT / "src") + os.pathsep + _ENV.get("PYTHONPATH", "")
 
 
 def test_examples_exist():
@@ -24,6 +29,7 @@ def test_example_runs(script):
         capture_output=True,
         text=True,
         timeout=600,
+        env=_ENV,
     )
     assert proc.returncode == 0, proc.stderr[-2000:]
     assert proc.stdout.strip(), "examples must print their results"
