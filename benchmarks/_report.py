@@ -1,15 +1,31 @@
-"""Shared reporting helper for the benchmark suite.
+"""Shared reporting helpers for the benchmark suite.
 
 Every experiment prints its paper-style table and also appends it to
 ``benchmarks/out/<experiment>.txt`` so results survive pytest's output
 capture (inspect them after a ``pytest benchmarks/ --benchmark-only`` run).
+
+Experiments with gate-worthy headline numbers additionally record them via
+:func:`bench_metric` into ``benchmarks/out/BENCH_<experiment>.json`` — the
+fresh snapshot that ``repro-topology bench-compare`` diffs against the
+committed ``benchmarks/baselines/BENCH_<experiment>.json``.  To re-record
+a baseline after an intentional perf change, run the experiment and copy
+the fresh snapshot over the committed one.
 """
 
 from __future__ import annotations
 
 import pathlib
 
+from repro.bench.baseline import record_metric
+
 OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+#: Experiments whose snapshot has been reset in this pytest session.  The
+#: first metric of an experiment wipes its stale file so a partial run
+#: (e.g. ``-k "not large"``) cannot inherit values from an earlier run of
+#: different code — bench-compare then *skips* the missing metrics instead
+#: of silently gating on stale ones.
+_RESET_THIS_SESSION: set[str] = set()
 
 
 def report(experiment: str, text: str) -> None:
@@ -20,3 +36,28 @@ def report(experiment: str, text: str) -> None:
     path = OUT_DIR / f"{experiment}.txt"
     with path.open("a") as fh:
         fh.write(text + "\n\n")
+
+
+def bench_metric(
+    experiment: str,
+    name: str,
+    value: float,
+    *,
+    direction: str = "higher",
+    unit: str = "",
+    meta: dict | None = None,
+) -> None:
+    """Record one headline metric into the experiment's fresh snapshot."""
+    path = OUT_DIR / f"BENCH_{experiment}.json"
+    if experiment not in _RESET_THIS_SESSION:
+        path.unlink(missing_ok=True)
+        _RESET_THIS_SESSION.add(experiment)
+    record_metric(
+        path,
+        experiment,
+        name,
+        value,
+        direction=direction,
+        unit=unit,
+        meta=meta,
+    )

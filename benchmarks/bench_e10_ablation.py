@@ -18,8 +18,6 @@ configurations fail loudly.
 
 from __future__ import annotations
 
-import pytest
-
 import repro.sim.processor as processor_module
 from repro import determine_topology
 from repro.errors import CleanupViolation, ProtocolViolation, TickBudgetExceeded

@@ -22,7 +22,7 @@ from __future__ import annotations
 from repro.campaigns import CampaignSpec, Scenario, run_campaign, run_scenario
 from repro.util.tables import format_table
 
-from _report import report
+from _report import bench_metric, report
 
 FRACTIONS = (0.1, 0.3, 0.5, 0.7, 0.9, 1.2)
 SIZE = 8
@@ -67,6 +67,14 @@ def test_e11_mid_protocol_changes(benchmark):
         run_sweep, rounds=1, iterations=1
     )
     benchmark.extra_info["mid_run_accuracy"] = f"{accurate_mid}/{mid_cases}"
+    bench_metric(
+        "e11",
+        "undisturbed_horizon_ticks",
+        horizon,
+        direction="lower",
+        unit="ticks",
+        meta={"mid_run_accuracy": f"{accurate_mid}/{mid_cases}"},
+    )
     report(
         "e11_dynamics",
         format_table(

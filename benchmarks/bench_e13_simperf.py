@@ -14,7 +14,7 @@ from repro import determine_topology
 from repro.protocol.rca import run_single_rca
 from repro.topology import generators
 
-from _report import report
+from _report import bench_metric, report
 
 
 def test_e13_full_protocol_throughput(benchmark):
@@ -29,6 +29,13 @@ def test_e13_full_protocol_throughput(benchmark):
     rate = hops / benchmark.stats["mean"]
     benchmark.extra_info["character_hops"] = hops
     benchmark.extra_info["hops_per_second"] = int(rate)
+    bench_metric(
+        "e13",
+        "full_protocol_hops_per_second",
+        rate,
+        unit="hops/s",
+        meta={"small_character_hops": hops},
+    )
     report(
         "e13_simperf",
         f"E13a: full protocol on de_bruijn(2,4): {hops} character-hops per "
@@ -54,6 +61,13 @@ def test_e13_large_debruijn_throughput(benchmark):
     rate = hops / benchmark.stats.stats.mean
     benchmark.extra_info["character_hops"] = hops
     benchmark.extra_info["hops_per_second"] = int(rate)
+    bench_metric(
+        "e13",
+        "large_debruijn_hops_per_second",
+        rate,
+        unit="hops/s",
+        meta={"large_character_hops": hops},
+    )
     report(
         "e13_simperf",
         f"E13c: full protocol on de_bruijn(2,6): {hops} character-hops per "
@@ -72,6 +86,7 @@ def test_e13_single_rca_throughput(benchmark):
     hops = result.engine.metrics.total_delivered
     rate = hops / benchmark.stats["mean"]
     benchmark.extra_info["hops_per_second"] = int(rate)
+    bench_metric("e13", "single_rca_hops_per_second", rate, unit="hops/s")
     report(
         "e13_simperf",
         f"E13b: one RCA across a 24-line: {hops} character-hops, "

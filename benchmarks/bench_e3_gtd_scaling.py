@@ -21,7 +21,7 @@ from repro.analysis.complexity import check_linear_scaling
 from repro.campaigns import Scenario, run_campaign
 from repro.util.tables import format_table
 
-from _report import report
+from _report import bench_metric, report
 
 #: family -> node counts; sizes resolve through the campaign registry to
 #: exactly the networks the seed benchmark used (de Bruijn word lengths
@@ -71,6 +71,24 @@ def test_e3_gtd_scales_with_nd(benchmark):
     slopes = {f: round(v.fit.slope, 1) for f, v in verdicts.items()}
     benchmark.extra_info["ticks_per_edge_diameter"] = slopes
     benchmark.extra_info["global_constant_band"] = round(band, 2)
+    # Simulated-tick metrics are deterministic: any drift is a real change
+    # in protocol work, so they gate with "lower is better".
+    for family, slope in slopes.items():
+        bench_metric(
+            "e3",
+            f"slope_{family}",
+            slope,
+            direction="lower",
+            unit="ticks/(E*D)",
+        )
+    bench_metric("e3", "constant_band", round(band, 2), direction="lower")
+    bench_metric(
+        "e3",
+        "total_ticks",
+        sum(row[4] for row in table),
+        direction="lower",
+        unit="ticks",
+    )
     report(
         "e3_gtd_scaling",
         format_table(

@@ -14,7 +14,7 @@ from repro.protocol.rca import run_single_rca
 from repro.topology import generators
 from repro.util.tables import format_table
 
-from _report import report
+from _report import bench_metric, report
 
 
 def run_profile():
@@ -48,6 +48,14 @@ def test_e9_traffic_profile(benchmark):
     )
     per_rca = run_per_rca_traffic()
     benchmark.extra_info["growing_share"] = round(growing_share, 3)
+    bench_metric("e9", "growing_share", round(growing_share, 3))
+    bench_metric(
+        "e9",
+        "total_character_hops",
+        total,
+        direction="lower",
+        unit="hops",
+    )
     report(
         "e9_traffic",
         format_table(

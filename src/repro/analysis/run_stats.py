@@ -13,14 +13,23 @@ whole protocol run (the E12 benchmark tabulates the result).
 
 from __future__ import annotations
 
+import json
+from collections import Counter
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.errors import TranscriptError
 from repro.sim.characters import SCOPE_RCA
 from repro.sim.transcript import Transcript
 from repro.util.fitting import FitResult, linear_fit
 
-__all__ = ["RcaEpisode", "rca_episodes", "episode_scaling"]
+__all__ = [
+    "RcaEpisode",
+    "rca_episodes",
+    "episode_scaling",
+    "CampaignStats",
+    "aggregate_stats",
+]
 
 
 @dataclass(frozen=True)
@@ -105,3 +114,83 @@ def episode_scaling(episodes: list[RcaEpisode]) -> FitResult:
         # legitimate; report a flat fit anchored at the observed point.
         return FitResult(slope=0.0, intercept=ys[0], r_squared=1.0)
     return linear_fit([float(x) for x in xs], ys)
+
+
+# ----------------------------------------------------------------------
+# campaign-level aggregates
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CampaignStats:
+    """Order-insensitive aggregate of a set of scenario results.
+
+    The same shape is produced whether the results came straight out of
+    the executor or were read back from a result store's JSONL shards —
+    the store round-trip test asserts the two are byte-identical through
+    :meth:`to_json`.  Only plain ints/floats/strings appear, so the JSON
+    form is canonical (sorted keys, fixed separators) and diffable.
+    """
+
+    scenarios: int
+    outcomes: tuple[tuple[str, int], ...]
+    total_ticks: int
+    total_drained_ticks: int
+    total_hops: int
+    total_work: int
+    lost_characters: int
+    episode_count: int
+    fit: FitResult | None
+
+    @property
+    def ok_fraction(self) -> float:
+        """Share of scenarios whose recovered map matched the truth."""
+        ok = sum(n for outcome, n in self.outcomes if outcome in ("exact", "accurate"))
+        return ok / self.scenarios if self.scenarios else 0.0
+
+    def to_json(self) -> str:
+        """Canonical JSON: stable across runs, suitable for byte compare."""
+        doc = {
+            "format": "repro.campaign-stats/v1",
+            "scenarios": self.scenarios,
+            "outcomes": {outcome: n for outcome, n in self.outcomes},
+            "total_ticks": self.total_ticks,
+            "total_drained_ticks": self.total_drained_ticks,
+            "total_hops": self.total_hops,
+            "total_work": self.total_work,
+            "lost_characters": self.lost_characters,
+            "episode_count": self.episode_count,
+            "episode_fit": None
+            if self.fit is None
+            else {
+                "slope": self.fit.slope,
+                "intercept": self.fit.intercept,
+                "r_squared": self.fit.r_squared,
+            },
+        }
+        return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def aggregate_stats(results: Iterable) -> CampaignStats:
+    """Reduce scenario results (live or store-loaded) to a CampaignStats.
+
+    Accepts any iterable of objects with the ``ScenarioResult`` attribute
+    shape (``outcome``/``ticks``/``hops``/``episodes``/...), so it is
+    shared by :class:`repro.campaigns.executor.CampaignResult` and by
+    :meth:`repro.store.ResultStore.stats` without a circular import.
+    """
+    results = list(results)
+    episodes: list[RcaEpisode] = [ep for r in results for ep in r.episodes]
+    try:
+        fit = episode_scaling(episodes)
+    except TranscriptError:
+        fit = None
+    return CampaignStats(
+        scenarios=len(results),
+        outcomes=tuple(sorted(Counter(r.outcome for r in results).items())),
+        total_ticks=sum(r.ticks for r in results),
+        total_drained_ticks=sum(r.drained_ticks for r in results),
+        total_hops=sum(r.hops for r in results),
+        total_work=sum(r.work for r in results),
+        lost_characters=sum(r.lost_characters for r in results),
+        episode_count=len(episodes),
+        fit=fit,
+    )

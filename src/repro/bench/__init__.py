@@ -1,0 +1,34 @@
+"""Performance tracking: benchmark baselines and regression comparison.
+
+The E-series drivers under ``benchmarks/`` snapshot their headline numbers
+(throughput, tick totals, scaling constants) into baseline JSON documents;
+committed ``benchmarks/baselines/BENCH_*.json`` files pin the expected
+trajectory, and ``repro-topology bench-compare`` diffs a fresh snapshot
+against them so CI fails on real slowdowns instead of taking speed claims
+on faith.  See :mod:`repro.bench.baseline` for the document format and the
+threshold semantics.
+"""
+
+from repro.bench.baseline import (
+    BASELINE_FORMAT,
+    ComparisonReport,
+    Metric,
+    MetricComparison,
+    compare_baselines,
+    compare_files,
+    load_baseline,
+    record_metric,
+    write_baseline,
+)
+
+__all__ = [
+    "BASELINE_FORMAT",
+    "ComparisonReport",
+    "Metric",
+    "MetricComparison",
+    "compare_baselines",
+    "compare_files",
+    "load_baseline",
+    "record_metric",
+    "write_baseline",
+]

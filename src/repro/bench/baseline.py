@@ -1,0 +1,306 @@
+"""Benchmark baselines: recorded performance snapshots and their diffing.
+
+A *baseline* is a small committed JSON document — one per experiment —
+holding named scalar metrics with a direction (``"higher"`` is better for
+throughput, ``"lower"`` for wall time or tick counts).  The benchmark
+drivers write fresh snapshots of the same shape into ``benchmarks/out/``
+on every run; :func:`compare_baselines` diffs a fresh snapshot against the
+committed one with a relative threshold, and the ``repro-topology
+bench-compare`` command turns the diff into an exit code CI can gate on.
+
+The threshold is *relative slack*, not a target, and it is direction-
+symmetric: the better/worse quotient (``fresh/baseline`` for "higher"
+metrics, ``baseline/fresh`` for "lower" ones) must stay above
+``1 - threshold`` — with ``threshold=0.35``, throughput regresses when it
+drops below 65% of baseline and a tick count regresses when it grows past
+~1.54x.  Wall-clock metrics need generous slack (CI machines differ);
+simulated-tick metrics are deterministic and tolerate tight ones.
+
+Metrics present in the baseline but absent from the fresh run are reported
+as ``skipped`` rather than failed — CI intentionally runs subsets (the E13
+smoke job excludes the large case) and a partial fresh run must still gate
+the metrics it *did* produce.  Use ``--require-all`` to harden this.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import BaselineError
+from repro.util.tables import format_table
+
+__all__ = [
+    "BASELINE_FORMAT",
+    "Metric",
+    "write_baseline",
+    "record_metric",
+    "load_baseline",
+    "MetricComparison",
+    "ComparisonReport",
+    "compare_baselines",
+    "compare_files",
+]
+
+#: Format tag stamped into every baseline document.
+BASELINE_FORMAT = "repro.bench-baseline/v1"
+
+_DIRECTIONS = ("higher", "lower")
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One recorded scalar: its value and which way "better" points."""
+
+    value: float
+    direction: str = "higher"
+    unit: str = ""
+
+    def __post_init__(self) -> None:
+        if self.direction not in _DIRECTIONS:
+            raise BaselineError(
+                f"metric direction must be one of {_DIRECTIONS}, "
+                f"got {self.direction!r}"
+            )
+        if not math.isfinite(self.value):
+            raise BaselineError(f"metric value must be finite, got {self.value!r}")
+
+
+# ----------------------------------------------------------------------
+# reading and writing baseline documents
+# ----------------------------------------------------------------------
+def _to_doc(experiment: str, metrics: dict[str, Metric], meta: dict | None) -> dict:
+    return {
+        "format": BASELINE_FORMAT,
+        "experiment": experiment,
+        "metrics": {
+            name: {"value": m.value, "direction": m.direction, "unit": m.unit}
+            for name, m in metrics.items()
+        },
+        "meta": meta or {},
+    }
+
+
+def _metrics_of(doc: dict) -> dict[str, Metric]:
+    out = {}
+    for name, raw in doc["metrics"].items():
+        try:
+            out[name] = Metric(
+                value=float(raw["value"]),
+                direction=raw.get("direction", "higher"),
+                unit=raw.get("unit", ""),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise BaselineError(f"malformed metric {name!r}: {exc}") from exc
+    return out
+
+
+def load_baseline(path: str | os.PathLike) -> dict:
+    """Read and validate a baseline document."""
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise BaselineError(f"no baseline file at {path}") from None
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"unreadable baseline {path}: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("format") != BASELINE_FORMAT:
+        raise BaselineError(
+            f"{path} is not a {BASELINE_FORMAT} document "
+            f"(found {doc.get('format') if isinstance(doc, dict) else type(doc)!r})"
+        )
+    if not isinstance(doc.get("metrics"), dict):
+        raise BaselineError(f"{path} has no metrics mapping")
+    _metrics_of(doc)  # validates eagerly
+    return doc
+
+
+def write_baseline(
+    path: str | os.PathLike,
+    experiment: str,
+    metrics: dict[str, Metric],
+    *,
+    meta: dict | None = None,
+) -> None:
+    """Write a complete baseline document (pretty-printed, stable order)."""
+    doc = _to_doc(experiment, metrics, meta)
+    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+def record_metric(
+    path: str | os.PathLike,
+    experiment: str,
+    name: str,
+    value: float,
+    *,
+    direction: str = "higher",
+    unit: str = "",
+    meta: dict | None = None,
+) -> None:
+    """Merge one metric into the snapshot at ``path``, creating it if needed.
+
+    The benchmark drivers call this once per measured quantity; tests of
+    one module accumulate into a single ``BENCH_<experiment>.json``.  A
+    file from a different experiment (or an older format) is replaced
+    outright rather than merged into.
+    """
+    path = Path(path)
+    try:
+        doc = load_baseline(path)
+        if doc.get("experiment") != experiment:
+            raise BaselineError("experiment changed")
+        metrics = _metrics_of(doc)
+        merged_meta = {**doc.get("meta", {}), **(meta or {})}
+    except BaselineError:
+        metrics = {}
+        merged_meta = dict(meta or {})
+    metrics[name] = Metric(value=value, direction=direction, unit=unit)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    write_baseline(path, experiment, metrics, meta=merged_meta)
+
+
+# ----------------------------------------------------------------------
+# comparison
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MetricComparison:
+    """One metric's verdict: baseline vs fresh under the threshold."""
+
+    name: str
+    direction: str
+    baseline: float
+    fresh: float | None
+    status: str  # "ok" | "improved" | "regression" | "skipped"
+
+    @property
+    def ratio(self) -> float | None:
+        """fresh / baseline (``None`` when skipped or baseline is 0)."""
+        if self.fresh is None or self.baseline == 0:
+            return None
+        return self.fresh / self.baseline
+
+
+@dataclass
+class ComparisonReport:
+    """The full diff of a fresh snapshot against a baseline."""
+
+    experiment: str
+    threshold: float
+    rows: list[MetricComparison] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[MetricComparison]:
+        return [row for row in self.rows if row.status == "regression"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def summary(self) -> str:
+        """A paper-style verdict table."""
+        table = [
+            (
+                row.name,
+                row.direction,
+                f"{row.baseline:g}",
+                "-" if row.fresh is None else f"{row.fresh:g}",
+                "-" if row.ratio is None else f"{row.ratio:.2f}x",
+                row.status.upper() if row.status == "regression" else row.status,
+            )
+            for row in self.rows
+        ]
+        verdict = "PASS" if self.ok else f"FAIL ({len(self.regressions)} regressed)"
+        return format_table(
+            ["metric", "better", "baseline", "fresh", "ratio", "status"],
+            table,
+            title=(
+                f"bench-compare [{self.experiment}] "
+                f"threshold {self.threshold:.0%}: {verdict}"
+            ),
+        )
+
+
+def compare_baselines(
+    baseline_doc: dict,
+    fresh_doc: dict,
+    *,
+    threshold: float,
+    require_all: bool = False,
+) -> ComparisonReport:
+    """Diff two baseline documents metric by metric.
+
+    Every metric of ``baseline_doc`` is judged against its fresh value:
+    worse by more than ``threshold`` (relative, direction-aware) is a
+    regression, better by more than ``threshold`` is flagged ``improved``
+    (a hint to re-record the baseline), anything else is ``ok``.  Fresh
+    metrics with no baseline counterpart are ignored — they gate nothing
+    until recorded.
+    """
+    if not 0.0 <= threshold < 1.0:
+        raise BaselineError(f"threshold must be in [0, 1), got {threshold}")
+    if baseline_doc.get("experiment") != fresh_doc.get("experiment"):
+        raise BaselineError(
+            f"experiment mismatch: baseline is "
+            f"{baseline_doc.get('experiment')!r}, fresh is "
+            f"{fresh_doc.get('experiment')!r}"
+        )
+    base_metrics = _metrics_of(baseline_doc)
+    fresh_metrics = _metrics_of(fresh_doc)
+    report = ComparisonReport(
+        experiment=str(baseline_doc.get("experiment")), threshold=threshold
+    )
+    for name in sorted(base_metrics):
+        base = base_metrics[name]
+        fresh = fresh_metrics.get(name)
+        if fresh is None:
+            status = "regression" if require_all else "skipped"
+            report.rows.append(
+                MetricComparison(name, base.direction, base.value, None, status)
+            )
+            continue
+        if base.value == 0:
+            # A zero baseline cannot anchor a relative threshold; any
+            # nonzero fresh value in the bad direction regresses.
+            if base.direction == "higher":
+                worse = fresh.value < 0
+            else:
+                worse = fresh.value > 0
+            status = "regression" if worse else "ok"
+        elif base.direction == "lower" and fresh.value == 0:
+            # A cost metric hitting zero is a perfect score; the inverted
+            # quotient below would divide by zero on it.
+            status = "improved"
+        else:
+            ratio = fresh.value / base.value
+            if base.direction == "lower":
+                ratio = 1.0 / ratio
+            # From here "higher is better": ratio < 1 means worse.
+            if ratio < 1.0 - threshold:
+                status = "regression"
+            elif ratio > 1.0 + threshold:
+                status = "improved"
+            else:
+                status = "ok"
+        report.rows.append(
+            MetricComparison(name, base.direction, base.value, fresh.value, status)
+        )
+    return report
+
+
+def compare_files(
+    baseline_path: str | os.PathLike,
+    fresh_path: str | os.PathLike,
+    *,
+    threshold: float,
+    require_all: bool = False,
+) -> ComparisonReport:
+    """File-level convenience wrapper used by the CLI."""
+    return compare_baselines(
+        load_baseline(baseline_path),
+        load_baseline(fresh_path),
+        threshold=threshold,
+        require_all=require_all,
+    )

@@ -30,7 +30,13 @@ from dataclasses import asdict, dataclass
 from functools import lru_cache
 from typing import Callable, Sequence
 
-from repro.analysis.run_stats import RcaEpisode, episode_scaling, rca_episodes
+from repro.analysis.run_stats import (
+    CampaignStats,
+    RcaEpisode,
+    aggregate_stats,
+    episode_scaling,
+    rca_episodes,
+)
 from repro.campaigns.spec import CampaignSpec, FaultModel, Scenario, build_family
 from repro.dynamics.engine import WireMutation
 from repro.dynamics.experiment import run_dynamic_gtd
@@ -244,23 +250,86 @@ def run_campaign(
     spec: CampaignSpec | Sequence[Scenario],
     *,
     jobs: int = 1,
+    store=None,
 ) -> "CampaignResult":
     """Run every scenario of ``spec``; fan out over ``jobs`` processes.
 
     Results come back in matrix order regardless of ``jobs``; with the same
     spec they are identical value-for-value for any worker count.
+
+    With ``store`` (a :class:`repro.store.ResultStore` or a path to one),
+    the run becomes persistent and incremental: scenarios already recorded
+    in the store are loaded instead of executed, and every fresh result is
+    written through **as it completes** — so an interrupted campaign keeps
+    its finished prefix and a re-run with the same store executes only the
+    remainder.  Because :func:`run_scenario` is a pure function of the
+    scenario, a loaded record equals the re-run result value-for-value and
+    the resumed campaign's aggregate is byte-identical to an uninterrupted
+    one.  (Corollary: a store outlives code changes — after editing the
+    protocol or the engine, start a fresh store rather than resuming into
+    results computed by older code.)
     """
     scenarios = spec.scenarios() if isinstance(spec, CampaignSpec) else list(spec)
     if jobs < 1:
         raise ReproError(f"jobs must be >= 1, got {jobs}")
-    if jobs == 1 or len(scenarios) <= 1:
-        results = [run_scenario(s) for s in scenarios]
+    store = _coerce_store(store)
+    slots: list[ScenarioResult | None] = [None] * len(scenarios)
+    pending: list[tuple[int, Scenario]] = []
+    for index, scenario in enumerate(scenarios):
+        hit = store.get(scenario) if store is not None else None
+        if hit is not None:
+            slots[index] = hit
+        else:
+            pending.append((index, scenario))
+    # Clamp the pool to the actual work: jobs > len(pending) would spawn
+    # workers that fork, import, and exit without ever running a scenario.
+    workers = min(jobs, len(pending))
+    if workers <= 1:
+        for index, scenario in pending:
+            slots[index] = _run_and_record(scenario, store)
     else:
         methods = multiprocessing.get_all_start_methods()
         ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
-        with ctx.Pool(processes=min(jobs, len(scenarios))) as pool:
-            results = pool.map(run_scenario, scenarios)
-    return CampaignResult(results=results)
+        with ctx.Pool(processes=workers) as pool:
+            # imap_unordered (not map/imap) so each result is persisted the
+            # moment *any* worker finishes — an in-order stream would sit
+            # on completed results behind a slow scenario, and a crash
+            # would lose them.  Indices travel with the scenarios, so the
+            # returned matrix order is unaffected.
+            for index, result in pool.imap_unordered(_run_indexed, pending):
+                if store is not None:
+                    store.put(result)
+                slots[index] = result
+    return CampaignResult(results=slots)
+
+
+def _run_indexed(item: tuple[int, Scenario]) -> tuple[int, "ScenarioResult"]:
+    """Worker shim: carry the matrix index through the unordered pool."""
+    index, scenario = item
+    return index, run_scenario(scenario)
+
+
+def _coerce_store(store):
+    """Accept a ResultStore, a path, or None.
+
+    Imported lazily: :mod:`repro.store` depends on this module for the
+    :class:`ScenarioResult` shape, so the import must not run at module
+    load time.
+    """
+    if store is None:
+        return None
+    from repro.store import ResultStore
+
+    if isinstance(store, ResultStore):
+        return store
+    return ResultStore(store)
+
+
+def _run_and_record(scenario: Scenario, store) -> ScenarioResult:
+    result = run_scenario(scenario)
+    if store is not None:
+        store.put(result)
+    return result
 
 
 @dataclass
@@ -299,6 +368,15 @@ class CampaignResult:
     def outcome_counts(self) -> dict[str, int]:
         """How many scenarios ended in each outcome."""
         return dict(Counter(r.outcome for r in self.results))
+
+    def stats(self) -> CampaignStats:
+        """The order-insensitive campaign aggregate.
+
+        Shares :func:`repro.analysis.run_stats.aggregate_stats` with
+        :meth:`repro.store.ResultStore.stats`, so a live campaign and the
+        same matrix read back from a store aggregate byte-identically.
+        """
+        return aggregate_stats(self.results)
 
     # -- presentation ----------------------------------------------------
     def table_rows(self) -> list[tuple]:

@@ -15,6 +15,8 @@ nodes — the same convention the ``map`` subcommand has always used.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
 from dataclasses import dataclass
 from typing import Callable, Iterator
@@ -30,7 +32,13 @@ __all__ = [
     "parse_fault",
     "Scenario",
     "CampaignSpec",
+    "SPEC_HASH_FORMAT",
 ]
+
+#: Version tag folded into every spec hash.  Bump it if the canonical form
+#: of a scenario ever changes meaning — old store entries then simply stop
+#: matching instead of silently aliasing different experiments.
+SPEC_HASH_FORMAT = "repro.scenario/v1"
 
 
 # ----------------------------------------------------------------------
@@ -197,16 +205,52 @@ def parse_fault(spec: str) -> FaultModel:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class Scenario:
-    """One fully-specified campaign run."""
+    """One fully-specified campaign run.
+
+    The fault string is canonicalized at construction (``"shutdown:0.10"``
+    becomes ``"shutdown:0.1"``), so equivalent spellings produce equal
+    scenarios — same ``==``, same label, same spec hash — and a result
+    read back from a store compares equal to the one that was written.
+    """
 
     family: str
     size: int
     fault: str = "none"
     seed: int = 0
 
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "fault", str(parse_fault(self.fault)))
+
     @property
     def label(self) -> str:
         return f"{self.family}({self.size})/{self.fault}/s{self.seed}"
+
+    def canonical(self) -> dict:
+        """The scenario as a normalized, JSON-ready mapping.
+
+        ``fault`` is already canonical (normalized in ``__post_init__``),
+        so this is a plain field dump — spellings that denote the same
+        model hash identically because they *are* identical by the time a
+        Scenario exists.
+        """
+        return {
+            "family": self.family,
+            "size": int(self.size),
+            "fault": self.fault,
+            "seed": int(self.seed),
+        }
+
+    def spec_hash(self) -> str:
+        """The content address of this scenario: a hex SHA-256 digest.
+
+        Computed over :data:`SPEC_HASH_FORMAT` plus the canonical JSON form
+        (sorted keys, minimal separators), so it is stable across processes,
+        interpreter invocations and ``PYTHONHASHSEED`` — unlike ``hash()``.
+        The result store shards and indexes by this key.
+        """
+        payload = json.dumps(self.canonical(), sort_keys=True, separators=(",", ":"))
+        digest = hashlib.sha256(f"{SPEC_HASH_FORMAT}\n{payload}".encode())
+        return digest.hexdigest()
 
     def build_graph(self) -> PortGraph:
         """The healthy (pre-fault) network for this scenario."""
@@ -255,3 +299,16 @@ class CampaignSpec:
 
     def __len__(self) -> int:
         return len(self.families) * len(self.sizes) * len(self.faults) * len(self.seeds)
+
+    def spec_hash(self) -> str:
+        """A content address for the whole matrix (order-sensitive).
+
+        Hashes the ordered scenario hashes, so two specs that expand to the
+        same scenarios in the same order — however they were declared —
+        share a hash.  Stores stamp it into run manifests for provenance.
+        """
+        digest = hashlib.sha256(f"{SPEC_HASH_FORMAT}:matrix\n".encode())
+        for scenario in self._iter_scenarios():
+            digest.update(scenario.spec_hash().encode())
+            digest.update(b"\n")
+        return digest.hexdigest()

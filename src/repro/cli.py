@@ -6,7 +6,14 @@ Subcommands:
   print the recovered map plus statistics; with ``--repeats``/``--jobs``
   the run becomes a seed sweep over the campaign machinery;
 * ``campaign`` — run a declarative scenario matrix (family × size ×
-  fault model × seed) over the :mod:`repro.campaigns` executor;
+  fault model × seed) over the :mod:`repro.campaigns` executor; with
+  ``--store DIR`` results persist to a content-addressed store and
+  overlapping matrices reuse stored cells; ``--resume RUN_DIR`` picks an
+  interrupted run back up, skipping completed scenarios;
+* ``store`` — inspect a result store: record count, outcome counts, and
+  the aggregate statistics mined from its JSONL shards;
+* ``bench-compare`` — diff a fresh benchmark snapshot against a committed
+  baseline with a regression threshold (the CI perf gate);
 * ``families`` — list the built-in network families;
 * ``lower-bound`` — print the Theorem 5.1 implied lower-bound table.
 
@@ -20,12 +27,15 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.analysis.transcripts import lower_bound_curve
+from repro.bench.baseline import compare_files
 from repro.campaigns import CampaignSpec, Scenario, run_campaign
 from repro.campaigns.spec import FAMILY_BUILDERS, build_family
 from repro.errors import ReproError, TranscriptError
 from repro.protocol.runner import determine_topology
+from repro.store import ResultStore
 from repro.topology.properties import diameter
 from repro.util.tables import format_table
 from repro.viz.ascii_map import render_adjacency, render_recovered_map
@@ -104,6 +114,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print the Lemma 4.3 episode-scaling fit over the matrix",
     )
     p_camp.add_argument("--json", metavar="PATH", help="write all results as JSON")
+    p_camp.add_argument(
+        "--store", metavar="DIR",
+        help="persist results to a store at DIR (created if absent); "
+        "scenarios already recorded there are loaded instead of re-run",
+    )
+    p_camp.add_argument(
+        "--resume", metavar="RUN_DIR",
+        help="resume an interrupted campaign from an existing store: skip "
+        "its completed scenarios, run the rest, write through to it",
+    )
+
+    p_store = sub.add_parser(
+        "store",
+        help="inspect a result store: records, outcomes, aggregate stats",
+    )
+    p_store.add_argument("dir", metavar="DIR", help="path of the store")
+    p_store.add_argument(
+        "--json", metavar="PATH",
+        help="also write the aggregate stats as canonical JSON to PATH "
+        "('-' for stdout)",
+    )
+
+    p_bc = sub.add_parser(
+        "bench-compare",
+        help="diff a fresh benchmark snapshot against a committed baseline",
+    )
+    p_bc.add_argument(
+        "--baseline", required=True, metavar="PATH",
+        help="committed baseline JSON (benchmarks/baselines/BENCH_*.json)",
+    )
+    p_bc.add_argument(
+        "--fresh", required=True, metavar="PATH",
+        help="fresh snapshot JSON (benchmarks/out/BENCH_*.json)",
+    )
+    p_bc.add_argument(
+        "--threshold", type=float, default=0.25, metavar="T",
+        help="relative slack before a metric counts as regressed "
+        "(default 0.25 = 25%%)",
+    )
+    p_bc.add_argument(
+        "--require-all", action="store_true",
+        help="treat baseline metrics missing from the fresh snapshot as "
+        "regressions (default: skip them)",
+    )
 
     sub.add_parser("families", help="list built-in network families")
 
@@ -154,6 +208,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
     if args.command == "campaign":
         return _run_campaign_command(args)
+    if args.command == "store":
+        return _run_store_command(args)
+    if args.command == "bench-compare":
+        return _run_bench_compare(args)
     # map
     if args.repeats > 1:
         return _run_map_sweep(args)
@@ -202,6 +260,23 @@ def _run_map_sweep(args: argparse.Namespace) -> int:
     return 0 if exact == len(campaign) else 1
 
 
+def _open_campaign_store(args: argparse.Namespace) -> ResultStore | None:
+    """Resolve --store / --resume into an open store (or None)."""
+    if args.resume and args.store and args.resume != args.store:
+        raise ReproError(
+            "--resume and --store point at different directories; "
+            "--resume already implies storing into RUN_DIR"
+        )
+    if args.resume:
+        if not Path(args.resume).is_dir():
+            raise ReproError(
+                f"--resume: no store at {args.resume!r} (start one with "
+                f"--store, then resume it after an interruption)"
+            )
+        return ResultStore(args.resume)
+    return ResultStore(args.store) if args.store else None
+
+
 def _run_campaign_command(args: argparse.Namespace) -> int:
     spec = CampaignSpec(
         families=tuple(args.families),
@@ -209,8 +284,15 @@ def _run_campaign_command(args: argparse.Namespace) -> int:
         faults=tuple(args.faults),
         seeds=tuple(range(args.seed, args.seed + args.seeds)),
     )
-    campaign = run_campaign(spec, jobs=args.jobs)
+    store = _open_campaign_store(args)
+    reused = len(spec) - len(store.missing(spec)) if store is not None else 0
+    campaign = run_campaign(spec, jobs=args.jobs, store=store)
     print(campaign.summary())
+    if store is not None:
+        print(
+            f"\nstore {store.root}: reused {reused} stored scenario(s), "
+            f"ran {len(spec) - reused} fresh, {len(store)} record(s) total"
+        )
     if args.json:
         with open(args.json, "w") as fh:
             fh.write(campaign.to_json())
@@ -230,6 +312,51 @@ def _run_campaign_command(args: argparse.Namespace) -> int:
     # Outcomes (stale/deadlock/...) are the campaign's *data*, not command
     # failures — dynamics sweeps produce them by design — so the exit code
     # only reflects whether the matrix itself ran.
+    return 0
+
+
+def _run_store_command(args: argparse.Namespace) -> int:
+    """``store DIR``: aggregate a result store from its JSONL shards."""
+    if not Path(args.dir).is_dir():
+        raise ReproError(f"no result store at {args.dir!r}")
+    store = ResultStore(args.dir)
+    stats = store.stats()
+    outcomes = {outcome: n for outcome, n in stats.outcomes}
+    print(f"store {store.root}: {len(store)} record(s)")
+    print(f"outcomes: {outcomes}")
+    print(
+        f"total ticks={stats.total_ticks}  hops={stats.total_hops}  "
+        f"work={stats.total_work}  episodes={stats.episode_count}  "
+        f"ok={stats.ok_fraction:.0%}"
+    )
+    if stats.fit is not None:
+        print(
+            f"episode scaling (Lemma 4.3): duration ~ "
+            f"{stats.fit.slope:.2f} * loop_length + {stats.fit.intercept:.2f} "
+            f"(R^2 = {stats.fit.r_squared:.4f})"
+        )
+    if args.json == "-":
+        print(stats.to_json())
+    elif args.json:
+        with open(args.json, "w") as fh:
+            fh.write(stats.to_json() + "\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _run_bench_compare(args: argparse.Namespace) -> int:
+    """``bench-compare``: the perf regression gate; exit 1 on regression."""
+    report = compare_files(
+        args.baseline,
+        args.fresh,
+        threshold=args.threshold,
+        require_all=args.require_all,
+    )
+    print(report.summary())
+    if not report.ok:
+        names = ", ".join(row.name for row in report.regressions)
+        print(f"\nregressed beyond {args.threshold:.0%}: {names}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -21,6 +21,8 @@ __all__ = [
     "TranscriptError",
     "ReconstructionError",
     "AnalysisError",
+    "StoreError",
+    "BaselineError",
 ]
 
 
@@ -83,3 +85,11 @@ class ReconstructionError(ProtocolError):
 
 class AnalysisError(ReproError):
     """An analysis routine was given out-of-domain parameters."""
+
+
+class StoreError(ReproError):
+    """A result store is corrupt, incompatible, or was misused."""
+
+
+class BaselineError(ReproError):
+    """A benchmark baseline file is malformed or cannot be compared."""

@@ -28,7 +28,6 @@ from typing import Any
 
 from repro.errors import ProtocolViolation
 from repro.sim.characters import (
-    STAR,
     Char,
     MSG_DFS_RETURN,
     SCOPE_BCA,

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import PortInUseError, ReconstructionError, TranscriptError
+from repro.errors import ReconstructionError, TranscriptError
 from repro.sim.characters import STAR, Char, SCOPE_RCA
 from repro.sim.transcript import Transcript, TranscriptEvent
 from repro.topology.portgraph import PortGraph

@@ -1,0 +1,19 @@
+"""Persistent, content-addressed storage for campaign results.
+
+The store turns campaigns from ephemeral processes into cumulative data:
+every completed scenario is appended to a JSONL shard under a key derived
+from the scenario's canonical spec (family, size, fault, seed), so crashed
+sweeps resume where they stopped and overlapping matrices reuse every cell
+they share with past runs.  See :mod:`repro.store.result_store` for the
+layout and the durability story, and the ``--store`` / ``--resume``
+options of ``repro-topology campaign`` for the shell front door.
+"""
+
+from repro.store.result_store import (
+    STORE_FORMAT,
+    ResultStore,
+    result_from_doc,
+    result_to_doc,
+)
+
+__all__ = ["STORE_FORMAT", "ResultStore", "result_from_doc", "result_to_doc"]

@@ -1,0 +1,282 @@
+"""The persistent campaign result store: JSONL shards + a spec-hash index.
+
+Design, in one paragraph: the store is **content-addressed** (every record
+is keyed by its scenario's :meth:`~repro.campaigns.spec.Scenario.spec_hash`,
+a SHA-256 over the canonical spec, so the same cell of any matrix always
+lands at the same key) and **append-only** (a put appends one JSON line to
+the shard file named by the key's hex prefix; nothing is ever rewritten in
+place).  Those two choices buy the three campaign features for free:
+
+* **resume** — an interrupted run leaves a prefix of completed records on
+  disk; re-running the same matrix looks each scenario up by key, loads the
+  hits, and executes only the misses.  Because every scenario is a pure
+  function of its spec, a loaded record is value-identical to a re-run one,
+  so a resumed campaign's aggregate is byte-identical to an uninterrupted
+  run's (a test enforces this).
+* **caching** — an *overlapping* matrix (more seeds, one more family)
+  reuses every cell it shares with past runs, making large sweeps
+  cumulative instead of repeated work.
+* **crash tolerance** — a process killed mid-append leaves at most one
+  torn final line per shard; the loader detects and drops a truncated
+  trailing record and keeps everything before it.  Corruption anywhere
+  else raises :class:`~repro.errors.StoreError` loudly.
+
+Duplicate keys are legal (append-only stores re-record on re-run); the
+last record wins, mirroring "latest run of this cell".
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.analysis.run_stats import CampaignStats, RcaEpisode, aggregate_stats
+from repro.campaigns.executor import ScenarioResult
+from repro.campaigns.spec import CampaignSpec, Scenario
+from repro.errors import StoreError
+
+__all__ = [
+    "STORE_FORMAT",
+    "ResultStore",
+    "result_to_doc",
+    "result_from_doc",
+]
+
+#: Manifest format tag; bump on incompatible layout or record changes.
+STORE_FORMAT = "repro.result-store/v1"
+
+#: Hex characters of the spec hash used as the shard file name.  Two gives
+#: up to 256 shards — enough to keep individual files small at campaign
+#: scale while staying trivially listable.
+_SHARD_PREFIX = 2
+
+
+# ----------------------------------------------------------------------
+# record (de)serialization
+# ----------------------------------------------------------------------
+def result_to_doc(result: ScenarioResult) -> dict:
+    """A :class:`ScenarioResult` as a JSON-ready mapping."""
+    return {
+        "scenario": result.scenario.canonical(),
+        "outcome": result.outcome,
+        "num_nodes": result.num_nodes,
+        "num_wires": result.num_wires,
+        "diameter": result.diameter,
+        "ticks": result.ticks,
+        "drained_ticks": result.drained_ticks,
+        "hops": result.hops,
+        "rca_runs": result.rca_runs,
+        "bca_runs": result.bca_runs,
+        "by_family": [[kind, count] for kind, count in result.by_family],
+        "episodes": [
+            {
+                "start_tick": ep.start_tick,
+                "end_tick": ep.end_tick,
+                "dist_to_root": ep.dist_to_root,
+                "dist_from_root": ep.dist_from_root,
+                "token": ep.token,
+            }
+            for ep in result.episodes
+        ],
+        "lost_characters": result.lost_characters,
+    }
+
+
+def result_from_doc(doc: dict) -> ScenarioResult:
+    """Rebuild a :class:`ScenarioResult` from its stored mapping.
+
+    The inverse of :func:`result_to_doc` up to value identity: JSON turns
+    tuples into lists, so the nested shapes are re-tupled here and the
+    round-tripped result compares ``==`` to the original dataclass.
+    """
+    try:
+        return ScenarioResult(
+            scenario=Scenario(**doc["scenario"]),
+            outcome=doc["outcome"],
+            num_nodes=doc["num_nodes"],
+            num_wires=doc["num_wires"],
+            diameter=doc["diameter"],
+            ticks=doc["ticks"],
+            drained_ticks=doc["drained_ticks"],
+            hops=doc["hops"],
+            rca_runs=doc["rca_runs"],
+            bca_runs=doc["bca_runs"],
+            by_family=tuple((kind, count) for kind, count in doc["by_family"]),
+            episodes=tuple(RcaEpisode(**ep) for ep in doc["episodes"]),
+            lost_characters=doc.get("lost_characters", 0),
+        )
+    except (KeyError, TypeError) as exc:
+        raise StoreError(f"malformed result record: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# the store
+# ----------------------------------------------------------------------
+class ResultStore:
+    """A directory of append-only JSONL shards indexed by spec hash.
+
+    Layout::
+
+        RUN_DIR/
+          MANIFEST.json     # format tag + shard geometry, written once
+          shards/ab.jsonl   # records whose spec hash starts with "ab"
+
+    Opening a store scans every shard once and builds the in-memory index
+    (``spec hash -> latest record``); puts append to the owning shard and
+    update the index, so reads never re-touch disk.  Records are plain
+    values, making the store safe to copy, merge (concatenate shards), or
+    commit to version control.
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self._shard_dir = self.root / "shards"
+        self._index: dict[str, ScenarioResult] = {}
+        self._init_layout()
+        self._load()
+
+    # -- layout and loading ---------------------------------------------
+    def _init_layout(self) -> None:
+        manifest_path = self.root / "MANIFEST.json"
+        if manifest_path.exists():
+            try:
+                manifest = json.loads(manifest_path.read_text())
+            except json.JSONDecodeError as exc:
+                raise StoreError(f"unreadable manifest {manifest_path}: {exc}") from exc
+            if manifest.get("format") != STORE_FORMAT:
+                raise StoreError(
+                    f"{self.root} is not a {STORE_FORMAT} store "
+                    f"(found {manifest.get('format')!r})"
+                )
+            return
+        if self.root.exists() and not self.root.is_dir():
+            raise StoreError(f"store path {self.root} exists and is not a directory")
+        self._shard_dir.mkdir(parents=True, exist_ok=True)
+        manifest = {"format": STORE_FORMAT, "shard_prefix": _SHARD_PREFIX}
+        manifest_path.write_text(json.dumps(manifest, indent=2) + "\n")
+
+    def _load(self) -> None:
+        for shard in sorted(self._shard_dir.glob("*.jsonl")):
+            self._load_shard(shard)
+
+    def _load_shard(self, shard: Path) -> None:
+        data = shard.read_bytes()
+        lines = data.split(b"\n")
+        for lineno, raw in enumerate(lines):
+            if not raw.strip():
+                continue
+            try:
+                record = json.loads(raw)
+                key = record["key"]
+                result = result_from_doc(record["result"])
+            except (json.JSONDecodeError, KeyError, TypeError, StoreError) as exc:
+                if lineno == len(lines) - 1:
+                    # A torn final line is the expected signature of a run
+                    # killed mid-append: records are single sequential
+                    # writes ending in a newline, so a partial write can
+                    # only be an unterminated last line.  Truncate it away
+                    # so the next append starts on a clean boundary — the
+                    # fragment must not survive for a later put() to weld
+                    # a new record onto.
+                    os.truncate(shard, len(data) - len(raw))
+                    continue
+                raise StoreError(
+                    f"corrupt record at {shard.name}:{lineno + 1}: {exc}"
+                ) from exc
+            self._index[key] = result
+
+    # -- writes ----------------------------------------------------------
+    def put(self, result: ScenarioResult) -> str:
+        """Append one result; returns its spec-hash key.
+
+        The record is flushed and fsynced before the index is updated, so
+        a key visible in memory is always durable on disk.
+        """
+        key = result.scenario.spec_hash()
+        record = {"key": key, "result": result_to_doc(result)}
+        shard = self._shard_dir / f"{key[:_SHARD_PREFIX]}.jsonl"
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with shard.open("a") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._index[key] = result
+        return key
+
+    def put_many(self, results: Iterable[ScenarioResult]) -> list[str]:
+        """Append many results; returns their keys in order."""
+        return [self.put(result) for result in results]
+
+    # -- reads -----------------------------------------------------------
+    @staticmethod
+    def _key_of(item: Scenario | str) -> str:
+        return item.spec_hash() if isinstance(item, Scenario) else item
+
+    def get(self, item: Scenario | str) -> ScenarioResult | None:
+        """The stored result for a scenario (or raw key), or ``None``."""
+        return self._index.get(self._key_of(item))
+
+    def __contains__(self, item: Scenario | str) -> bool:
+        return self._key_of(item) in self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def keys(self) -> list[str]:
+        return list(self._index)
+
+    def results(self) -> list[ScenarioResult]:
+        """Every stored result, in first-recorded key order."""
+        return list(self._index.values())
+
+    def results_for(
+        self, scenarios: CampaignSpec | Sequence[Scenario]
+    ) -> list[ScenarioResult | None]:
+        """Matrix-ordered lookup: one slot per scenario, ``None`` = missing."""
+        expanded = (
+            scenarios.scenarios()
+            if isinstance(scenarios, CampaignSpec)
+            else list(scenarios)
+        )
+        return [self.get(s) for s in expanded]
+
+    def missing(
+        self, scenarios: CampaignSpec | Sequence[Scenario]
+    ) -> list[Scenario]:
+        """The scenarios of a matrix that have no stored result yet."""
+        expanded = (
+            scenarios.scenarios()
+            if isinstance(scenarios, CampaignSpec)
+            else list(scenarios)
+        )
+        return [s for s in expanded if s not in self]
+
+    def __iter__(self) -> Iterator[ScenarioResult]:
+        return iter(self._index.values())
+
+    # -- aggregation ------------------------------------------------------
+    def stats(
+        self, scenarios: CampaignSpec | Sequence[Scenario] | None = None
+    ) -> CampaignStats:
+        """Aggregate stored results through :func:`aggregate_stats`.
+
+        With ``scenarios`` given, aggregates exactly that matrix (raising
+        if any cell is missing) — the store-backed twin of
+        :meth:`CampaignResult.stats`; with ``None``, aggregates everything
+        in the store.
+        """
+        if scenarios is None:
+            return aggregate_stats(self.results())
+        slots = self.results_for(scenarios)
+        if any(r is None for r in slots):
+            missing = sum(1 for r in slots if r is None)
+            raise StoreError(
+                f"store {self.root} is missing {missing} of {len(slots)} "
+                f"scenarios of the requested matrix"
+            )
+        return aggregate_stats(slots)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ResultStore({str(self.root)!r}, {len(self)} records)"

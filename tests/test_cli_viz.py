@@ -4,7 +4,6 @@ import pytest
 
 from repro import determine_topology
 from repro.cli import build_parser, main
-from repro.topology import generators
 from repro.viz.ascii_map import render_adjacency, render_recovered_map
 from repro.viz.timeline import render_traffic_profile, render_transcript_digest
 

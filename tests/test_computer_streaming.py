@@ -8,7 +8,6 @@ every prefix.
 
 from repro import determine_topology
 from repro.protocol.root_computer import MasterComputer
-from repro.topology import generators
 
 
 def test_streaming_equals_batch(debruijn8):

@@ -6,7 +6,6 @@ from repro.dynamics import DynamicOutcome, WireMutation, run_dynamic_gtd
 from repro.dynamics.engine import DynamicEngine
 from repro.errors import TopologyError
 from repro.protocol.gtd import GTDProcessor
-from repro.topology import generators
 from repro.topology.portgraph import PortGraph, Wire
 
 

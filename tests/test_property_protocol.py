@@ -9,7 +9,6 @@ These are the paper's theorems as hypothesis properties:
 * BCA contract on arbitrary edges of arbitrary networks.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro import determine_topology
@@ -17,7 +16,6 @@ from repro.protocol.bca import run_single_bca
 from repro.protocol.invariants import collect_residue
 from repro.protocol.rca import run_single_rca
 from repro.topology import generators
-from repro.topology.builder import PortGraphBuilder
 from repro.topology.portgraph import PortGraph
 
 _SETTINGS = dict(

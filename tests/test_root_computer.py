@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ReconstructionError, TranscriptError
-from repro.sim.characters import Char, STAR, make_body, make_head, make_tail
+from repro.sim.characters import Char, STAR, make_tail
 from repro.sim.transcript import Transcript
 from repro.protocol.gtd import PIPE_DFS_RETURNED, PIPE_START, PIPE_TERMINAL
 from repro.protocol.root_computer import MasterComputer, ReconstructedMap

@@ -9,7 +9,6 @@ from repro.protocol.invariants import assert_network_clean, collect_residue
 from repro.protocol.runner import default_tick_budget
 from repro.sim.characters import SCOPE_BCA, SCOPE_RCA
 from repro.sim.engine import Engine
-from repro.topology import generators
 from repro.topology.portgraph import PortGraph
 
 

@@ -7,8 +7,6 @@ ports are contiguous: a processor may have wires on out-ports 2 and 5 with
 down, including the DFS's "lowest-numbered connected out-port" rule.
 """
 
-import pytest
-
 from repro import determine_topology
 from repro.protocol.bca import run_single_bca
 from repro.protocol.rca import run_single_rca

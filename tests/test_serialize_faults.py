@@ -8,7 +8,6 @@ from repro.errors import TopologyError
 from repro.topology import generators
 from repro.topology.faults import degrade_bidirectional, remove_wires, shutdown_out_ports
 from repro.topology.isomorphism import port_isomorphic
-from repro.topology.portgraph import PortGraph
 from repro.topology.properties import is_strongly_connected
 from repro.topology.serialize import from_json, to_dot, to_json
 

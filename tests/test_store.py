@@ -1,0 +1,437 @@
+"""The persistent campaign store, resume semantics, and bench baselines."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+import repro
+
+from repro.analysis.run_stats import aggregate_stats
+from repro.bench.baseline import (
+    Metric,
+    compare_baselines,
+    compare_files,
+    load_baseline,
+    record_metric,
+    write_baseline,
+)
+from repro.campaigns import CampaignSpec, Scenario, run_campaign, run_scenario
+from repro.cli import main
+from repro.errors import BaselineError, ReproError, StoreError
+from repro.store import ResultStore, result_from_doc, result_to_doc
+
+SPEC = CampaignSpec(
+    families=("de-bruijn", "bidirectional-ring"),
+    sizes=(6,),
+    faults=("none", "shutdown:0.1"),
+    seeds=(0, 1),
+)
+
+
+# ----------------------------------------------------------------------
+# canonical spec hashing
+# ----------------------------------------------------------------------
+class TestSpecHash:
+    def test_pinned_golden_hashes(self):
+        # Pinned literals: the canonical form is an on-disk contract, so a
+        # change here silently orphans every existing store.
+        assert Scenario("de-bruijn", 8, "shutdown:0.1", 3).spec_hash() == (
+            "7437ac071feff7462a689997c65d4ac3f91adf39f3b90918cbcf399007ca0f8c"
+        )
+        assert Scenario("de-bruijn", 8).spec_hash() == (
+            "beb84c93761c1775ea9455b3b06a10a8c49ab6095183a603bfec4d2be20a5a92"
+        )
+
+    def test_equivalent_fault_spellings_are_the_same_scenario(self):
+        a = Scenario("torus", 9, "shutdown:0.10", 2)
+        b = Scenario("torus", 9, "shutdown:0.1", 2)
+        # canonicalized at construction: equal, same hash, same label
+        assert a == b
+        assert a.fault == "shutdown:0.1"
+        assert a.spec_hash() == b.spec_hash()
+        assert a.label == b.label
+
+    def test_noncanonical_spelling_roundtrips_through_store(self, tmp_path):
+        result = run_scenario(Scenario("bidirectional-ring", 6, "shutdown:0.10", 1))
+        assert result_from_doc(result_to_doc(result)) == result
+        store = ResultStore(tmp_path / "run")
+        store.put(result)
+        assert ResultStore(tmp_path / "run").get(result.scenario) == result
+
+    def test_distinct_scenarios_hash_differently(self):
+        hashes = {s.spec_hash() for s in SPEC.scenarios()}
+        assert len(hashes) == len(SPEC)
+
+    def test_stable_across_process_boundaries(self):
+        # hash() randomizes per interpreter; spec_hash must not.  Force a
+        # different PYTHONHASHSEED to prove independence.
+        code = (
+            "from repro.campaigns.spec import Scenario;"
+            "print(Scenario('de-bruijn', 8, 'shutdown:0.1', 3).spec_hash())"
+        )
+        src_dir = str(pathlib.Path(repro.__file__).resolve().parents[1])
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            check=True,
+            env={"PYTHONPATH": src_dir, "PYTHONHASHSEED": "12345"},
+        )
+        expected = Scenario("de-bruijn", 8, "shutdown:0.1", 3).spec_hash()
+        assert out.stdout.strip() == expected
+
+    def test_matrix_hash_reflects_order_and_content(self):
+        base = SPEC.spec_hash()
+        reordered = CampaignSpec(
+            families=("bidirectional-ring", "de-bruijn"),
+            sizes=SPEC.sizes,
+            faults=SPEC.faults,
+            seeds=SPEC.seeds,
+        )
+        assert reordered.spec_hash() != base
+        assert SPEC.spec_hash() == base  # deterministic
+
+
+# ----------------------------------------------------------------------
+# record round-trip
+# ----------------------------------------------------------------------
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "scenario",
+        [
+            Scenario("de-bruijn", 6),
+            Scenario("bidirectional-ring", 6, "shutdown:0.2", 1),
+            Scenario("spare-ring", 6, "cut:0.5"),
+            Scenario("de-bruijn", 6, "add:1.2"),  # infeasible cell
+        ],
+    )
+    def test_doc_roundtrip_is_value_identical(self, scenario):
+        result = run_scenario(scenario)
+        doc = json.loads(json.dumps(result_to_doc(result)))  # through JSON
+        assert result_from_doc(doc) == result
+
+    def test_malformed_doc_raises_store_error(self):
+        with pytest.raises(StoreError, match="malformed"):
+            result_from_doc({"scenario": {"family": "de-bruijn"}})
+
+
+# ----------------------------------------------------------------------
+# the store itself
+# ----------------------------------------------------------------------
+class TestResultStore:
+    def test_put_get_reopen(self, tmp_path):
+        store = ResultStore(tmp_path / "run")
+        result = run_scenario(Scenario("de-bruijn", 6))
+        key = store.put(result)
+        assert key == result.scenario.spec_hash()
+        assert store.get(result.scenario) == result
+        assert result.scenario in store and key in store
+        reopened = ResultStore(tmp_path / "run")
+        assert len(reopened) == 1
+        assert reopened.get(key) == result
+
+    def test_write_read_aggregate_equals_in_memory_aggregate(self, tmp_path):
+        campaign = run_campaign(SPEC, store=tmp_path / "run")
+        reopened = ResultStore(tmp_path / "run")
+        assert reopened.stats(SPEC).to_json() == campaign.stats().to_json()
+        # and the generic all-records aggregate matches too: the store
+        # holds exactly this campaign
+        assert (
+            aggregate_stats(reopened.results()).to_json()
+            == campaign.stats().to_json()
+        )
+
+    def test_last_record_wins_on_duplicate_keys(self, tmp_path):
+        store = ResultStore(tmp_path / "run")
+        result = run_scenario(Scenario("de-bruijn", 6))
+        store.put(result)
+        store.put(result)
+        assert len(store) == 1
+        assert len(ResultStore(tmp_path / "run")) == 1
+
+    def test_torn_final_line_is_dropped_and_truncated(self, tmp_path):
+        store = ResultStore(tmp_path / "run")
+        results = [run_scenario(s) for s in SPEC.scenarios()[:2]]
+        keys = store.put_many(results)
+        # simulate a kill mid-append: a half-written record at shard end
+        shard = next((tmp_path / "run" / "shards").glob(f"{keys[1][:2]}*.jsonl"))
+        intact = shard.read_bytes()
+        with shard.open("a") as fh:
+            fh.write('{"key": "deadbeef", "result": {"scenario"')
+        reopened = ResultStore(tmp_path / "run")
+        assert len(reopened) == 2
+        assert reopened.get(keys[0]) == results[0]
+        assert reopened.get(keys[1]) == results[1]
+        # the fragment was truncated away on load, so a later append starts
+        # on a clean line boundary instead of welding onto the fragment...
+        assert shard.read_bytes() == intact
+        reopened.put(results[1])
+        # ...and the store stays readable forever after
+        third = ResultStore(tmp_path / "run")
+        assert len(third) == 2 and third.get(keys[1]) == results[1]
+
+    def test_non_object_json_line_is_store_error(self, tmp_path):
+        store = ResultStore(tmp_path / "run")
+        key = store.put(run_scenario(Scenario("de-bruijn", 6)))
+        shard = tmp_path / "run" / "shards" / f"{key[:2]}.jsonl"
+        lines = shard.read_text().splitlines()
+        shard.write_text("5\n" + "\n".join(lines) + "\n")
+        with pytest.raises(StoreError, match="corrupt record"):
+            ResultStore(tmp_path / "run")
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        store = ResultStore(tmp_path / "run")
+        result = run_scenario(Scenario("de-bruijn", 6))
+        key = store.put(result)
+        store.put(result)  # same shard, so the corrupt line is not last
+        shard = tmp_path / "run" / "shards" / f"{key[:2]}.jsonl"
+        lines = shard.read_text().splitlines()
+        lines[0] = "not json at all"
+        shard.write_text("\n".join(lines) + "\n")
+        with pytest.raises(StoreError, match="corrupt record"):
+            ResultStore(tmp_path / "run")
+
+    def test_foreign_directory_rejected(self, tmp_path):
+        (tmp_path / "MANIFEST.json").write_text('{"format": "something/else"}')
+        with pytest.raises(StoreError, match="not a repro.result-store"):
+            ResultStore(tmp_path)
+
+    def test_missing_and_results_for(self, tmp_path):
+        store = ResultStore(tmp_path / "run")
+        scenarios = SPEC.scenarios()
+        store.put(run_scenario(scenarios[0]))
+        assert store.missing(SPEC) == scenarios[1:]
+        slots = store.results_for(SPEC)
+        assert slots[0] is not None and slots[1:] == [None] * (len(SPEC) - 1)
+        with pytest.raises(StoreError, match="missing"):
+            store.stats(SPEC)
+
+
+# ----------------------------------------------------------------------
+# resume and caching through the executor
+# ----------------------------------------------------------------------
+class TestResume:
+    def test_interrupted_campaign_resumes_bit_identical(self, tmp_path):
+        uninterrupted = run_campaign(SPEC)
+        scenarios = SPEC.scenarios()
+        k = 3
+        store = ResultStore(tmp_path / "run")
+        # the "crash": only k of n scenarios completed, plus a torn record
+        run_campaign(scenarios[:k], store=store)
+        shard = next(iter(sorted((tmp_path / "run" / "shards").glob("*.jsonl"))))
+        with shard.open("a") as fh:
+            fh.write('{"key": "00", "result"')
+        resumed_store = ResultStore(tmp_path / "run")
+        assert len(resumed_store) == k
+        resumed = run_campaign(SPEC, store=resumed_store)
+        assert resumed.results == uninterrupted.results
+        assert resumed.stats().to_json() == uninterrupted.stats().to_json()
+
+    def test_resume_runs_only_missing_scenarios(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path / "run")
+        scenarios = SPEC.scenarios()
+        run_campaign(scenarios[:5], store=store)
+
+        import repro.campaigns.executor as executor
+
+        executed = []
+        real = executor.run_scenario
+
+        def counting(scenario):
+            executed.append(scenario)
+            return real(scenario)
+
+        monkeypatch.setattr(executor, "run_scenario", counting)
+        run_campaign(SPEC, store=store)
+        assert executed == scenarios[5:]
+
+    def test_parallel_resume_identical_to_serial(self, tmp_path):
+        run_campaign(SPEC.scenarios()[:3], store=tmp_path / "a")
+        run_campaign(SPEC.scenarios()[:3], store=tmp_path / "b")
+        serial = run_campaign(SPEC, jobs=1, store=tmp_path / "a")
+        parallel = run_campaign(SPEC, jobs=4, store=tmp_path / "b")
+        assert serial.results == parallel.results
+
+    def test_overlapping_matrix_reuses_stored_cells(self, tmp_path):
+        store = ResultStore(tmp_path / "run")
+        run_campaign(SPEC, store=store)
+        bigger = CampaignSpec(
+            families=SPEC.families,
+            sizes=SPEC.sizes,
+            faults=SPEC.faults,
+            seeds=(0, 1, 2),
+        )
+        assert len(store.missing(bigger)) == len(bigger) - len(SPEC)
+        campaign = run_campaign(bigger, store=store)
+        assert len(store) == len(bigger)
+        assert campaign.results == run_campaign(bigger).results
+
+    def test_jobs_exceeding_pending_work_is_clamped_and_exact(self, tmp_path):
+        # jobs far beyond the cell count must not change results (and a
+        # single pending scenario takes the serial path outright)
+        small = CampaignSpec(families=("de-bruijn",), sizes=(6,), seeds=(0, 1))
+        assert (
+            run_campaign(small, jobs=64).results == run_campaign(small).results
+        )
+        store = ResultStore(tmp_path / "run")
+        run_campaign(small.scenarios()[:1], store=store)
+        resumed = run_campaign(small, jobs=64, store=store)
+        assert resumed.results == run_campaign(small).results
+
+
+# ----------------------------------------------------------------------
+# bench baselines
+# ----------------------------------------------------------------------
+def _doc(**values):
+    return {
+        "format": "repro.bench-baseline/v1",
+        "experiment": "e13",
+        "metrics": {
+            name: {"value": value, "direction": direction}
+            for name, (value, direction) in values.items()
+        },
+        "meta": {},
+    }
+
+
+class TestBaseline:
+    def test_write_load_roundtrip(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        write_baseline(path, "x", {"rate": Metric(100.0, unit="hops/s")})
+        doc = load_baseline(path)
+        assert doc["experiment"] == "x"
+        assert doc["metrics"]["rate"]["value"] == 100.0
+
+    def test_record_metric_merges(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        record_metric(path, "x", "a", 1.0)
+        record_metric(path, "x", "b", 2.0, direction="lower", meta={"n": 3})
+        doc = load_baseline(path)
+        assert set(doc["metrics"]) == {"a", "b"}
+        assert doc["meta"] == {"n": 3}
+        # a different experiment replaces rather than merges
+        record_metric(path, "y", "c", 3.0)
+        assert set(load_baseline(path)["metrics"]) == {"c"}
+
+    def test_identical_snapshots_pass(self):
+        doc = _doc(rate=(100.0, "higher"), ticks=(500.0, "lower"))
+        report = compare_baselines(doc, doc, threshold=0.35)
+        assert report.ok and [r.status for r in report.rows] == ["ok", "ok"]
+
+    def test_synthetic_2x_slowdown_fails_both_directions(self):
+        base = _doc(rate=(100.0, "higher"), ticks=(500.0, "lower"))
+        slow = _doc(rate=(50.0, "higher"), ticks=(1000.0, "lower"))
+        report = compare_baselines(base, slow, threshold=0.35)
+        assert not report.ok
+        assert {r.name for r in report.regressions} == {"rate", "ticks"}
+
+    def test_improvement_is_flagged_not_failed(self):
+        base = _doc(rate=(100.0, "higher"))
+        fast = _doc(rate=(200.0, "higher"))
+        report = compare_baselines(base, fast, threshold=0.35)
+        assert report.ok
+        assert report.rows[0].status == "improved"
+
+    def test_zero_fresh_cost_metric_is_perfect_not_a_crash(self):
+        base = _doc(ticks=(500.0, "lower"))
+        perfect = _doc(ticks=(0.0, "lower"))
+        report = compare_baselines(base, perfect, threshold=0.35)
+        assert report.ok
+        assert report.rows[0].status == "improved"
+
+    def test_missing_metric_skipped_unless_required(self):
+        base = _doc(rate=(100.0, "higher"), extra=(1.0, "higher"))
+        fresh = _doc(rate=(100.0, "higher"))
+        assert compare_baselines(base, fresh, threshold=0.1).ok
+        hard = compare_baselines(base, fresh, threshold=0.1, require_all=True)
+        assert not hard.ok and hard.regressions[0].name == "extra"
+
+    def test_experiment_mismatch_rejected(self):
+        base = _doc(rate=(100.0, "higher"))
+        other = dict(_doc(rate=(100.0, "higher")), experiment="e3")
+        with pytest.raises(BaselineError, match="experiment mismatch"):
+            compare_baselines(base, other, threshold=0.1)
+
+    def test_bad_threshold_and_direction_rejected(self):
+        doc = _doc(rate=(100.0, "higher"))
+        with pytest.raises(BaselineError, match="threshold"):
+            compare_baselines(doc, doc, threshold=1.5)
+        with pytest.raises(BaselineError, match="direction"):
+            Metric(1.0, direction="sideways")
+
+    def test_committed_e13_baseline_loads_and_self_compares(self):
+        repo_root = pathlib.Path(__file__).resolve().parents[1]
+        committed = repo_root / "benchmarks" / "baselines" / "BENCH_e13.json"
+        report = compare_files(committed, committed, threshold=0.35)
+        assert report.ok and len(report.rows) >= 3
+
+
+# ----------------------------------------------------------------------
+# CLI front doors
+# ----------------------------------------------------------------------
+class TestCli:
+    ARGS = ["campaign", "--families", "de-bruijn", "--sizes", "6", "--seeds", "2"]
+
+    def test_campaign_store_then_resume(self, capsys, tmp_path):
+        run_dir = str(tmp_path / "run")
+        assert main(self.ARGS + ["--store", run_dir]) == 0
+        out = capsys.readouterr().out
+        assert "reused 0 stored scenario(s), ran 2 fresh" in out
+        assert main(self.ARGS + ["--resume", run_dir]) == 0
+        out = capsys.readouterr().out
+        assert "reused 2 stored scenario(s), ran 0 fresh" in out
+
+    def test_resume_requires_existing_store(self, capsys, tmp_path):
+        assert main(self.ARGS + ["--resume", str(tmp_path / "nope")]) == 2
+        assert "no store at" in capsys.readouterr().err
+
+    def test_resume_and_store_must_agree(self, capsys, tmp_path):
+        code = main(
+            self.ARGS
+            + ["--resume", str(tmp_path / "a"), "--store", str(tmp_path / "b")]
+        )
+        assert code == 2
+        assert "different directories" in capsys.readouterr().err
+
+    def test_store_subcommand_reports_aggregates(self, capsys, tmp_path):
+        run_dir = str(tmp_path / "run")
+        assert main(self.ARGS + ["--store", run_dir]) == 0
+        capsys.readouterr()
+        assert main(["store", run_dir, "--json", "-"]) == 0
+        out = capsys.readouterr().out
+        assert "2 record(s)" in out and "episode scaling" in out
+        stats_line = out.strip().splitlines()[-1]
+        assert json.loads(stats_line)["scenarios"] == 2
+
+    def test_store_subcommand_missing_dir(self, capsys, tmp_path):
+        assert main(["store", str(tmp_path / "nope")]) == 2
+        assert "no result store" in capsys.readouterr().err
+
+    def test_bench_compare_pass_and_fail(self, capsys, tmp_path):
+        base = tmp_path / "base.json"
+        write_baseline(base, "e13", {"rate": Metric(100.0, unit="hops/s")})
+        slow = tmp_path / "slow.json"
+        write_baseline(slow, "e13", {"rate": Metric(50.0, unit="hops/s")})
+        argv = ["bench-compare", "--baseline", str(base), "--threshold", "0.35"]
+        assert main(argv + ["--fresh", str(base)]) == 0
+        assert "PASS" in capsys.readouterr().out
+        assert main(argv + ["--fresh", str(slow)]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.out
+        assert "regressed beyond 35%" in captured.err
+
+    def test_bench_compare_missing_file_is_clean_error(self, capsys, tmp_path):
+        argv = [
+            "bench-compare",
+            "--baseline",
+            str(tmp_path / "none.json"),
+            "--fresh",
+            str(tmp_path / "none.json"),
+        ]
+        assert main(argv) == 2
+        assert "no baseline file" in capsys.readouterr().err

@@ -92,7 +92,7 @@ class TestTables:
 
     def test_numeric_right_alignment(self):
         out = format_table(["n"], [[1], [100]])
-        rows = [l for l in out.splitlines() if l.startswith("|")][1:]
+        rows = [row for row in out.splitlines() if row.startswith("|")][1:]
         assert rows[0] == "|   1 |"
         assert rows[1] == "| 100 |"
 
