@@ -44,6 +44,24 @@ def main() -> None:
     assert all(r.outcome == "exact" for r in campaign.results)
     assert fit.r_squared > 0.9
 
+    # Backend parity at matrix scale: the same cells on the compiled
+    # flat-core engine produce the same numbers, scenario for scenario
+    # (only the scenario's backend tag differs).
+    flat_spec = CampaignSpec(
+        families=spec.families,
+        sizes=spec.sizes,
+        faults=spec.faults,
+        seeds=spec.seeds,
+        backends=("flat",),
+    )
+    flat = run_campaign(flat_spec, jobs=2)
+    same = all(
+        (a.outcome, a.ticks, a.hops) == (b.outcome, b.ticks, b.hops)
+        for a, b in zip(campaign.results, flat.results)
+    )
+    print(f"flat backend == object backend, cell for cell: {same}")
+    assert same
+
 
 if __name__ == "__main__":
     main()

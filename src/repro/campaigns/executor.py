@@ -108,6 +108,15 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
     return _run_static_scenario(scenario, graph)
 
 
+def _derive_backend_seed_key(scenario: Scenario) -> str:
+    """The scenario fields that determine stochastic choices.
+
+    Deliberately excludes the backend: backends are numerically identical,
+    so a fault pattern must not change with the engine implementation.
+    """
+    return f"{scenario.family}|{scenario.size}|{scenario.fault}|{scenario.seed}"
+
+
 def _empty_result(scenario: Scenario, graph: PortGraph, outcome: str) -> ScenarioResult:
     """A result shell for cells that produced no protocol run."""
     return ScenarioResult(
@@ -131,15 +140,17 @@ def _derive_seed(scenario: Scenario, purpose: str) -> int:
 
     Uses crc32, not ``hash()`` — builtin string hashing is randomized per
     interpreter, which would make fault patterns differ between workers
-    and between invocations.
+    and between invocations.  The backend is excluded on purpose: the same
+    scenario on ``object`` and ``flat`` must see the same fault pattern,
+    or backend parity could not even be stated.
     """
-    key = f"{purpose}|{scenario.family}|{scenario.size}|{scenario.fault}|{scenario.seed}"
+    key = f"{purpose}|{_derive_backend_seed_key(scenario)}"
     return zlib.crc32(key.encode()) & 0x7FFFFFFF
 
 
 def _run_static_scenario(scenario: Scenario, graph: PortGraph) -> ScenarioResult:
     try:
-        result = determine_topology(graph)
+        result = determine_topology(graph, backend=scenario.backend)
     except TickBudgetExceeded:
         return _empty_result(scenario, graph, "deadlock")
     return ScenarioResult(
@@ -159,15 +170,19 @@ def _run_static_scenario(scenario: Scenario, graph: PortGraph) -> ScenarioResult
 
 
 @lru_cache(maxsize=128)
-def _dynamic_baseline(family: str, size: int, seed: int) -> tuple[int, int]:
+def _dynamic_baseline(
+    family: str, size: int, seed: int, backend: str
+) -> tuple[int, int]:
     """(undisturbed ticks, diameter) for a scenario's healthy network.
 
-    Every dynamic fault cell of the same (family, size, seed) shares one
-    baseline run; the cache is per worker process, and the value is a pure
-    function of its key, so caching cannot perturb determinism.
+    Every dynamic fault cell of the same (family, size, seed, backend)
+    shares one baseline run; the cache is per worker process, and the
+    value is a pure function of its key, so caching cannot perturb
+    determinism.  (Backend parity makes the tick count backend-invariant,
+    but keying on it keeps the cache correct by construction.)
     """
     graph = build_family(family, size, seed)
-    baseline = determine_topology(graph)
+    baseline = determine_topology(graph, backend=backend)
     return baseline.ticks, baseline.diameter
 
 
@@ -175,7 +190,7 @@ def _run_dynamic_scenario(
     scenario: Scenario, graph: PortGraph, fault: FaultModel
 ) -> ScenarioResult:
     baseline_ticks, diam = _dynamic_baseline(
-        scenario.family, scenario.size, scenario.seed
+        scenario.family, scenario.size, scenario.seed, scenario.backend
     )
     when = int(baseline_ticks * fault.param)
     rng = make_rng(_derive_seed(scenario, fault.kind))
@@ -183,7 +198,12 @@ def _run_dynamic_scenario(
         mutation = WireMutation(tick=when, kind="cut", wire=_pick_victim(graph, rng))
     else:
         mutation = WireMutation(tick=when, kind="add", wire=_pick_addition(graph, rng))
-    outcome = run_dynamic_gtd(graph, [mutation], max_ticks=baseline_ticks * 3 + 1000)
+    outcome = run_dynamic_gtd(
+        graph,
+        [mutation],
+        max_ticks=baseline_ticks * 3 + 1000,
+        backend=scenario.backend,
+    )
     return ScenarioResult(
         scenario=scenario,
         outcome=outcome.outcome.value,

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterator
 
 from repro.errors import ReproError
+from repro.sim.run import DEFAULT_BACKEND, check_backend
 from repro.topology import generators
 from repro.topology.portgraph import PortGraph
 
@@ -38,6 +39,12 @@ __all__ = [
 #: Version tag folded into every spec hash.  Bump it if the canonical form
 #: of a scenario ever changes meaning — old store entries then simply stop
 #: matching instead of silently aliasing different experiments.
+#:
+#: The ``backend`` axis joins the canonical form *only* when it is not the
+#: default, so every pre-backend hash (and stored result) stays valid: an
+#: ``object``-backend cell hashes exactly as it always has, while a
+#: ``flat``-backend cell gets its own address — the store keeps the two
+#: apart without a format bump.
 SPEC_HASH_FORMAT = "repro.scenario/v1"
 
 
@@ -211,19 +218,31 @@ class Scenario:
     becomes ``"shutdown:0.1"``), so equivalent spellings produce equal
     scenarios — same ``==``, same label, same spec hash — and a result
     read back from a store compares equal to the one that was written.
+
+    ``backend`` selects the engine implementation (``"object"`` or
+    ``"flat"``).  The two backends produce identical results — the parity
+    suite enforces it — but the axis still participates in the spec hash
+    (when non-default) so stores keep per-backend cells distinct: a
+    benchmark matrix must never silently satisfy a flat-backend run with a
+    stored object-backend record, or the wall-clock comparison is void.
     """
 
     family: str
     size: int
     fault: str = "none"
     seed: int = 0
+    backend: str = DEFAULT_BACKEND
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "fault", str(parse_fault(self.fault)))
+        check_backend(self.backend)
 
     @property
     def label(self) -> str:
-        return f"{self.family}({self.size})/{self.fault}/s{self.seed}"
+        base = f"{self.family}({self.size})/{self.fault}/s{self.seed}"
+        if self.backend != DEFAULT_BACKEND:
+            return f"{base}/{self.backend}"
+        return base
 
     def canonical(self) -> dict:
         """The scenario as a normalized, JSON-ready mapping.
@@ -231,14 +250,18 @@ class Scenario:
         ``fault`` is already canonical (normalized in ``__post_init__``),
         so this is a plain field dump — spellings that denote the same
         model hash identically because they *are* identical by the time a
-        Scenario exists.
+        Scenario exists.  The default backend is omitted so that every
+        scenario hashed before the backend axis existed keeps its address.
         """
-        return {
+        doc = {
             "family": self.family,
             "size": int(self.size),
             "fault": self.fault,
             "seed": int(self.seed),
         }
+        if self.backend != DEFAULT_BACKEND:
+            doc["backend"] = self.backend
+        return doc
 
     def spec_hash(self) -> str:
         """The content address of this scenario: a hex SHA-256 digest.
@@ -262,17 +285,21 @@ class Scenario:
 
 @dataclass(frozen=True)
 class CampaignSpec:
-    """A declarative scenario matrix: family × size × fault × seed.
+    """A declarative scenario matrix: backend × family × size × fault × seed.
 
-    Expansion order is row-major over the declaration order (families
-    outermost, seeds innermost) and is part of the contract: the executor
-    reports results in exactly this order regardless of worker count.
+    Expansion order is row-major over the declaration order (backends
+    outermost, then families, seeds innermost) and is part of the
+    contract: the executor reports results in exactly this order
+    regardless of worker count.  The default single-``object`` backend
+    axis expands to exactly the pre-backend matrix, so existing specs,
+    hashes and stores are unaffected.
     """
 
     families: tuple[str, ...]
     sizes: tuple[int, ...]
     faults: tuple[str, ...] = ("none",)
     seeds: tuple[int, ...] = (0,)
+    backends: tuple[str, ...] = (DEFAULT_BACKEND,)
 
     def __post_init__(self) -> None:
         for family in self.families:
@@ -283,7 +310,12 @@ class CampaignSpec:
                 )
         for fault in self.faults:
             parse_fault(fault)  # validates eagerly, at declaration time
-        if not (self.families and self.sizes and self.faults and self.seeds):
+        for backend in self.backends:
+            check_backend(backend)
+        if not (
+            self.families and self.sizes and self.faults and self.seeds
+            and self.backends
+        ):
             raise ReproError("campaign matrix must have at least one of each axis")
 
     def scenarios(self) -> list[Scenario]:
@@ -291,14 +323,27 @@ class CampaignSpec:
         return list(self._iter_scenarios())
 
     def _iter_scenarios(self) -> Iterator[Scenario]:
-        for family in self.families:
-            for size in self.sizes:
-                for fault in self.faults:
-                    for seed in self.seeds:
-                        yield Scenario(family=family, size=size, fault=fault, seed=seed)
+        for backend in self.backends:
+            for family in self.families:
+                for size in self.sizes:
+                    for fault in self.faults:
+                        for seed in self.seeds:
+                            yield Scenario(
+                                family=family,
+                                size=size,
+                                fault=fault,
+                                seed=seed,
+                                backend=backend,
+                            )
 
     def __len__(self) -> int:
-        return len(self.families) * len(self.sizes) * len(self.faults) * len(self.seeds)
+        return (
+            len(self.families)
+            * len(self.sizes)
+            * len(self.faults)
+            * len(self.seeds)
+            * len(self.backends)
+        )
 
     def spec_hash(self) -> str:
         """A content address for the whole matrix (order-sensitive).

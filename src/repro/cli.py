@@ -35,6 +35,7 @@ from repro.campaigns import CampaignSpec, Scenario, run_campaign
 from repro.campaigns.spec import FAMILY_BUILDERS, build_family
 from repro.errors import ReproError, TranscriptError
 from repro.protocol.runner import determine_topology
+from repro.sim.run import DEFAULT_BACKEND, ENGINE_BACKENDS
 from repro.store import ResultStore
 from repro.topology.properties import diameter
 from repro.util.tables import format_table
@@ -77,6 +78,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for --repeats > 1 (results are identical "
         "for any J)",
     )
+    p_map.add_argument(
+        "--backend", choices=sorted(ENGINE_BACKENDS), default=DEFAULT_BACKEND,
+        help="engine backend: 'object' (reference) or 'flat' (compiled "
+        "tables, same results tick-for-tick, faster on large runs)",
+    )
     p_map.add_argument("--traffic", action="store_true", help="show traffic profile")
     p_map.add_argument(
         "--verify-cleanup", action="store_true",
@@ -105,6 +111,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="seeds per cell: --seed, --seed+1, ..., --seed+K-1",
     )
     p_camp.add_argument("--seed", type=int, default=0, help="first seed of the sweep")
+    p_camp.add_argument(
+        "--backend", choices=sorted(ENGINE_BACKENDS), default=DEFAULT_BACKEND,
+        help="engine backend for every cell; the store keeps object- and "
+        "flat-backend results under distinct keys",
+    )
     p_camp.add_argument(
         "--jobs", type=int, default=1, metavar="J",
         help="worker processes (results are identical for any J)",
@@ -216,9 +227,14 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.repeats > 1:
         return _run_map_sweep(args)
     graph = build_family(args.family, args.size, args.seed)
-    print(f"network: {args.family}, N={graph.num_nodes}, delta={graph.delta}")
+    print(
+        f"network: {args.family}, N={graph.num_nodes}, delta={graph.delta}, "
+        f"backend={args.backend}"
+    )
     print(render_adjacency(graph, root=0))
-    result = determine_topology(graph, verify_cleanup=args.verify_cleanup)
+    result = determine_topology(
+        graph, verify_cleanup=args.verify_cleanup, backend=args.backend
+    )
     print()
     print(render_recovered_map(result.recovered))
     print()
@@ -246,7 +262,10 @@ def _run_map_sweep(args: argparse.Namespace) -> int:
             "drop --repeats (or run the seeds one at a time)"
         )
     scenarios = [
-        Scenario(family=args.family, size=args.size, seed=args.seed + i)
+        Scenario(
+            family=args.family, size=args.size, seed=args.seed + i,
+            backend=args.backend,
+        )
         for i in range(args.repeats)
     ]
     campaign = run_campaign(scenarios, jobs=args.jobs)
@@ -283,6 +302,7 @@ def _run_campaign_command(args: argparse.Namespace) -> int:
         sizes=tuple(args.sizes),
         faults=tuple(args.faults),
         seeds=tuple(range(args.seed, args.seed + args.seeds)),
+        backends=(args.backend,),
     )
     store = _open_campaign_store(args)
     reused = len(spec) - len(store.missing(spec)) if store is not None else 0

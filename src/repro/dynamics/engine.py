@@ -16,6 +16,13 @@ The static :class:`~repro.sim.engine.Engine` rejects emissions through
 unconnected ports as a simulation bug; the dynamic engine turns exactly the
 mutated cases into modeled behaviour and keeps the strictness everywhere
 else.
+
+The mutation machinery lives in :class:`DynamicWiringMixin`, which layers
+its cut/add overlay over *any* engine backend's emission path:
+:class:`DynamicEngine` composes it with the object backend,
+:class:`FlatDynamicEngine` with the compiled flat-core backend
+(:mod:`repro.sim.flatcore`) — both are registered in the backend registry
+(:data:`repro.sim.run.ENGINE_BACKENDS`).
 """
 
 from __future__ import annotations
@@ -25,10 +32,16 @@ from dataclasses import dataclass
 from repro.errors import SimulationError, TopologyError
 from repro.sim.characters import Char
 from repro.sim.engine import Engine
+from repro.sim.flatcore import FlatEngine
 from repro.sim.processor import Processor
 from repro.topology.portgraph import PortGraph, Wire
 
-__all__ = ["WireMutation", "DynamicEngine"]
+__all__ = [
+    "WireMutation",
+    "DynamicWiringMixin",
+    "DynamicEngine",
+    "FlatDynamicEngine",
+]
 
 
 @dataclass(frozen=True)
@@ -50,8 +63,14 @@ class WireMutation:
             raise ValueError("mutation tick must be >= 0")
 
 
-class DynamicEngine(Engine):
-    """Engine with scheduled wire cuts/additions.
+class DynamicWiringMixin:
+    """Scheduled wire cuts/additions over any engine backend.
+
+    Intercepts the emission path: characters sent through a cut wire are
+    lost, characters sent through an added wire are routed via the backend's
+    generic ``_emit`` helper, everything else falls through to the backend's
+    own fast path.  Compose it *before* a concrete engine class in the MRO
+    (see :class:`DynamicEngine` / :class:`FlatDynamicEngine`).
 
     Args:
         graph: the base (power-on) wiring.
@@ -156,3 +175,11 @@ class DynamicEngine(Engine):
             return current.freeze()
         except TopologyError as exc:
             raise SimulationError(f"mutated network is not legal: {exc}") from exc
+
+
+class DynamicEngine(DynamicWiringMixin, Engine):
+    """The object backend with scheduled wire cuts/additions."""
+
+
+class FlatDynamicEngine(DynamicWiringMixin, FlatEngine):
+    """The compiled flat-core backend with scheduled wire cuts/additions."""

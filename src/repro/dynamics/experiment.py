@@ -31,13 +31,25 @@ from repro.errors import (
 from repro.protocol.gtd import GTDProcessor
 from repro.protocol.root_computer import MasterComputer, ReconstructedMap
 from repro.protocol.runner import default_tick_budget
-from repro.sim.run import RunConfig, execute_run
+from repro.sim.run import DEFAULT_BACKEND, RunConfig, check_backend, execute_run
 from repro.topology.isomorphism import port_isomorphic
 from repro.topology.portgraph import PortGraph
 from repro.topology.properties import diameter
-from repro.dynamics.engine import DynamicEngine, WireMutation
+from repro.dynamics.engine import DynamicEngine, FlatDynamicEngine, WireMutation
 
-__all__ = ["DynamicOutcome", "DynamicRunResult", "run_dynamic_gtd"]
+__all__ = [
+    "DYNAMIC_ENGINE_BACKENDS",
+    "DynamicOutcome",
+    "DynamicRunResult",
+    "run_dynamic_gtd",
+]
+
+#: backend name -> dynamic engine class (mirrors
+#: :data:`repro.sim.run.ENGINE_BACKENDS` for the mutating-wiring case).
+DYNAMIC_ENGINE_BACKENDS = {
+    "object": DynamicEngine,
+    "flat": FlatDynamicEngine,
+}
 
 
 class DynamicOutcome(enum.Enum):
@@ -66,18 +78,25 @@ def run_dynamic_gtd(
     *,
     root: int = 0,
     max_ticks: int | None = None,
+    backend: str = DEFAULT_BACKEND,
 ) -> DynamicRunResult:
     """Run GTD on ``graph`` while applying ``mutations``; classify the result."""
     budget = max_ticks if max_ticks is not None else default_tick_budget(
         graph, diameter(graph)
     )
     processors = [GTDProcessor() for _ in graph.nodes()]
-    engine = DynamicEngine(graph, list(processors), mutations, root=root)
+    engine_cls = DYNAMIC_ENGINE_BACKENDS[check_backend(backend)]
+    engine = engine_cls(graph, list(processors), mutations, root=root)
     root_proc = processors[root]
     try:
         run = execute_run(
             engine,
-            RunConfig(max_ticks=budget, until=lambda: root_proc.terminal, drain=False),
+            RunConfig(
+                max_ticks=budget,
+                until=lambda: root_proc.terminal,
+                drain=False,
+                backend=backend,
+            ),
         )
     except (TickBudgetExceeded, ProtocolViolation) as exc:
         outcome = (

@@ -32,9 +32,11 @@ from repro.sim.characters import (
     MSG_DFS_RETURN,
     SCOPE_BCA,
     SCOPE_RCA,
+    STAR,
     convert,
     fill_in_port,
     growing_family_of,
+    intern_char,
     is_dying,
     is_growing,
     make_body,
@@ -85,6 +87,11 @@ class ProtocolProcessor(Processor):
       processor has finished cleaning up; safe to act;
     * :meth:`_on_bca_initiator_done` — this processor's own BCA finished.
     """
+
+    #: The KILL token only ever erases growing-snake characters (§2.3.4);
+    #: both purge sites below filter on ``is_growing``.  Declaring it lets
+    #: the flat-core backend wire never-purged kinds straight to the wheel.
+    PURGES_ONLY_GROWING = True
 
     def __init__(self) -> None:
         super().__init__()
@@ -146,17 +153,38 @@ class ProtocolProcessor(Processor):
         else:
             self._handle_unmark_bca(in_port, char)
 
+    # The adapters inline :func:`fill_in_port` (the dispatch table already
+    # guarantees the kind, so only the STAR check remains) and hoist
+    # :meth:`_handle_growing`'s interception tests — each adapter knows its
+    # family, so the per-delivery string comparisons disappear.
     def _dispatch_dfs(self, in_port: int, char: Char) -> None:
-        self._on_dfs_char(in_port, fill_in_port(char, in_port))
+        if char.in_port == STAR:
+            char = intern_char(char.kind, char.out_port, in_port, char.payload)
+        self._on_dfs_char(in_port, char)
 
     def _dispatch_growing_ig(self, in_port: int, char: Char) -> None:
-        self._handle_growing("IG", in_port, fill_in_port(char, in_port))
+        if char.in_port == STAR:
+            char = intern_char(char.kind, char.out_port, in_port, char.payload)
+        if self.ctx.is_root:
+            self._root_handle_ig(in_port, char)
+        else:
+            self._relay_growing(self.growing["IG"], "IG", in_port, char)
 
     def _dispatch_growing_og(self, in_port: int, char: Char) -> None:
-        self._handle_growing("OG", in_port, fill_in_port(char, in_port))
+        if char.in_port == STAR:
+            char = intern_char(char.kind, char.out_port, in_port, char.payload)
+        if self.rca_phase != _RCA_IDLE:
+            self._rca_handle_og(in_port, char)
+        else:
+            self._relay_growing(self.growing["OG"], "OG", in_port, char)
 
     def _dispatch_growing_bg(self, in_port: int, char: Char) -> None:
-        self._handle_growing("BG", in_port, fill_in_port(char, in_port))
+        if char.in_port == STAR:
+            char = intern_char(char.kind, char.out_port, in_port, char.payload)
+        if self.bca_phase != _BCA_IDLE:
+            self._bca_handle_bg(in_port, char)
+        else:
+            self._relay_growing(self.growing["BG"], "BG", in_port, char)
 
     def _dispatch_dying_id(self, in_port: int, char: Char) -> None:
         self._handle_rca_dying("ID", in_port, char)
@@ -210,9 +238,14 @@ class ProtocolProcessor(Processor):
         if family == "BG" and self.bca_phase != _BCA_IDLE:
             self._bca_handle_bg(in_port, char)
             return
+        self._relay_growing(self.growing[family], family, in_port, char)
 
-        marks = self.growing[family]
-        role = snake_role(char)
+    def _relay_growing(
+        self, marks: GrowingMarks, family: str, in_port: int, char: Char
+    ) -> None:
+        """The generic §2.3.2 relay: flood heads, pass bodies, append tails."""
+        assert self.ctx is not None
+        role = char.kind[2]
         if not marks.visited:
             if role == "H":
                 # First head claims this processor for its breadth-first tree.
@@ -283,7 +316,7 @@ class ProtocolProcessor(Processor):
             if role == "B":
                 out_kind = "IDH" if self.rca_promote else "IDB"
                 self.rca_promote = False
-                self.send(succ, Char(out_kind, char.out_port, char.in_port))
+                self.send(succ, intern_char(out_kind, char.out_port, char.in_port))
             elif role == "T":
                 self.send(succ, make_tail("ID"))
                 self.rca_phase = _RCA_WAIT_ODT
@@ -312,7 +345,7 @@ class ProtocolProcessor(Processor):
             if role == "B":
                 out_kind = "BDH" if self.bca_promote else "BDB"
                 self.bca_promote = False
-                self.send(succ, Char(out_kind, char.out_port, char.in_port))
+                self.send(succ, intern_char(out_kind, char.out_port, char.in_port))
             elif role == "T":
                 if self.bca_promote:
                     # Loop of length 1 (self-loop): B is its own recipient.
@@ -352,7 +385,7 @@ class ProtocolProcessor(Processor):
             if role == "B":
                 out_kind = family + ("H" if relay.promote_next else "B")
                 relay.promote_next = False
-                self.send(succ, Char(out_kind, char.out_port, char.in_port))
+                self.send(succ, intern_char(out_kind, char.out_port, char.in_port))
             else:  # tail
                 self.send(succ, char)
                 relay.finish()
@@ -380,7 +413,7 @@ class ProtocolProcessor(Processor):
             if role == "B":
                 out_kind = "ODH" if self.root_id_promote else "ODB"
                 self.root_id_promote = False
-                self.send(succ, Char(out_kind, char.out_port, char.in_port))
+                self.send(succ, intern_char(out_kind, char.out_port, char.in_port))
             elif role == "T":
                 self.send(succ, make_tail("OD"))
                 self.root_phase = _ROOT_LOOP
@@ -404,7 +437,7 @@ class ProtocolProcessor(Processor):
             self._release_kill(SCOPE_BCA)
             succ = self.bca_slot.succ
             assert succ is not None
-            self.send(succ, Char("BDONE"))
+            self.send(succ, intern_char("BDONE"))
             self.bca_phase = _BCA_WAIT_DONE
             return
         relay = self.relay["BD"]
@@ -420,7 +453,7 @@ class ProtocolProcessor(Processor):
             if role == "B":
                 out_kind = "BDH" if relay.promote_next else "BDB"
                 relay.promote_next = False
-                self.send(succ, Char(out_kind, char.out_port, char.in_port))
+                self.send(succ, intern_char(out_kind, char.out_port, char.in_port))
             else:  # tail
                 if relay.promote_next:
                     # Head immediately followed by tail: this processor is
@@ -445,7 +478,7 @@ class ProtocolProcessor(Processor):
             # The initiator absorbs its token and starts UNMARK (step 5).
             succ = self.loop.succ1
             assert succ is not None
-            self.send(succ, Char("UNMARK", payload=SCOPE_RCA))
+            self.send(succ, intern_char("UNMARK", payload=SCOPE_RCA))
             self.rca_phase = _RCA_WAIT_UNMARK
             return
         if self.ctx.is_root and self.root_phase == _ROOT_LOOP:
@@ -469,7 +502,7 @@ class ProtocolProcessor(Processor):
             # B absorbs its BDONE: growing debris is dead; start UNMARK.
             succ = self.bca_slot.succ
             assert succ is not None
-            self.send(succ, Char("UNMARK", payload=SCOPE_BCA))
+            self.send(succ, intern_char("UNMARK", payload=SCOPE_BCA))
             self.bca_phase = _BCA_WAIT_UNMARK
             return
         if self.bca_slot.active() and in_port == self.bca_slot.pred:
@@ -593,7 +626,7 @@ class ProtocolProcessor(Processor):
         for family in families:
             self.growing[family].clear()
         self.purge_outbox(lambda c: is_growing(c) and snake_family(c) in families)
-        self.broadcast(Char("KILL", payload=scope))
+        self.broadcast(intern_char("KILL", payload=scope))
 
     def _reset_rca_registers(self) -> None:
         self.rca_phase = _RCA_IDLE

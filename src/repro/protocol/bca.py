@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.sim.engine import Engine
-from repro.sim.run import RunConfig, execute_run
+from repro.sim.run import DEFAULT_BACKEND, RunConfig, execute_run, make_engine
 from repro.protocol.automaton import ProtocolProcessor
 from repro.topology.portgraph import PortGraph
 
@@ -66,6 +66,7 @@ def run_single_bca(
     message: str = "PING",
     root: int = 0,
     max_ticks: int | None = None,
+    backend: str = DEFAULT_BACKEND,
 ) -> BCARunResult:
     """Send ``message`` backwards through ``(node, in_port)`` and drain.
 
@@ -77,7 +78,7 @@ def run_single_bca(
     if wire is None:
         raise ValueError(f"in-port {in_port} of node {node} is not wired")
     processors = [ScriptedBCADriver() for _ in graph.nodes()]
-    engine = Engine(graph, list(processors), root=root)
+    engine = make_engine(backend, graph, list(processors), root=root)
     engine.start()
     initiator = processors[node]
     initiator.begin_tick(engine.tick)
@@ -92,6 +93,7 @@ def run_single_bca(
             until=lambda: initiator.initiator_done_at is not None,
             start=False,
             drain_slack=200,
+            backend=backend,
         ),
     )
     assert target.delivered_at is not None, "message never delivered"

@@ -29,7 +29,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.errors import ProtocolViolation
-from repro.sim.characters import STAR, Char, MSG_DFS_RETURN
+from repro.sim.characters import STAR, Char, MSG_DFS_RETURN, intern_char
 from repro.protocol.automaton import ProtocolProcessor
 
 __all__ = [
@@ -79,7 +79,7 @@ class GTDProcessor(ProtocolProcessor):
             # the token back through this edge via the BCA.
             self.start_bca(in_port, MSG_DFS_RETURN)
             return
-        token = Char("FWD", out_port=char.out_port, in_port=in_port)
+        token = intern_char("FWD", out_port=char.out_port, in_port=in_port)
         if not self.dfs_seen:
             self.dfs_seen = True
             self.dfs_parent_in = in_port
@@ -122,7 +122,7 @@ class GTDProcessor(ProtocolProcessor):
             self._advance_dfs()
         else:
             self.after_rca = _ADVANCE
-            self.start_rca(Char("BACK"))
+            self.start_rca(intern_char("BACK"))
 
     def _on_bca_initiator_done(self) -> None:
         """Bounce/return finished; nothing more for the initiator to do."""
@@ -137,7 +137,7 @@ class GTDProcessor(ProtocolProcessor):
             port = ports[self.dfs_scan_idx]
             self.dfs_scan_idx += 1
             self.dfs_waiting_port = port
-            self.send(port, Char("DFS", out_port=port, in_port=STAR))
+            self.send(port, intern_char("DFS", out_port=port, in_port=STAR))
             return
         # All out-ports finished.
         if self.ctx.is_root:

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from repro.errors import ProtocolViolation
 from repro.sim.characters import Char
 from repro.sim.engine import Engine
-from repro.sim.run import RunConfig, execute_run
+from repro.sim.run import DEFAULT_BACKEND, RunConfig, execute_run, make_engine
 from repro.sim.transcript import Transcript
 from repro.protocol.automaton import ProtocolProcessor
 from repro.topology.portgraph import PortGraph
@@ -63,6 +63,7 @@ def run_single_rca(
     root: int = 0,
     token: Char | None = None,
     max_ticks: int | None = None,
+    backend: str = DEFAULT_BACKEND,
 ) -> RCARunResult:
     """Run one RCA from ``initiator`` toward ``root`` and drain the network.
 
@@ -72,7 +73,7 @@ def run_single_rca(
     if initiator == root:
         raise ProtocolViolation("the root does not run the RCA with itself")
     processors = [ScriptedRCADriver() for _ in graph.nodes()]
-    engine = Engine(graph, list(processors), root=root)
+    engine = make_engine(backend, graph, list(processors), root=root)
     engine.start()
     driver = processors[initiator]
     driver.begin_tick(engine.tick)
@@ -86,6 +87,7 @@ def run_single_rca(
             until=lambda: driver.completed_at is not None,
             start=False,
             drain_slack=200,
+            backend=backend,
         ),
     )
     completed = driver.completed_at

@@ -23,7 +23,7 @@ from repro.errors import NotStronglyConnectedError
 from repro.sim.audit import assert_finite_state
 from repro.sim.engine import Engine
 from repro.sim.metrics import TrafficMetrics
-from repro.sim.run import RunConfig, execute_run
+from repro.sim.run import DEFAULT_BACKEND, RunConfig, execute_run, make_engine
 from repro.sim.transcript import Transcript
 from repro.topology.isomorphism import port_isomorphic
 from repro.topology.portgraph import PortGraph
@@ -114,6 +114,7 @@ def determine_topology(
     verify_cleanup: bool = False,
     audit_finite_state: bool = False,
     strict_reconstruction: bool = True,
+    backend: str = DEFAULT_BACKEND,
 ) -> TopologyResult:
     """Map ``graph`` with the paper's protocol and reconstruct it at the root.
 
@@ -129,6 +130,8 @@ def determine_topology(
         strict_reconstruction: make the master computer cross-check stack
             pops against signatures (catches protocol bugs; no effect on
             legal runs).
+        backend: engine backend to simulate on (``"object"`` or ``"flat"``);
+            both produce identical results, tick for tick.
 
     Raises:
         NotStronglyConnectedError: the protocol requires strong connectivity
@@ -143,7 +146,7 @@ def determine_topology(
     budget = max_ticks if max_ticks is not None else default_tick_budget(graph, diam)
 
     processors: list[GTDProcessor] = [GTDProcessor() for _ in graph.nodes()]
-    engine = Engine(graph, list(processors), root=root)
+    engine = make_engine(backend, graph, list(processors), root=root)
     root_proc = processors[root]
 
     run = execute_run(
@@ -152,6 +155,7 @@ def determine_topology(
             max_ticks=budget,
             until=lambda: root_proc.terminal,
             after_tick=_cleanup_sweeper(processors) if verify_cleanup else None,
+            backend=backend,
         ),
     )
     if verify_cleanup:

@@ -31,7 +31,7 @@ transcript-counting argument needs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 __all__ = [
     "STAR",
@@ -54,6 +54,9 @@ __all__ = [
     "fill_in_port",
     "convert",
     "alphabet_size",
+    "enumerate_alphabet",
+    "intern_char",
+    "CharInterner",
     "TOKEN_KINDS",
     "MSG_DFS_RETURN",
     "SCOPE_RCA",
@@ -82,7 +85,16 @@ SCOPE_BCA = "BCA"
 
 #: speed-3 characters rest 1 tick per processor; everything else is speed-1
 #: and rests 3 (paper §2.1).
-_SPEED3_KINDS = frozenset({"KILL", "UNMARK"})
+SPEED3_KINDS = frozenset({"KILL", "UNMARK"})
+_SPEED3_KINDS = SPEED3_KINDS  # historical alias
+
+#: Every growing-snake kind — the only characters a KILL can erase from a
+#: processor mid-residence (the :attr:`~repro.sim.processor.Processor.\
+#: PURGES_ONLY_GROWING` contract the flat-core backend's send-time
+#: scheduling relies on).
+GROWING_KINDS = frozenset(
+    family + role for family in GROWING_FAMILIES for role in "HBT"
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -176,22 +188,40 @@ def residence(char: Char) -> int:
 # ----------------------------------------------------------------------
 # constructors
 # ----------------------------------------------------------------------
+#: Process-wide canonical instances, keyed by field tuple.  The alphabet
+#: is constant, so the cache is bounded; handing out one shared instance
+#: per value lets identity-keyed fast paths (the flat-core backend's
+#: encode) skip hashing the character entirely.
+_INTERNED: dict[tuple, Char] = {}
+
+
+def intern_char(
+    kind: str, out_port: int = 0, in_port: int = 0, payload: str | None = None
+) -> Char:
+    """The process-wide canonical :class:`Char` with these fields."""
+    key = (kind, out_port, in_port, payload)
+    char = _INTERNED.get(key)
+    if char is None:
+        char = _INTERNED[key] = Char(kind, out_port, in_port, payload)
+    return char
+
+
 def make_head(family: str, out_port: int, in_port: int = STAR) -> Char:
     """A head character ``<family>H(out_port, in_port)``."""
     _check_family(family)
-    return Char(kind=family + _ROLE_HEAD, out_port=out_port, in_port=in_port)
+    return intern_char(family + _ROLE_HEAD, out_port, in_port)
 
 
 def make_body(family: str, out_port: int, in_port: int = STAR) -> Char:
     """A body character ``<family>B(out_port, in_port)``."""
     _check_family(family)
-    return Char(kind=family + _ROLE_BODY, out_port=out_port, in_port=in_port)
+    return intern_char(family + _ROLE_BODY, out_port, in_port)
 
 
 def make_tail(family: str, payload: str | None = None) -> Char:
     """A tail character ``<family>T`` with optional constant-size payload."""
     _check_family(family)
-    return Char(kind=family + _ROLE_TAIL, payload=payload)
+    return intern_char(family + _ROLE_TAIL, payload=payload)
 
 
 def fill_in_port(char: Char, in_port: int) -> Char:
@@ -203,7 +233,7 @@ def fill_in_port(char: Char, in_port: int) -> Char:
     whose in-port is already concrete are returned unchanged.
     """
     if char.in_port == STAR and (is_snake(char) or char.kind == "DFS"):
-        return Char(char.kind, char.out_port, in_port, char.payload)
+        return intern_char(char.kind, char.out_port, in_port, char.payload)
     return char
 
 
@@ -216,7 +246,9 @@ def convert(char: Char, family: str) -> Char:
     _check_family(family)
     if not is_snake(char):
         raise ValueError(f"cannot convert non-snake character {char}")
-    return replace(char, kind=family + snake_role(char))
+    return intern_char(
+        family + snake_role(char), char.out_port, char.in_port, char.payload
+    )
 
 
 def _check_family(family: str) -> None:
@@ -253,3 +285,99 @@ def alphabet_size(delta: int) -> int:
     unmark = 2
     blank = 1
     return snakes + bd_payload_variants + dfs + fwd + back + bdone + kill + unmark + blank
+
+
+# ----------------------------------------------------------------------
+# the interned alphabet (flat-core backend support)
+# ----------------------------------------------------------------------
+def enumerate_alphabet(delta: int) -> list[Char]:
+    """Every character the protocol can put on a wire, for degree bound ``delta``.
+
+    The enumeration order is deterministic (a pure function of ``delta``),
+    so a character's index is stable across processes — the flat-core
+    backend uses the index as the character's packed integer code.  The
+    list realizes exactly the :func:`alphabet_size` census minus the blank
+    character (the blank is the *absence* of a character; the simulator
+    never materializes it):
+
+    * per snake family: heads and bodies over ``out_port in 1..delta`` ×
+      ``in_port in {*} ∪ 1..delta``, plus the bare tail;
+    * the BD tail in its one payload variant (:data:`MSG_DFS_RETURN`);
+    * DFS with snake-character structure, FORWARD over ``delta**2`` port
+      pairs, BACK and BDONE;
+    * KILL and UNMARK, one per scope.
+    """
+    if delta < 2:
+        raise ValueError(f"delta must be >= 2, got {delta}")
+    in_ports = (STAR, *range(1, delta + 1))
+    chars: list[Char] = []
+    for family in SNAKE_FAMILIES:
+        for role in (_ROLE_HEAD, _ROLE_BODY):
+            for out_port in range(1, delta + 1):
+                for in_port in in_ports:
+                    chars.append(intern_char(family + role, out_port, in_port))
+        chars.append(intern_char(family + _ROLE_TAIL))
+    chars.append(intern_char("BD" + _ROLE_TAIL, payload=MSG_DFS_RETURN))
+    for out_port in range(1, delta + 1):
+        for in_port in in_ports:
+            chars.append(intern_char("DFS", out_port, in_port))
+    for out_port in range(1, delta + 1):
+        for in_port in range(1, delta + 1):
+            chars.append(intern_char("FWD", out_port, in_port))
+    chars.append(intern_char("BACK"))
+    chars.append(intern_char("BDONE"))
+    for scope in (SCOPE_RCA, SCOPE_BCA):
+        chars.append(intern_char("KILL", payload=scope))
+    for scope in (SCOPE_RCA, SCOPE_BCA):
+        chars.append(intern_char("UNMARK", payload=scope))
+    return chars
+
+
+class CharInterner:
+    """Bijective ``Char`` ↔ integer-code mapping over the constant alphabet.
+
+    Built once per run from :func:`enumerate_alphabet`, so every protocol
+    character has a small stable code and a single canonical instance.  The
+    flat-core engine stores only codes in its event wheel and hands the
+    canonical instance back to handlers — the hot loop allocates no
+    characters.
+
+    Characters outside the enumerated alphabet (test doubles inventing
+    kinds, scripted drivers with nonstandard payloads) are interned lazily
+    on first sight; their codes are appended after the constant alphabet
+    and stay stable for the lifetime of the interner.
+    """
+
+    __slots__ = ("delta", "chars", "codes")
+
+    def __init__(self, delta: int) -> None:
+        self.delta = delta
+        #: code -> canonical instance (also keeps every canonical alive,
+        #: which is what makes identity-keyed caches on top of it safe)
+        self.chars: list[Char] = enumerate_alphabet(delta)
+        #: value -> code
+        self.codes: dict[Char, int] = {
+            char: code for code, char in enumerate(self.chars)
+        }
+
+    def __len__(self) -> int:
+        return len(self.chars)
+
+    def encode(self, char: Char) -> int:
+        """The packed integer code of ``char`` (interned on first sight)."""
+        code = self.codes.get(char)
+        if code is None:
+            code = len(self.chars)
+            self.chars.append(char)
+            self.codes[char] = code
+        return code
+
+    def decode(self, code: int) -> Char:
+        """The canonical :class:`Char` for ``code``.
+
+        Round-trips with :meth:`encode`: ``decode(encode(c)) == c`` for any
+        character, and ``decode(encode(c)) is decode(encode(c))`` — the
+        canonical instance is stable, so transcripts and tests can compare
+        by value or identity.
+        """
+        return self.chars[code]

@@ -210,6 +210,8 @@ class Engine:
             due.update(arrivals)
         for node in due:
             self._drain_node(node)
+        if arrivals:
+            self._wheel.recycle(arrivals)
 
     def _put_on_wire(self, node: int, out_port: int, char: Char) -> None:
         wire = self._out_wires[node].get(out_port)

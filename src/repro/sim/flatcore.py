@@ -1,0 +1,809 @@
+"""The compiled flat-core engine backend.
+
+A second, drop-in implementation of the :class:`~repro.sim.engine.Engine`
+run surface, selected through the backend registry in :mod:`repro.sim.run`
+(``backend="flat"``).  Semantics are tick-exact identical to the object
+backend — same delivery order, same transcripts, same metrics, same tick
+counts (the differential parity suite enforces it) — but the hot loop runs
+on dense integer tables instead of Python object graphs:
+
+* the wiring is lowered once per run into CSR-style arrays
+  (:func:`repro.topology.compile.compile_topology`), so an emission
+  resolves its wire with two integer indexings instead of a dict lookup;
+* the character alphabet is interned up front
+  (:class:`~repro.sim.characters.CharInterner`) — every character is a
+  small integer code with one canonical :class:`~repro.sim.characters.Char`
+  instance, so the wheel stores plain ints and delivery never allocates;
+* the event wheel (:class:`PackedEventWheel`) replaces the object wheel's
+  per-character tuples with ring-recycled ``array('q')`` lanes of packed
+  64-bit entries.  The precomputed kind-priority rides in the top bits::
+
+      bit 56..57   in-tick handling priority (KIND_PRIORITY of the code)
+      bit 40..55   arrival in-port
+      bit 20..39   per-tick sequence number (FIFO tie-break)
+      bit  0..19   character code
+
+  so one plain integer sort of a node's lane recovers the deterministic
+  in-tick handling order (priority, then in-port, then FIFO) — the exact
+  order the object wheel's tuple sort produces;
+* per-kind traffic counters and per-node handler dispatch become
+  code-indexed flat lists, flushed back into the shared
+  :class:`~repro.sim.metrics.TrafficMetrics` shape on read.
+
+Delivery timing, fast-forward (:meth:`Engine._advance` is inherited
+unchanged), outbox residence and KILL purge semantics are all reused from
+the base engine — this module replaces only the data plane.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterator
+
+from repro.errors import SimulationError
+from repro.sim.characters import (
+    GROWING_KINDS,
+    STAR,
+    Char,
+    CharInterner,
+    is_growing,
+)
+from repro.sim.engine import Engine
+from repro.sim.metrics import TrafficMetrics
+from repro.sim.processor import Processor
+from repro.sim.scheduler import KIND_PRIORITY
+from repro.topology.compile import compile_topology
+from repro.topology.portgraph import PortGraph
+
+__all__ = [
+    "CODE_BITS",
+    "CODE_MASK",
+    "SEQ_SHIFT",
+    "PORT_SHIFT",
+    "PORT_MASK",
+    "PRIO_SHIFT",
+    "PackedEventWheel",
+    "FlatEngine",
+]
+
+#: Packed-entry layout.  20 code bits cover the constant alphabet for any
+#: realistic degree bound (delta ≈ 280 before overflow); 20 sequence bits
+#: bound one tick at ~1M arrivals — far above the N * delta wire limit.
+CODE_BITS = 20
+CODE_MASK = (1 << CODE_BITS) - 1
+SEQ_SHIFT = CODE_BITS
+SEQ_BITS = 20
+PORT_SHIFT = SEQ_SHIFT + SEQ_BITS
+PORT_MASK = (1 << 16) - 1
+PRIO_SHIFT = PORT_SHIFT + 16
+
+
+class _Bucket:
+    """One tick's arrivals: per-node packed lanes, recycled tick over tick.
+
+    The FIFO tie-break needs no explicit counter: entries append to one
+    lane in schedule order, so ``len(lane)`` at append time *is* the
+    within-lane sequence number.
+    """
+
+    __slots__ = ("nodes", "lanes")
+
+    def __init__(self) -> None:
+        self.nodes: list[int] = []            # first-touch order, like dict order
+        self.lanes: dict[int, array] = {}     # node -> array('q') of packed entries
+
+    def clear(self) -> None:
+        # only the touched lanes need clearing: "listed in nodes ⟺ lane
+        # non-empty" is the bucket invariant
+        lanes = self.lanes
+        for node in self.nodes:
+            del lanes[node][:]
+        self.nodes.clear()
+
+
+class PackedEventWheel:
+    """Timestamp-bucketed delivery queue over packed integer entries.
+
+    Drop-in for the object backend's :class:`~repro.sim.scheduler.EventWheel`
+    query surface (``next_tick`` / ``__bool__`` / ``__len__`` /
+    ``in_flight``), but ``schedule`` encodes the character through the
+    interner and appends one packed int to the destination node's
+    ``array('q')`` lane, and ``pop`` hands the whole bucket back for
+    zero-copy delivery.  Buckets (and their lanes) are recycled through a
+    free ring via :meth:`recycle` instead of being reallocated per tick.
+    """
+
+    __slots__ = (
+        "interner",
+        "chars",
+        "base_of",
+        "id_base",
+        "_buckets",
+        "_ticks",
+        "_ring",
+    )
+
+    def __init__(self, interner: CharInterner) -> None:
+        self.interner = interner
+        self.chars = interner.chars
+        #: value -> packed (priority << PRIO_SHIFT) | code.  Folding the
+        #: priority in here is what makes a schedule a single dict hit.
+        self.base_of: dict[Char, int] = {
+            char: (KIND_PRIORITY[char.kind] << PRIO_SHIFT) | code
+            for code, char in enumerate(interner.chars)
+        }
+        #: id(canonical instance) -> base.  Identity fast path: most
+        #: traffic is canonical instances flowing back out of the wheel
+        #: (flood relays re-broadcast the delivered character), and id()
+        #: of a permanently-alive canonical is a safe key.
+        self.id_base: dict[int, int] = {
+            id(char): base for char, base in self.base_of.items()
+        }
+        self._buckets: dict[int, _Bucket] = {}
+        self._ticks: list[int] = []   # sorted ascending; popped from the front
+        self._ring: list[_Bucket] = []
+
+    # ------------------------------------------------------------------
+    def encode_base(self, char: Char) -> int:
+        """``(priority << PRIO_SHIFT) | code`` for ``char`` (interns new)."""
+        base = self.base_of.get(char)
+        if base is None:
+            code = self.interner.encode(char)
+            base = (KIND_PRIORITY[char.kind] << PRIO_SHIFT) | code
+            self.base_of[char] = base
+            # the canonical instance is immortal (the interner holds it),
+            # so its identity is a safe fast-path key
+            self.id_base[id(self.chars[code])] = base
+        return base
+
+    def schedule(self, tick: int, node: int, in_port: int, char: Char) -> None:
+        """File ``char`` for delivery at ``tick`` through ``in_port``."""
+        bucket = self._buckets.get(tick)
+        if bucket is None:
+            bucket = self._ring.pop() if self._ring else _Bucket()
+            self._buckets[tick] = bucket
+            ticks = self._ticks
+            ticks.append(tick)
+            if len(ticks) > 1 and tick < ticks[-2]:
+                ticks.sort()
+        lane = bucket.lanes.get(node)
+        if lane is None:
+            lane = bucket.lanes[node] = array("q")
+            bucket.nodes.append(node)
+        elif not lane:
+            bucket.nodes.append(node)
+        lane.append(
+            self.encode_base(char)
+            | (in_port << PORT_SHIFT)
+            | (len(lane) << SEQ_SHIFT)
+        )
+
+    def pop(self, tick: int) -> _Bucket | None:
+        """Remove and return the arrivals bucket for ``tick`` (or ``None``).
+
+        The caller owns the bucket until it hands it back via
+        :meth:`recycle`; a bucket that is never recycled is simply garbage
+        collected (slow paths and tests need no discipline).
+        """
+        return self._buckets.pop(tick, None)
+
+    def recycle(self, bucket: _Bucket) -> None:
+        """Clear a delivered bucket and return it to the free ring."""
+        bucket.clear()
+        self._ring.append(bucket)
+
+    def next_tick(self) -> int | None:
+        """The earliest tick holding scheduled arrivals, or ``None``."""
+        ticks = self._ticks
+        buckets = self._buckets
+        while ticks and ticks[0] not in buckets:
+            ticks.pop(0)
+        return ticks[0] if ticks else None
+
+    def __bool__(self) -> bool:
+        return bool(self._buckets)
+
+    def __len__(self) -> int:
+        return sum(
+            len(lane)
+            for bucket in self._buckets.values()
+            for lane in bucket.lanes.values()
+        )
+
+    def in_flight(self) -> Iterator[tuple[int, Char]]:
+        """All scheduled characters as ``(destination, char)`` pairs."""
+        chars = self.chars
+        for bucket in self._buckets.values():
+            for node in bucket.nodes:
+                for packed in bucket.lanes[node]:
+                    yield node, chars[packed & CODE_MASK]
+
+
+class FlatEngine(Engine):
+    """The compiled flat-core backend: same contract, dense data plane.
+
+    Construction compiles the frozen graph to CSR tables, interns the full
+    constant alphabet for the graph's ``delta``, swaps the event wheel for
+    :class:`PackedEventWheel`, and lowers each processor's per-kind handler
+    table into a code-indexed list.  Everything above the data plane —
+    fast-forward, run/drain orchestration, wake and invariant hooks — is
+    inherited from :class:`~repro.sim.engine.Engine` unchanged.
+    """
+
+    def __init__(
+        self,
+        graph: PortGraph,
+        processors: list[Processor],
+        root: int = 0,
+        *,
+        record_transcript: bool = True,
+    ) -> None:
+        super().__init__(
+            graph, processors, root=root, record_transcript=record_transcript
+        )
+        self._topo = compile_topology(graph)
+        self._interner = CharInterner(graph.delta)
+        self._wheel = PackedEventWheel(self._interner)
+        self._id_base = self._wheel.id_base
+        self._chars = self._interner.chars
+        self._emitted_by_code: list[int] = []
+        # code -> whether the character is a growing-snake kind (the only
+        # purgeable class under the PURGES_ONLY_GROWING contract)
+        self._growing_code: list[bool] = []
+        # node -> code-indexed handler list (None = fall back to .handle)
+        self._code_handlers: list[list] = [[] for _ in processors]
+        # code -> None, or an in-port-indexed list of the canonical filled
+        # characters: the §2.3.2 "change the * to j" rule applied once per
+        # (character, arrival port) pair instead of allocating per arrival.
+        self._fill_table: list[list[Char] | None] = []
+        self._grow_code_tables()
+        # Per-slot precomputed (in_port << PORT_SHIFT) — ready-made ints, so
+        # the hot loops do one list indexing instead of a shift per entry.
+        self._in_shift = [
+            (p << PORT_SHIFT) if p >= 0 else -1 for p in self._topo.wire_in_port
+        ]
+        # Subclasses that intercept emissions (the dynamic wiring mixin)
+        # must route every entry through their _put_on_wire override; only
+        # the plain flat engine may use the fused drain loop and install
+        # send-time sinks (a cut wire must be judged at drain time, and a
+        # tracer expects emission records at drain time).
+        self._fused_drain = type(self)._put_on_wire is FlatEngine._put_on_wire
+        if self._fused_drain:
+            for node, proc in enumerate(processors):
+                if node != root and proc.PURGES_ONLY_GROWING:
+                    proc._direct_sink = self._make_direct_sink(node)
+                    proc._direct_broadcast = self._make_broadcast_sink(node)
+                    proc._purge_hook = self._make_purge_hook(node)
+
+    # ------------------------------------------------------------------
+    # metrics: counted per code in flat lists, materialized on read
+    # ------------------------------------------------------------------
+    @property
+    def metrics(self) -> TrafficMetrics:
+        self._flush_metrics()
+        return self._metrics
+
+    @metrics.setter
+    def metrics(self, value: TrafficMetrics) -> None:
+        self._metrics = value
+
+    def _flush_metrics(self) -> None:
+        """Rebuild the :class:`TrafficMetrics` counters from per-code truth.
+
+        Emissions are tallied per code at schedule time (and rolled back on
+        purge), so the delivery count needs no per-hop bookkeeping at all:
+        every emitted character is either delivered or still in the wheel,
+        hence ``delivered = emitted - in_flight``.  The rebuild is
+        idempotent, and ``delivered`` is exact at any event boundary.
+        Mid-run ``emitted`` runs slightly ahead of the object backend's
+        (a direct-scheduled character counts when queued, the object
+        backend counts it when it leaves its sender's outbox); the two
+        agree whenever no character is resting — in particular at
+        termination, at idle, and at every point the parity contract
+        compares.
+        """
+        chars = self._chars
+        in_wheel = [0] * len(chars)
+        for bucket in self._wheel._buckets.values():
+            lanes = bucket.lanes
+            for node in bucket.nodes:
+                for packed in lanes[node]:
+                    in_wheel[packed & CODE_MASK] += 1
+        metrics = self._metrics
+        emitted = metrics.emitted
+        delivered = metrics.delivered
+        emitted.clear()
+        delivered.clear()
+        for code, count in enumerate(self._emitted_by_code):
+            if count:
+                kind = chars[code].kind
+                emitted[kind] += count
+                done = count - in_wheel[code]
+                if done:
+                    delivered[kind] += done
+
+    # ------------------------------------------------------------------
+    # lazy growth when a character outside the constant alphabet appears
+    # ------------------------------------------------------------------
+    def _grow_code_tables(self) -> None:
+        self._extend_fill_table()  # may intern filled variants; runs first
+        total = len(self._chars)
+        grow = total - len(self._emitted_by_code)
+        if grow > 0:
+            self._emitted_by_code.extend([0] * grow)
+            self._growing_code.extend(
+                char.kind in GROWING_KINDS for char in self._chars[-grow:]
+            )
+        for node, code_table in enumerate(self._code_handlers):
+            missing = total - len(code_table)
+            if missing > 0:
+                table = self._dispatch[node]
+                code_table.extend(
+                    table.get(char.kind) for char in self._chars[-missing:]
+                )
+
+    def _extend_fill_table(self) -> None:
+        """Precompute canonical STAR-filled variants for new codes.
+
+        Building a variant may itself intern a new canonical (a filled
+        tail is not part of the paper's alphabet census), growing
+        ``self._chars`` while we walk it — the while-loop chases the tail
+        until the table covers every code.  New canonicals are concrete
+        (no STAR), so the chase terminates after one generation.
+        """
+        table = self._fill_table
+        chars = self._chars
+        wheel = self._wheel
+        delta = self._topo.delta
+        # Only growing snakes and the DFS token are filled: those are the
+        # characters the protocol routes through :func:`fill_in_port`
+        # (dying snakes and tokens keep their recorded entries verbatim).
+        while len(table) < len(chars):
+            char = chars[len(table)]
+            if char.in_port == STAR and (is_growing(char) or char.kind == "DFS"):
+                variants: list[Char | None] = [None]
+                for in_port in range(1, delta + 1):
+                    filled = Char(char.kind, char.out_port, in_port, char.payload)
+                    code = wheel.encode_base(filled) & CODE_MASK
+                    variants.append(chars[code])
+                table.append(variants)
+            else:
+                table.append(None)
+
+    # ------------------------------------------------------------------
+    # the data plane
+    # ------------------------------------------------------------------
+    def _next_event_tick(self) -> int | None:
+        """Inline of :meth:`Engine._next_event_tick` over the packed wheel.
+
+        Same answer, two fewer method calls per event tick — this runs
+        once per fast-forward step, which dominates sparse-traffic runs.
+        """
+        wheel = self._wheel
+        ticks = wheel._ticks
+        buckets = wheel._buckets
+        while ticks and ticks[0] not in buckets:
+            ticks.pop(0)
+        due = self._active._due
+        if not ticks:
+            return due[0][0] if due else None
+        wheel_tick = ticks[0]
+        if due:
+            due_tick = due[0][0]
+            if due_tick < wheel_tick:
+                return due_tick
+        return wheel_tick
+
+    def step_tick(self) -> None:
+        """Advance the global clock by exactly one tick."""
+        self.tick = tick = self.tick + 1
+        wheel = self._wheel
+        bucket = wheel.pop(tick)
+
+        if bucket is not None:
+            processors = self.processors
+            code_handlers = self._code_handlers
+            chars = self._chars
+            fill_table = self._fill_table
+            n_codes = len(fill_table)
+            root = self.root
+            tracer = self.tracer
+            record_recv = self.transcript.record_recv
+            lanes = bucket.lanes
+            for node in bucket.nodes:
+                lane = lanes[node]
+                proc = processors[node]
+                proc.begin_tick(tick)
+                # one plain integer sort recovers (priority, in-port, FIFO)
+                entries = sorted(lane) if len(lane) > 1 else lane
+                handlers = code_handlers[node]
+                fallback = proc.handle
+                is_root = node == root
+                for packed in entries:
+                    code = packed & CODE_MASK
+                    if code >= n_codes:
+                        # a code scheduled through the generic wheel API
+                        # without passing the engine's intern path
+                        self._grow_code_tables()
+                        handlers = code_handlers[node]
+                        n_codes = len(fill_table)
+                    in_port = (packed >> PORT_SHIFT) & PORT_MASK
+                    char = chars[code]
+                    if is_root:
+                        record_recv(tick, in_port, char)
+                    if tracer is not None:
+                        tracer.record_delivery(tick, node, in_port, char)
+                    fills = fill_table[code]
+                    if fills is not None:
+                        # §2.3.2 STAR fill, resolved to the canonical
+                        # instance once per (character, port) pair
+                        char = fills[in_port]
+                    handler = handlers[code]
+                    if handler is None:
+                        fallback(in_port, char)
+                    else:
+                        handler(in_port, char)
+
+        # Sink-equipped processors schedule at send time and keep an empty
+        # outbox; only nodes actually holding outbox entries (the root,
+        # sink-less processors, tracer interludes) need a drain pass.  A
+        # node hit by both loops drains twice — the second pass is an
+        # empty, side-effect-free fast path, cheaper than building the
+        # union set every tick.
+        active = self._active
+        if active._due:
+            for node in active.take_due(tick):
+                self._drain_node(node)
+        if bucket is not None:
+            processors = self.processors
+            for node in bucket.nodes:
+                if processors[node]._outbox:
+                    self._drain_node(node)
+            wheel.recycle(bucket)
+
+    def _emit(self, wire, node: int, out_port: int, char: Char) -> None:
+        """Slow-path emission over an explicit wire (dynamic added wires).
+
+        Mirrors :meth:`Engine._emit` but counts the emission per code, so
+        the ``delivered = emitted - in_flight`` flush arithmetic covers
+        every character that can end up in the wheel.
+        """
+        base = self._id_base.get(id(char))
+        if base is None:
+            base = self._wheel.encode_base(char)
+            if (base & CODE_MASK) >= len(self._emitted_by_code):
+                self._grow_code_tables()
+        self._emitted_by_code[base & CODE_MASK] += 1
+        if node == self.root:
+            self.transcript.record_send(self.tick, out_port, char)
+        if self.tracer is not None:
+            self.tracer.record_emission(self.tick, node, out_port, char)
+        self._wheel.schedule(self.tick + 1, wire.dst, wire.in_port, char)
+
+    def _make_direct_sink(self, node: int):
+        """A send-time scheduler for ``node``'s outgoing characters.
+
+        Installed on processors that declare ``PURGES_ONLY_GROWING`` (and
+        never on the root — its transcript must record sends in drain
+        order).  A queued character's arrival tick is fully determined at
+        send time, so it can skip the outbox/drain round trip and land
+        directly in its packed wheel lane; the companion purge hook
+        (:meth:`_make_purge_hook`) keeps KILL semantics exact for growing
+        characters.  Declines (returns False) while a tracer is attached,
+        because tracers expect emission records at drain time.
+        """
+        topo = self._topo
+        slot_base = node * topo.stride
+        wire_dst = topo.wire_dst
+        in_shift = self._in_shift
+        wheel = self._wheel
+        buckets = wheel._buckets
+        ring = wheel._ring
+        ticks = wheel._ticks
+        id_base = self._id_base
+        encode_base = wheel.encode_base
+        emitted = self._emitted_by_code  # extended in place, never rebound
+        prev_char: Char | None = None
+        prev_base = 0
+
+        def sink(out_port: int, char: Char, arrival: int) -> bool:
+            nonlocal prev_char, prev_base
+            if self.tracer is not None:
+                return False
+            slot = slot_base + out_port
+            dst = wire_dst[slot]
+            if dst < 0:
+                raise SimulationError(
+                    f"node {node} emitted {char} through unconnected "
+                    f"out-port {out_port}"
+                )
+            if char is prev_char:  # broadcasts queue one object per port
+                base = prev_base
+            else:
+                base = id_base.get(id(char))
+                if base is None:
+                    base = encode_base(char)
+                    if (base & CODE_MASK) >= len(emitted):
+                        self._grow_code_tables()
+                prev_char = char
+                prev_base = base
+            emitted[base & CODE_MASK] += 1
+            bucket = buckets.get(arrival)
+            if bucket is None:
+                bucket = ring.pop() if ring else _Bucket()
+                buckets[arrival] = bucket
+                ticks.append(arrival)
+                if len(ticks) > 1 and arrival < ticks[-2]:
+                    ticks.sort()
+            lanes = bucket.lanes
+            lane = lanes.get(dst)
+            if lane is None:
+                lane = lanes[dst] = array("q")
+                bucket.nodes.append(dst)
+            elif not lane:
+                bucket.nodes.append(dst)
+            lane.append(base | in_shift[slot] | (len(lane) << SEQ_SHIFT))
+            return True
+
+        return sink
+
+    def _make_broadcast_sink(self, node: int):
+        """The :meth:`_make_direct_sink` fast path, batched per broadcast.
+
+        One call encodes the character once and appends an entry per
+        connected out-port — broadcasts are the protocol's dominant
+        emission shape (flood relays), so the per-port call overhead is
+        worth eliminating.  Ports come from the processor's own context,
+        which only lists connected out-ports, so no unwired-slot check is
+        needed.
+        """
+        topo = self._topo
+        slot_base = node * topo.stride
+        # (dst, in_port << PORT_SHIFT) per connected out-port, in port order
+        # — the shape a broadcast walks, fully resolved ahead of time.
+        all_wires = tuple(
+            (topo.wire_dst[slot_base + port], self._in_shift[slot_base + port])
+            for port in topo.out_ports_of(node)
+        )
+        all_ports = None  # resolved lazily: ctx exists only after attach
+        wheel = self._wheel
+        buckets = wheel._buckets
+        ring = wheel._ring
+        ticks = wheel._ticks
+        id_base = self._id_base
+        encode_base = wheel.encode_base
+        emitted = self._emitted_by_code  # extended in place, never rebound
+        wire_dst = topo.wire_dst
+        in_shift = self._in_shift
+        proc = self.processors[node]
+
+        def sink_many(ports: tuple, char: Char, arrival: int) -> bool:
+            nonlocal all_ports
+            if self.tracer is not None:
+                return False
+            base = id_base.get(id(char))
+            if base is None:
+                base = encode_base(char)
+                if (base & CODE_MASK) >= len(emitted):
+                    self._grow_code_tables()
+            emitted[base & CODE_MASK] += len(ports)
+            bucket = buckets.get(arrival)
+            if bucket is None:
+                bucket = ring.pop() if ring else _Bucket()
+                buckets[arrival] = bucket
+                ticks.append(arrival)
+                if len(ticks) > 1 and arrival < ticks[-2]:
+                    ticks.sort()
+            lanes = bucket.lanes
+            nodes = bucket.nodes
+            if all_ports is None:
+                all_ports = proc.ctx.out_ports
+            if ports is all_ports:  # the broadcast shape, pre-resolved
+                wires = all_wires
+            else:
+                wires = [
+                    (wire_dst[slot_base + port], in_shift[slot_base + port])
+                    for port in ports
+                ]
+            for dst, shifted_in in wires:
+                lane = lanes.get(dst)
+                if lane is None:
+                    lane = lanes[dst] = array("q")
+                    nodes.append(dst)
+                elif not lane:
+                    nodes.append(dst)
+                lane.append(base | shifted_in | (len(lane) << SEQ_SHIFT))
+            return True
+
+        return sink_many
+
+    def _make_purge_hook(self, node: int):
+        """Erase ``node``'s pre-scheduled, still-purgeable characters.
+
+        Under outbox semantics a character rests in its sender until its
+        departure tick; a KILL arriving now may erase it.  The direct sink
+        has already filed those characters into future wheel buckets, so
+        the purge walks every future bucket (there are at most a handful —
+        the residence horizon), filters ``node``'s entries out of the lanes
+        of its wire destinations (the arrival in-port identifies the wire,
+        hence the sender), and renumbers the surviving lane sequence
+        numbers to keep them dense.  Emission counters are rolled back so
+        traffic metrics match the object backend, which never counts a
+        purged character as emitted.
+        """
+        topo = self._topo
+        stride = topo.stride
+        out_wires: list[tuple[int, int]] = []  # (dst, in_port)
+        for port in topo.out_ports_of(node):
+            slot = node * stride + port
+            out_wires.append((topo.wire_dst[slot], topo.wire_in_port[slot]))
+        wheel = self._wheel
+        chars = self._chars
+        emitted = self._emitted_by_code  # extended in place, never rebound
+        growing_code = self._growing_code  # idem
+        seq_field = ((1 << SEQ_BITS) - 1) << SEQ_SHIFT
+
+        def purge(predicate) -> int:
+            removed = 0
+            now = self.tick
+            for arrival, bucket in list(wheel._buckets.items()):
+                if arrival <= now:
+                    continue  # already departed under outbox semantics
+                lanes = bucket.lanes
+                for dst, in_port in out_wires:
+                    lane = lanes.get(dst)
+                    if not lane:
+                        continue
+                    kept: list[int] | None = None
+                    for index, packed in enumerate(lane):
+                        code = packed & CODE_MASK
+                        # the PURGES_ONLY_GROWING contract: the predicate
+                        # can only ever match growing-snake kinds, so
+                        # everything else skips the decode + call
+                        if (
+                            growing_code[code]
+                            and ((packed >> PORT_SHIFT) & PORT_MASK) == in_port
+                            and predicate(chars[code])
+                        ):
+                            if kept is None:
+                                kept = list(lane[:index])
+                            removed += 1
+                            emitted[code] -= 1
+                        elif kept is not None:
+                            kept.append(packed)
+                    if kept is not None:
+                        del lane[:]
+                        for index, packed in enumerate(kept):
+                            lane.append(
+                                (packed & ~seq_field) | (index << SEQ_SHIFT)
+                            )
+                        if not lane:
+                            # keep the "listed once ⟺ lane non-empty"
+                            # invariant: a later schedule into the emptied
+                            # lane re-appends the node
+                            bucket.nodes.remove(dst)
+                if not bucket.nodes:
+                    # The purge emptied the whole bucket.  Leaving it in
+                    # the wheel would keep the engine "busy" (is_idle,
+                    # next_tick and the fast-forward all key off bucket
+                    # presence) and make run_to_idle step to a tick where
+                    # nothing happens — a tick-count divergence from the
+                    # object backend, whose purge empties outboxes before
+                    # they ever reach the wheel.
+                    del wheel._buckets[arrival]
+                    wheel.recycle(bucket)
+            return removed
+
+        return purge
+
+    def _drain_node(self, node: int) -> None:
+        """Fused drain: outbox → CSR wire → packed lane, no per-entry calls.
+
+        Semantically identical to :meth:`Engine._drain_node` (which loops
+        ``_put_on_wire`` per entry); this version hoists every lookup out
+        of the loop and memoizes the encode of consecutive entries carrying
+        the same character instance — a broadcast queues the same object
+        once per out-port, so the memo hits on all but the first.
+        """
+        if not self._fused_drain:
+            Engine._drain_node(self, node)
+            return
+        proc = self.processors[node]
+        tick = self.tick
+        entries = proc.drain_due(tick)
+        if entries:
+            topo = self._topo
+            wire_dst = topo.wire_dst
+            in_shift = self._in_shift
+            slot_base = node * topo.stride
+            wheel = self._wheel
+            id_base = self._id_base
+            emitted = self._emitted_by_code
+            tracer = self.tracer
+            is_root = node == self.root
+            next_tick = tick + 1
+            bucket = wheel._buckets.get(next_tick)
+            if bucket is None:
+                bucket = wheel._ring.pop() if wheel._ring else _Bucket()
+                wheel._buckets[next_tick] = bucket
+                ticks = wheel._ticks
+                ticks.append(next_tick)
+                if len(ticks) > 1 and next_tick < ticks[-2]:
+                    ticks.sort()
+            lanes = bucket.lanes
+            touched = bucket.nodes
+            prev_char: Char | None = None
+            prev_base = 0
+            for entry in entries:
+                char = entry.char
+                out_port = entry.out_port
+                slot = slot_base + out_port
+                dst = wire_dst[slot]
+                if dst < 0:
+                    raise SimulationError(
+                        f"node {node} emitted {char} through unconnected "
+                        f"out-port {out_port}"
+                    )
+                if char is prev_char:
+                    base = prev_base
+                else:
+                    base = id_base.get(id(char))
+                    if base is None:
+                        base = wheel.encode_base(char)
+                        if (base & CODE_MASK) >= len(emitted):
+                            self._grow_code_tables()
+                    prev_char = char
+                    prev_base = base
+                emitted[base & CODE_MASK] += 1
+                if is_root:
+                    self.transcript.record_send(tick, out_port, char)
+                if tracer is not None:
+                    tracer.record_emission(tick, node, out_port, char)
+                lane = lanes.get(dst)
+                if lane is None:
+                    lane = lanes[dst] = array("q")
+                    touched.append(dst)
+                elif not lane:
+                    touched.append(dst)
+                lane.append(base | in_shift[slot] | (len(lane) << SEQ_SHIFT))
+        self._active.update(node, proc._next_due)
+
+    def _put_on_wire(self, node: int, out_port: int, char: Char) -> None:
+        topo = self._topo
+        slot = node * topo.stride + out_port
+        dst = topo.wire_dst[slot]
+        if dst < 0:
+            raise SimulationError(
+                f"node {node} emitted {char} through unconnected out-port {out_port}"
+            )
+        base = self._id_base.get(id(char))
+        if base is None:
+            base = self._wheel.encode_base(char)
+        code = base & CODE_MASK
+        if code >= len(self._emitted_by_code):
+            self._grow_code_tables()
+        self._emitted_by_code[code] += 1
+        if node == self.root:
+            self.transcript.record_send(self.tick, out_port, char)
+        if self.tracer is not None:
+            self.tracer.record_emission(self.tick, node, out_port, char)
+        # inline of PackedEventWheel.schedule with the base already in hand
+        wheel = self._wheel
+        tick = self.tick + 1
+        bucket = wheel._buckets.get(tick)
+        if bucket is None:
+            bucket = wheel._ring.pop() if wheel._ring else _Bucket()
+            wheel._buckets[tick] = bucket
+            ticks = wheel._ticks
+            ticks.append(tick)
+            if len(ticks) > 1 and tick < ticks[-2]:
+                ticks.sort()
+        lane = bucket.lanes.get(dst)
+        if lane is None:
+            lane = bucket.lanes[dst] = array("q")
+            bucket.nodes.append(dst)
+        elif not lane:
+            bucket.nodes.append(dst)
+        lane.append(
+            base | self._in_shift[slot] | (len(lane) << SEQ_SHIFT)
+        )

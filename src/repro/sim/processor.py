@@ -25,7 +25,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import TYPE_CHECKING, Any, Callable, Iterable
 
-from repro.sim.characters import Char, residence
+from repro.sim.characters import SPEED3_KINDS, Char
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import NodeContext
@@ -44,6 +44,14 @@ class OutboxEntry:
         self.char = char
         self.seq = seq
 
+    def __lt__(self, other: "OutboxEntry") -> bool:
+        # (due_tick, seq) order, so a drain sorts entries with a plain
+        # ``list.sort()`` — no key function per entry.  seq is unique per
+        # processor, so the comparison is total.
+        if self.due_tick != other.due_tick:
+            return self.due_tick < other.due_tick
+        return self.seq < other.seq
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"OutboxEntry(due={self.due_tick}, port={self.out_port}, char={self.char})"
 
@@ -51,12 +59,33 @@ class OutboxEntry:
 class Processor(ABC):
     """Base class for all processors attached to an :class:`Engine`."""
 
+    #: Subclasses whose :meth:`purge_outbox` predicates only ever match
+    #: growing-snake characters (the paper's KILL discipline) set this to
+    #: True; it licenses an engine backend to schedule never-purgeable
+    #: characters straight into its delivery queue at send time instead of
+    #: resting them in the outbox.  Timing is identical either way — the
+    #: arrival tick is fully determined at queueing — but a processor that
+    #: might purge arbitrary kinds must keep everything purgeable at rest.
+    PURGES_ONLY_GROWING = False
+
     def __init__(self) -> None:
         self.ctx: "NodeContext | None" = None
         self._outbox: list[OutboxEntry] = []
         self._next_due: int | None = None  # min due_tick over _outbox
+        self._max_due = 0                  # max due_tick over _outbox
         self._seq = 0
         self._tick = 0
+        #: engine-installed fast path (flat-core backend): called as
+        #: ``sink(out_port, char, arrival_tick)``; returns False to decline
+        #: (the send then rests in the outbox).
+        self._direct_sink: Callable[[int, Char, int], bool] | None = None
+        #: engine-installed companion to the sink: purges this processor's
+        #: directly-scheduled characters that are still purgeable (i.e.
+        #: would still be resting here under outbox semantics).
+        self._purge_hook: Callable[[Callable[[Char], bool]], int] | None = None
+        #: batched sink for broadcasts: ``(ports, char, arrival) -> bool``,
+        #: one call schedules the character through every port.
+        self._direct_broadcast: Callable[[tuple, Char, int], bool] | None = None
 
     # ------------------------------------------------------------------
     # engine plumbing
@@ -64,6 +93,10 @@ class Processor(ABC):
     def attach(self, ctx: "NodeContext") -> None:
         """Called once by the engine before the simulation starts."""
         self.ctx = ctx
+        # the attaching engine installs its own (or none)
+        self._direct_sink = None
+        self._purge_hook = None
+        self._direct_broadcast = None
 
     def begin_tick(self, tick: int) -> None:
         """Engine hook: set the current tick before handlers run."""
@@ -87,6 +120,14 @@ class Processor(ABC):
         outbox = self._outbox
         if not outbox or (self._next_due is not None and self._next_due > tick):
             return []
+        if self._max_due <= tick:
+            # Fast path (the overwhelmingly common case): everything leaves.
+            # No per-entry filtering, no min() recomputation over the rest.
+            self._outbox = []
+            self._next_due = None
+            if len(outbox) > 1:
+                outbox.sort()  # OutboxEntry orders by (due_tick, seq)
+            return outbox
         due: list[OutboxEntry] = []
         keep: list[OutboxEntry] = []
         for e in outbox:
@@ -95,9 +136,7 @@ class Processor(ABC):
             self._outbox = keep
             self._next_due = min(e.due_tick for e in keep) if keep else None
             if len(due) > 1:
-                # appended in seq order, so a stable sort on due_tick alone
-                # reproduces the (due_tick, seq) order
-                due.sort(key=lambda e: e.due_tick)
+                due.sort()
         return due
 
     def has_pending_output(self) -> bool:
@@ -120,30 +159,55 @@ class Processor(ABC):
         the *next* time step" phrasing in the paper (e.g. the tail follows
         the head one tick later).
         """
-        due = self._tick + residence(char) - 1 + extra_delay
+        kind = char.kind
+        due = self._tick + (0 if kind in SPEED3_KINDS else 2) + extra_delay
+        sink = self._direct_sink
+        if sink is not None and sink(out_port, char, due + 1):
+            return
+        self._queue(out_port, char, due)
+
+    def _queue(self, out_port: int, char: Char, due: int) -> None:
+        """Rest ``char`` in the outbox until ``due``."""
         self._outbox.append(OutboxEntry(due, out_port, char, self._seq))
         self._seq += 1
         if self._next_due is None or due < self._next_due:
             self._next_due = due
+        if due > self._max_due:
+            self._max_due = due
 
     def broadcast(self, char: Char, *, extra_delay: int = 0) -> None:
         """Send ``char`` through every connected out-port."""
         assert self.ctx is not None
+        due = self._tick + (0 if char.kind in SPEED3_KINDS else 2) + extra_delay
+        many = self._direct_broadcast
+        if many is not None and many(self.ctx.out_ports, char, due + 1):
+            return
         for port in self.ctx.out_ports:
-            self.send(port, char, extra_delay=extra_delay)
+            self._queue(port, char, due)
 
     def purge_outbox(self, predicate: Callable[[Char], bool]) -> int:
         """Erase resting characters matching ``predicate``; return count.
 
         This is the KILL token's "eradicate all traces ... characters"
         action applied to characters currently resting in this processor.
+        With an engine-installed direct sink, "resting here" extends to the
+        characters the sink has pre-scheduled whose departure tick has not
+        yet passed — the purge hook erases those from the delivery queue,
+        so timing-observable behaviour is identical to outbox residence.
         """
         before = len(self._outbox)
         self._outbox = [e for e in self._outbox if not predicate(e.char)]
-        self._next_due = (
-            min(e.due_tick for e in self._outbox) if self._outbox else None
-        )
-        return before - len(self._outbox)
+        if self._outbox:
+            self._next_due = min(e.due_tick for e in self._outbox)
+            self._max_due = max(e.due_tick for e in self._outbox)
+        else:
+            self._next_due = None
+            self._max_due = 0
+        removed = before - len(self._outbox)
+        hook = self._purge_hook
+        if hook is not None:
+            removed += hook(predicate)
+        return removed
 
     def outbox_chars(self) -> Iterable[Char]:
         """The characters currently resting here (for invariant checks)."""

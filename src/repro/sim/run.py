@@ -13,6 +13,18 @@ The pair is deliberately engine-agnostic: anything exposing the
 :class:`~repro.sim.engine.Engine` run surface (``start``/``step_tick``/
 ``run``/``run_to_idle``/``tick``/``transcript``/``metrics``) can be
 orchestrated, which is how the dynamic engine reuses it unchanged.
+
+This module also owns the **backend registry**: the paper's semantics have
+two interchangeable engine implementations — the original object backend
+(:class:`~repro.sim.engine.Engine`) and the compiled flat-core backend
+(:class:`~repro.sim.flatcore.FlatEngine`), which lowers topology and
+alphabet into dense integer tables.  Every front-end resolves its engine
+through :func:`make_engine`, so ``backend="object" | "flat"`` threads from
+the CLI and the campaign matrix all the way down without any front-end
+knowing a concrete engine class.  The two backends are tick-exact
+equivalent (transcripts, tick counts and traffic metrics are identical;
+the differential parity suite enforces it) — ``flat`` is simply faster on
+large runs, ``object`` is the reference implementation.
 """
 
 from __future__ import annotations
@@ -20,12 +32,67 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.errors import TickBudgetExceeded
+from repro.errors import ReproError, TickBudgetExceeded
 from repro.sim.engine import Engine
+from repro.sim.flatcore import FlatEngine
 from repro.sim.metrics import TrafficMetrics
+from repro.sim.processor import Processor
 from repro.sim.transcript import Transcript
+from repro.topology.portgraph import PortGraph
 
-__all__ = ["RunConfig", "RunResult", "execute_run"]
+__all__ = [
+    "DEFAULT_BACKEND",
+    "ENGINE_BACKENDS",
+    "make_engine",
+    "backend_of",
+    "check_backend",
+    "RunConfig",
+    "RunResult",
+    "execute_run",
+]
+
+#: The reference backend; campaigns and stores treat it as the implied
+#: default (its spec hashes predate the backend axis and must not move).
+DEFAULT_BACKEND = "object"
+
+#: name -> engine class implementing the :class:`Engine` run surface.
+ENGINE_BACKENDS: dict[str, type[Engine]] = {
+    "object": Engine,
+    "flat": FlatEngine,
+}
+
+
+def check_backend(backend: str) -> str:
+    """Validate a backend name against the registry; returns it unchanged."""
+    if backend not in ENGINE_BACKENDS:
+        raise ReproError(
+            f"unknown engine backend {backend!r}; known: {sorted(ENGINE_BACKENDS)}"
+        )
+    return backend
+
+
+def make_engine(
+    backend: str,
+    graph: PortGraph,
+    processors: list[Processor],
+    *,
+    root: int = 0,
+    record_transcript: bool = True,
+) -> Engine:
+    """Build the engine for ``backend`` (``"object"`` or ``"flat"``)."""
+    cls = ENGINE_BACKENDS[check_backend(backend)]
+    return cls(graph, processors, root=root, record_transcript=record_transcript)
+
+
+def backend_of(engine: Engine) -> str:
+    """The backend name an engine instance implements.
+
+    Classifies by instance type so backend subclasses (the dynamic
+    engines) resolve to their data plane: anything built on
+    :class:`FlatEngine` is ``"flat"``, every other :class:`Engine` is
+    ``"object"``.
+    """
+    return "flat" if isinstance(engine, FlatEngine) else "object"
 
 
 @dataclass(frozen=True)
@@ -48,6 +115,12 @@ class RunConfig:
             after each step).  Setting it forces the orchestrator onto the
             exact single-step path — the cleanup-invariant runner uses it
             to sweep the network after every completed RCA/BCA.
+        backend: which engine backend the run executes on (``"object"`` or
+            ``"flat"``).  Front-ends resolve it through :func:`make_engine`
+            before calling :func:`execute_run`, which then *checks* the
+            engine it was handed actually is of the declared backend — a
+            config that says ``flat`` cannot silently run on an object
+            engine.
     """
 
     max_ticks: int
@@ -56,6 +129,10 @@ class RunConfig:
     drain: bool = True
     drain_slack: int = 1000
     after_tick: Callable[[Engine], None] | None = field(default=None, compare=False)
+    backend: str = DEFAULT_BACKEND
+
+    def __post_init__(self) -> None:
+        check_backend(self.backend)
 
 
 @dataclass
@@ -92,6 +169,13 @@ def execute_run(engine: Engine, config: RunConfig) -> RunResult:
     the engine is left at the tick it reached (callers that classify
     deadlocks read ``engine.tick`` from the exception site).
     """
+    actual = backend_of(engine)
+    if actual != config.backend:
+        raise ReproError(
+            f"run config declares backend {config.backend!r} but the engine "
+            f"is {type(engine).__name__} ({actual!r}); build it through "
+            f"make_engine(config.backend, ...)"
+        )
     if config.start:
         engine.start()
     if config.after_tick is not None:

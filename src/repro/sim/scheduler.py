@@ -36,7 +36,7 @@ loop jumps straight to the right handler instead of walking an
 
 from __future__ import annotations
 
-from heapq import heappop, heappush
+from heapq import heapify, heappop, heappush
 from typing import TYPE_CHECKING, Callable, Iterator
 
 from repro.sim.characters import (
@@ -104,33 +104,57 @@ class EventWheel:
     ``schedule`` files a character for delivery to ``(node, in_port)`` at an
     absolute tick; ``pop`` hands back everything due at a tick, grouped by
     node, as sortable ``(priority, in_port, seq, char)`` tuples.
+
+    Buckets and their per-node lists are recycled: the engine hands a
+    delivered bucket back through :meth:`recycle`, which clears it into a
+    free pool instead of leaving it for the allocator — steady-state ticks
+    then reuse the same dict and list objects over and over.  Callers that
+    never recycle (tests, one-shot inspection) simply forgo the reuse.
     """
 
-    __slots__ = ("_buckets", "_ticks", "_seq")
+    __slots__ = ("_buckets", "_ticks", "_seq", "_bucket_pool", "_list_pool")
 
     def __init__(self) -> None:
         # tick -> node -> [(priority, in_port, seq, char), ...]
         self._buckets: dict[int, dict[int, list[tuple[int, int, int, Char]]]] = {}
         self._ticks: list[int] = []  # min-heap of bucket keys (lazily cleaned)
         self._seq = 0
+        self._bucket_pool: list[dict] = []
+        self._list_pool: list[list] = []
 
     def schedule(self, tick: int, node: int, in_port: int, char: Char) -> None:
         """File ``char`` for delivery at ``tick`` through ``in_port``."""
         bucket = self._buckets.get(tick)
         if bucket is None:
-            bucket = self._buckets[tick] = {}
+            pool = self._bucket_pool
+            bucket = self._buckets[tick] = pool.pop() if pool else {}
             heappush(self._ticks, tick)
         entry = (KIND_PRIORITY[char.kind], in_port, self._seq, char)
         self._seq += 1
         items = bucket.get(node)
         if items is None:
-            bucket[node] = [entry]
+            pool = self._list_pool
+            if pool:
+                items = pool.pop()
+                items.append(entry)
+            else:
+                items = [entry]
+            bucket[node] = items
         else:
             items.append(entry)
 
     def pop(self, tick: int) -> dict[int, list[tuple[int, int, int, Char]]] | None:
         """Remove and return the arrivals bucket for ``tick`` (or ``None``)."""
         return self._buckets.pop(tick, None)
+
+    def recycle(self, bucket: dict[int, list]) -> None:
+        """Clear a popped, fully-delivered bucket into the free pools."""
+        list_pool = self._list_pool
+        for items in bucket.values():
+            del items[:]
+            list_pool.append(items)
+        bucket.clear()
+        self._bucket_pool.append(bucket)
 
     def next_tick(self) -> int | None:
         """The earliest tick holding scheduled arrivals, or ``None``."""
@@ -163,9 +187,22 @@ class ActiveSet:
     exposes it as ``engine._live`` for the invariant sweeps).  The due-heap
     is lazily invalidated: an entry may be stale (the node drained or went
     idle since the push), which costs one wasted pop, never a missed event.
+
+    Long dynamic runs push far more entries than they pop in order, so the
+    heap is **compacted** whenever the stale entries outnumber the live
+    nodes two to one: only the earliest recorded entry per live node
+    survives.  That entry is at or before the node's true next due tick
+    (the truth was pushed at the node's latest update), so compaction keeps
+    the no-missed-event guarantee and merely trades the dead weight for at
+    most one extra empty drain per node.
     """
 
     __slots__ = ("live", "_due")
+
+    #: Compaction trigger: heap longer than both this floor and twice the
+    #: live set.  The floor keeps tiny simulations from compacting a
+    #: 10-entry heap every tick.
+    COMPACT_MIN = 64
 
     def __init__(self) -> None:
         self.live: set[int] = set()
@@ -177,7 +214,22 @@ class ActiveSet:
             self.live.discard(node)
         else:
             self.live.add(node)
-            heappush(self._due, (next_due, node))
+            due = self._due
+            heappush(due, (next_due, node))
+            if len(due) > self.COMPACT_MIN and len(due) > 2 * len(self.live):
+                self._compact()
+
+    def _compact(self) -> None:
+        """Drop stale heap entries, keeping the earliest per live node."""
+        live = self.live
+        best: dict[int, int] = {}
+        for due_tick, node in self._due:
+            if node in live:
+                cur = best.get(node)
+                if cur is None or due_tick < cur:
+                    best[node] = due_tick
+        self._due = [(due_tick, node) for node, due_tick in best.items()]
+        heapify(self._due)
 
     def take_due(self, tick: int) -> set[int]:
         """Pop and return every node with a (possibly stale) entry due by ``tick``."""

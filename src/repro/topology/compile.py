@@ -1,0 +1,102 @@
+"""Lower a frozen :class:`PortGraph` into flat integer tables.
+
+The object engine resolves every emission through ``dict`` lookups on
+per-node ``{out_port: Wire}`` maps.  For the flat-core backend
+(:mod:`repro.sim.flatcore`) the wiring is compiled **once per run** into
+dense ``array('q')`` tables, so the hot loop resolves a wire with two
+integer indexings and no hashing:
+
+* ``wire_dst`` / ``wire_in_port`` — port-indexed tables of length
+  ``num_nodes * (delta + 1)``.  Slot ``node * stride + out_port`` holds the
+  destination node and its in-port, or ``-1`` for an unconnected out-port
+  (port 0 is unused; keeping it makes the slot arithmetic a single
+  multiply-add).
+* ``out_start`` / ``out_ports`` — a CSR pair: node ``u``'s connected
+  out-ports are ``out_ports[out_start[u]:out_start[u+1]]``, ascending.
+  ``in_start`` / ``in_ports`` is the same for in-ports.
+
+The compilation is a pure function of the frozen graph; the compiled form
+never mutates (the dynamic backend layers its cut/add overlays *on top*,
+exactly as the object backend overlays the base graph).
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.topology.portgraph import PortGraph
+
+__all__ = ["CompiledTopology", "compile_topology"]
+
+
+@dataclass(frozen=True)
+class CompiledTopology:
+    """A frozen :class:`PortGraph` as dense integer tables (read-only)."""
+
+    num_nodes: int
+    delta: int
+    stride: int                # slot(node, out_port) = node * stride + out_port
+    wire_dst: array            # slot -> destination node, -1 if unconnected
+    wire_in_port: array        # slot -> destination in-port, -1 if unconnected
+    out_start: array           # CSR offsets into out_ports, length num_nodes + 1
+    out_ports: array           # concatenated connected out-ports, ascending per node
+    in_start: array            # CSR offsets into in_ports, length num_nodes + 1
+    in_ports: array            # concatenated connected in-ports, ascending per node
+
+    # ------------------------------------------------------------------
+    # conveniences (cold paths only; the hot loop indexes the arrays)
+    # ------------------------------------------------------------------
+    def dst_of(self, node: int, out_port: int) -> tuple[int, int] | None:
+        """``(dst, in_port)`` for a wired out-port, else ``None``."""
+        slot = node * self.stride + out_port
+        dst = self.wire_dst[slot]
+        if dst < 0:
+            return None
+        return dst, self.wire_in_port[slot]
+
+    def out_ports_of(self, node: int) -> tuple[int, ...]:
+        """Connected out-ports of ``node``, ascending (CSR slice)."""
+        return tuple(self.out_ports[self.out_start[node]:self.out_start[node + 1]])
+
+    def in_ports_of(self, node: int) -> tuple[int, ...]:
+        """Connected in-ports of ``node``, ascending (CSR slice)."""
+        return tuple(self.in_ports[self.in_start[node]:self.in_start[node + 1]])
+
+
+def compile_topology(graph: PortGraph) -> CompiledTopology:
+    """Compile a frozen graph into :class:`CompiledTopology` tables."""
+    if not graph.frozen:
+        raise SimulationError("can only compile a frozen PortGraph")
+    n = graph.num_nodes
+    delta = graph.delta
+    stride = delta + 1
+    wire_dst = array("q", [-1]) * (n * stride)
+    wire_in_port = array("q", [-1]) * (n * stride)
+    for wire in graph.wires():
+        slot = wire.src * stride + wire.out_port
+        wire_dst[slot] = wire.dst
+        wire_in_port[slot] = wire.in_port
+
+    out_start = array("q", [0]) * (n + 1)
+    in_start = array("q", [0]) * (n + 1)
+    out_ports = array("q")
+    in_ports = array("q")
+    for node in range(n):
+        out_ports.extend(graph.connected_out_ports(node))
+        in_ports.extend(graph.connected_in_ports(node))
+        out_start[node + 1] = len(out_ports)
+        in_start[node + 1] = len(in_ports)
+
+    return CompiledTopology(
+        num_nodes=n,
+        delta=delta,
+        stride=stride,
+        wire_dst=wire_dst,
+        wire_in_port=wire_in_port,
+        out_start=out_start,
+        out_ports=out_ports,
+        in_start=in_start,
+        in_ports=in_ports,
+    )

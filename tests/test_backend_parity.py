@@ -1,0 +1,164 @@
+"""Differential parity: the flat backend must equal the object backend.
+
+The correctness contract of the compiled flat-core backend is *exact*
+equivalence with the reference object engine — byte-identical root
+transcripts, equal tick counts, equal traffic metrics — on every protocol
+workload.  These tests enforce it differentially: each case runs twice,
+once per backend, and the outputs are compared bit for bit.
+
+The fuzz sweep covers the campaign axes (family × size × fault × seed),
+including randomly generated strongly-connected topologies.  A deeper
+sweep (more seeds, larger networks) runs when ``REPRO_PARITY_FUZZ=1`` —
+the CI py3.12 matrix leg sets it.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.campaigns.executor import run_scenario
+from repro.campaigns.spec import Scenario, build_family
+from repro.protocol.bca import run_single_bca
+from repro.protocol.rca import run_single_rca
+from repro.protocol.runner import determine_topology
+from repro.sim.transcript import Transcript
+from repro.topology import generators
+
+
+def transcript_bytes(transcript: Transcript) -> bytes:
+    """A canonical byte serialization of a root transcript."""
+    return "\n".join(repr(event) for event in transcript.events()).encode()
+
+
+def assert_same_run(a, b) -> None:
+    """Both TopologyResults must agree on every observable."""
+    assert a.ticks == b.ticks
+    assert a.drained_ticks == b.drained_ticks
+    assert transcript_bytes(a.transcript) == transcript_bytes(b.transcript)
+    assert a.metrics.delivered == b.metrics.delivered
+    assert a.metrics.emitted == b.metrics.emitted
+    assert a.rca_runs == b.rca_runs
+    assert a.bca_runs == b.bca_runs
+    assert a.recovered.to_portgraph(delta=a.graph.delta) == b.recovered.to_portgraph(
+        delta=b.graph.delta
+    )
+
+
+# ----------------------------------------------------------------------
+# full-protocol parity on healthy networks
+# ----------------------------------------------------------------------
+GTD_CASES = [
+    ("de-bruijn", 16, 0),
+    ("bidirectional-ring", 9, 0),
+    ("hypercube", 8, 0),
+    ("directed-torus", 9, 0),
+    ("tree-with-loop", 7, 1),
+    ("manhattan", 9, 0),
+    ("random", 10, 3),
+    ("random", 14, 7),
+]
+
+
+@pytest.mark.parametrize("family,size,seed", GTD_CASES)
+def test_gtd_transcript_parity(family, size, seed):
+    graph = build_family(family, size, seed)
+    obj = determine_topology(graph, backend="object")
+    flat = determine_topology(graph, backend="flat")
+    assert_same_run(obj, flat)
+    assert flat.matches(graph)
+
+
+def test_gtd_parity_with_cleanup_verification():
+    """The after_tick single-step path must also be tick-exact."""
+    graph = generators.de_bruijn(2, 3)
+    obj = determine_topology(graph, backend="object", verify_cleanup=True)
+    flat = determine_topology(graph, backend="flat", verify_cleanup=True)
+    assert_same_run(obj, flat)
+
+
+def test_gtd_parity_nondefault_root():
+    graph = generators.de_bruijn(2, 4)
+    obj = determine_topology(graph, backend="object", root=5)
+    flat = determine_topology(graph, backend="flat", root=5)
+    assert_same_run(obj, flat)
+
+
+# ----------------------------------------------------------------------
+# scripted drivers
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("initiator", [1, 11, 23])
+def test_single_rca_parity(initiator):
+    graph = generators.bidirectional_line(24)
+    obj = run_single_rca(graph, initiator=initiator, backend="object")
+    flat = run_single_rca(graph, initiator=initiator, backend="flat")
+    assert obj.ticks == flat.ticks
+    assert obj.completed_at == flat.completed_at
+    assert transcript_bytes(obj.transcript) == transcript_bytes(flat.transcript)
+    assert obj.engine.metrics.delivered == flat.engine.metrics.delivered
+
+
+def test_single_bca_parity():
+    graph = generators.bidirectional_ring(8)
+    obj = run_single_bca(graph, 3, 1, backend="object")
+    flat = run_single_bca(graph, 3, 1, backend="flat")
+    assert obj.delivered_at == flat.delivered_at
+    assert obj.initiator_done_at == flat.initiator_done_at
+    assert obj.target_resumed_at == flat.target_resumed_at
+    assert obj.ticks == flat.ticks
+
+
+# ----------------------------------------------------------------------
+# the campaign-axes fuzz sweep (family × size × fault × seed)
+# ----------------------------------------------------------------------
+def _fuzz_matrix():
+    families = ["random", "de-bruijn", "spare-ring"]
+    sizes = [8, 12]
+    faults = ["none", "shutdown:0.15", "cut:0.4"]
+    seeds = [0, 1]
+    if os.environ.get("REPRO_PARITY_FUZZ") == "1":
+        families += ["tree-with-loop", "ring-of-rings", "bidirectional-line"]
+        sizes += [18, 24]
+        faults += ["shutdown:0.3", "cut:0.8", "add:0.5"]
+        seeds += [2, 3, 4]
+    for family in families:
+        for size in sizes:
+            for fault in faults:
+                # 'add' needs free ports; restrict it to the spare-ring
+                if fault.startswith("add") and family != "spare-ring":
+                    continue
+                for seed in seeds:
+                    yield family, size, fault, seed
+
+
+@pytest.mark.parametrize("family,size,fault,seed", list(_fuzz_matrix()))
+def test_campaign_cell_parity(family, size, fault, seed):
+    """run_scenario is a pure function of the scenario modulo the backend."""
+    obj = run_scenario(
+        Scenario(family=family, size=size, fault=fault, seed=seed, backend="object")
+    )
+    flat = run_scenario(
+        Scenario(family=family, size=size, fault=fault, seed=seed, backend="flat")
+    )
+    assert obj.outcome == flat.outcome
+    assert obj.ticks == flat.ticks
+    assert obj.drained_ticks == flat.drained_ticks
+    assert obj.hops == flat.hops
+    assert obj.rca_runs == flat.rca_runs
+    assert obj.bca_runs == flat.bca_runs
+    assert obj.by_family == flat.by_family
+    assert obj.episodes == flat.episodes
+    assert obj.lost_characters == flat.lost_characters
+
+
+def test_backend_cells_hash_distinctly_but_default_is_stable():
+    """The store must keep per-backend cells apart — and old keys intact."""
+    base = Scenario("de-bruijn", 8)
+    flat = Scenario("de-bruijn", 8, backend="flat")
+    explicit = Scenario("de-bruijn", 8, backend="object")
+    assert base.spec_hash() != flat.spec_hash()
+    # the default backend hashes exactly as scenarios did before the axis
+    assert base.spec_hash() == explicit.spec_hash()
+    assert "backend" not in base.canonical()
+    assert flat.canonical()["backend"] == "flat"

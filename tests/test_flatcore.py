@@ -1,0 +1,274 @@
+"""The compiled flat-core backend: CSR lowering, interning, packed wheel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.protocol.gtd import GTDProcessor
+from repro.protocol.rca import run_single_rca
+from repro.sim.characters import (
+    Char,
+    CharInterner,
+    alphabet_size,
+    enumerate_alphabet,
+    make_body,
+    make_head,
+)
+from repro.sim.flatcore import (
+    CODE_MASK,
+    PORT_MASK,
+    PORT_SHIFT,
+    PRIO_SHIFT,
+    FlatEngine,
+    PackedEventWheel,
+)
+from repro.sim.run import ENGINE_BACKENDS, RunConfig, make_engine
+from repro.sim.scheduler import KIND_PRIORITY
+from repro.topology import generators
+from repro.topology.builder import PortGraphBuilder
+from repro.topology.compile import compile_topology
+from repro.topology.portgraph import PortGraph
+
+
+# ----------------------------------------------------------------------
+# topology compilation
+# ----------------------------------------------------------------------
+class TestCompileTopology:
+    def test_requires_frozen_graph(self):
+        graph = PortGraph(2, 2)
+        graph.add_wire(0, 1, 1, 1)
+        graph.add_wire(1, 1, 0, 1)
+        with pytest.raises(SimulationError):
+            compile_topology(graph)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_tables_match_portgraph(self, seed):
+        graph = generators.random_strongly_connected(12, extra_edges=12, seed=seed)
+        topo = compile_topology(graph)
+        assert topo.num_nodes == graph.num_nodes
+        assert topo.delta == graph.delta
+        for node in graph.nodes():
+            assert topo.out_ports_of(node) == graph.connected_out_ports(node)
+            assert topo.in_ports_of(node) == graph.connected_in_ports(node)
+            for port in range(1, graph.delta + 1):
+                wire = graph.out_wire(node, port)
+                got = topo.dst_of(node, port)
+                if wire is None:
+                    assert got is None
+                else:
+                    assert got == (wire.dst, wire.in_port)
+
+    def test_unconnected_slots_are_negative(self):
+        graph = generators.directed_ring(4)
+        topo = compile_topology(graph)
+        # a directed ring uses out-port 1 only; port 2 slots stay -1
+        for node in graph.nodes():
+            assert topo.wire_dst[node * topo.stride + 2] == -1
+
+
+# ----------------------------------------------------------------------
+# the interned alphabet
+# ----------------------------------------------------------------------
+class TestAlphabet:
+    @pytest.mark.parametrize("delta", [2, 3, 5, 8])
+    def test_enumeration_realizes_the_census(self, delta):
+        chars = enumerate_alphabet(delta)
+        # the census counts the blank; the enumeration materializes the rest
+        assert len(chars) == alphabet_size(delta) - 1
+        assert len(set(chars)) == len(chars)  # no duplicates
+
+    def test_enumeration_is_deterministic(self):
+        assert enumerate_alphabet(3) == enumerate_alphabet(3)
+
+    def test_delta_below_two_rejected(self):
+        with pytest.raises(ValueError):
+            enumerate_alphabet(1)
+
+    def test_interner_round_trips_whole_alphabet(self):
+        interner = CharInterner(3)
+        for char in list(interner.chars):
+            code = interner.encode(char)
+            assert interner.decode(code) == char
+            assert interner.decode(code) is interner.decode(code)  # canonical
+
+    def test_interner_handles_unknown_characters(self):
+        interner = CharInterner(2)
+        size_before = len(interner)
+        exotic = Char("BDT", payload="PING")  # payload outside the census
+        code = interner.encode(exotic)
+        assert code == size_before
+        assert interner.decode(code) == exotic
+        assert interner.encode(Char("BDT", payload="PING")) == code  # stable
+
+
+# ----------------------------------------------------------------------
+# the packed event wheel
+# ----------------------------------------------------------------------
+def _kinds_of(wheel: PackedEventWheel, bucket, node: int) -> list[str]:
+    lane = sorted(bucket.lanes[node])
+    return [wheel.chars[packed & CODE_MASK].kind for packed in lane]
+
+
+class TestPackedEventWheel:
+    def test_sort_order_is_priority_then_port_then_fifo(self):
+        wheel = PackedEventWheel(CharInterner(2))
+        wheel.schedule(5, 0, 2, Char("DFS"))
+        wheel.schedule(5, 0, 1, Char("IGH"))
+        wheel.schedule(5, 0, 1, Char("KILL"))
+        wheel.schedule(5, 0, 2, Char("IDH"))
+        bucket = wheel.pop(5)
+        assert _kinds_of(wheel, bucket, 0) == ["KILL", "IDH", "IGH", "DFS"]
+
+    def test_fifo_breaks_ties_within_port_and_priority(self):
+        wheel = PackedEventWheel(CharInterner(2))
+        first = make_body("IG", 1)
+        second = make_body("IG", 2)
+        wheel.schedule(3, 7, 1, first)
+        wheel.schedule(3, 7, 1, second)
+        bucket = wheel.pop(3)
+        lane = sorted(bucket.lanes[7])
+        chars = [wheel.chars[p & CODE_MASK] for p in lane]
+        assert chars == [first, second]
+
+    def test_packed_entry_fields_round_trip(self):
+        wheel = PackedEventWheel(CharInterner(3))
+        wheel.schedule(1, 4, 3, Char("UNMARK", payload="RCA"))
+        bucket = wheel.pop(1)
+        packed = bucket.lanes[4][0]
+        assert (packed >> PORT_SHIFT) & PORT_MASK == 3
+        assert wheel.chars[packed & CODE_MASK] == Char("UNMARK", payload="RCA")
+        assert packed >> PRIO_SHIFT == KIND_PRIORITY["UNMARK"]
+
+    def test_next_tick_and_emptiness(self):
+        wheel = PackedEventWheel(CharInterner(2))
+        assert wheel.next_tick() is None
+        wheel.schedule(9, 0, 1, Char("DFS"))
+        wheel.schedule(4, 1, 1, Char("DFS"))
+        assert wheel.next_tick() == 4
+        wheel.pop(4)
+        assert wheel.next_tick() == 9
+        wheel.pop(9)
+        assert wheel.next_tick() is None
+        assert not wheel
+
+    def test_in_flight_lists_all_scheduled(self):
+        wheel = PackedEventWheel(CharInterner(2))
+        wheel.schedule(1, 0, 1, Char("DFS"))
+        wheel.schedule(2, 3, 1, Char("KILL"))
+        assert sorted(node for node, _ in wheel.in_flight()) == [0, 3]
+        assert len(wheel) == 2
+        kinds = sorted(char.kind for _, char in wheel.in_flight())
+        assert kinds == ["DFS", "KILL"]
+
+    def test_recycled_bucket_is_reused(self):
+        wheel = PackedEventWheel(CharInterner(2))
+        wheel.schedule(1, 0, 1, Char("DFS"))
+        bucket = wheel.pop(1)
+        wheel.recycle(bucket)
+        wheel.schedule(2, 5, 1, Char("BACK"))
+        assert wheel._buckets[2] is bucket  # same object, cleared
+        assert _kinds_of(wheel, wheel.pop(2), 5) == ["BACK"]
+
+
+# ----------------------------------------------------------------------
+# the engine itself
+# ----------------------------------------------------------------------
+class TestFlatEngine:
+    def test_registered_as_flat_backend(self):
+        assert ENGINE_BACKENDS["flat"] is FlatEngine
+
+    def test_requires_frozen_graph(self):
+        graph = PortGraph(2, 2)
+        graph.add_wire(0, 1, 1, 1)
+        graph.add_wire(1, 1, 0, 1)
+        with pytest.raises(SimulationError):
+            FlatEngine(graph, [GTDProcessor(), GTDProcessor()])
+
+    def test_unconnected_emission_raises(self):
+        b = PortGraphBuilder(2)
+        graph = b.connect(0, 1).connect(1, 0).build()
+        engine = FlatEngine(graph, [GTDProcessor(), GTDProcessor()])
+        proc = engine.processors[1]
+        proc.begin_tick(0)
+        with pytest.raises(SimulationError):
+            proc.send(2, make_head("IG", 2))  # port 2 is unwired
+
+    def test_single_rca_runs_and_drains(self):
+        graph = generators.bidirectional_line(8)
+        result = run_single_rca(graph, initiator=7, backend="flat")
+        assert result.completed_at > 0
+        assert result.engine.is_idle()
+        assert isinstance(result.engine, FlatEngine)
+
+    def test_run_config_rejects_unknown_backend(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            RunConfig(max_ticks=10, backend="warp")
+
+    def test_make_engine_rejects_unknown_backend(self):
+        from repro.errors import ReproError
+
+        graph = generators.directed_ring(3)
+        with pytest.raises(ReproError):
+            make_engine("warp", graph, [GTDProcessor() for _ in range(3)])
+
+    def test_purge_hook_erases_scheduled_growing_chars(self):
+        """A KILL purge reaches characters the sink pre-scheduled."""
+        b = PortGraphBuilder(2)
+        graph = b.connect(0, 1).connect(1, 0).build()
+        engine = FlatEngine(graph, [GTDProcessor(), GTDProcessor()])
+        proc = engine.processors[1]
+        assert proc._direct_sink is not None  # sink installed (non-root GTD)
+        proc.begin_tick(engine.tick)
+        proc.send(1, make_head("IG", 1))       # growing: direct-scheduled
+        assert len(engine._wheel) == 1
+        removed = proc.purge_outbox(lambda c: c.kind.startswith("IG"))
+        assert removed == 1
+        assert len(engine._wheel) == 0
+        # the emission counter was rolled back: purged chars never count
+        assert engine.metrics.emitted.get("IGH", 0) == 0
+
+    def test_root_keeps_outbox_semantics(self):
+        """The root records sends at drain time, so it gets no sink."""
+        b = PortGraphBuilder(2)
+        graph = b.connect(0, 1).connect(1, 0).build()
+        engine = FlatEngine(graph, [GTDProcessor(), GTDProcessor()], root=0)
+        assert engine.processors[0]._direct_sink is None
+        assert engine.processors[1]._direct_sink is not None
+
+    def test_purging_last_traffic_leaves_wheel_idle(self):
+        """A purge that empties a bucket must not strand it in the wheel.
+
+        Regression: an emptied-but-present bucket kept ``is_idle`` False
+        and made ``run_to_idle`` step to a tick where nothing happens — a
+        tick-count divergence from the object backend.
+        """
+        b = PortGraphBuilder(2)
+        graph = b.connect(0, 1).connect(1, 0).build()
+        engine = FlatEngine(graph, [GTDProcessor(), GTDProcessor()])
+        proc = engine.processors[1]
+        proc.begin_tick(engine.tick)
+        proc.send(1, make_head("IG", 1))  # direct-scheduled growing char
+        assert not engine.is_idle()
+        assert proc.purge_outbox(lambda c: c.kind.startswith("IG")) == 1
+        assert engine.is_idle()
+        assert engine._wheel.next_tick() is None
+
+    def test_execute_run_rejects_backend_mismatch(self):
+        from repro.errors import ReproError
+        from repro.sim.run import execute_run
+
+        graph = generators.directed_ring(3)
+        engine = make_engine("flat", graph, [GTDProcessor() for _ in range(3)])
+        with pytest.raises(ReproError):
+            execute_run(engine, RunConfig(max_ticks=10, backend="object"))
+
+    def test_metrics_rebuild_is_idempotent(self):
+        graph = generators.bidirectional_line(6)
+        result = run_single_rca(graph, initiator=5, backend="flat")
+        first = dict(result.engine.metrics.delivered)
+        assert sum(first.values()) > 0
+        again = result.engine.metrics  # property re-flushes from scratch
+        assert dict(again.delivered) == first

@@ -148,6 +148,60 @@ class TestActiveSet:
         assert active.take_due(5) == {1}
         assert active.next_due() is None
 
+    def test_heap_compacts_when_stale_entries_dominate(self):
+        """Long runs must not grow the due-heap unboundedly (satellite)."""
+        active = ActiveSet()
+        # one live node, repeatedly re-pushed with ever-later dues: the
+        # lazily-invalidated heap would keep every stale entry forever
+        for due in range(3 * ActiveSet.COMPACT_MIN):
+            active.update(7, due)
+        # without compaction the heap would hold all 3*COMPACT_MIN pushes;
+        # with it, the length is bounded by the compaction floor
+        assert len(active._due) <= ActiveSet.COMPACT_MIN + 1
+        assert active.live == {7}
+        # compaction keeps an entry at or before the true next due
+        assert active.next_due() is not None
+        assert active.next_due() <= 3 * ActiveSet.COMPACT_MIN - 1
+
+    def test_compaction_never_loses_a_live_node(self):
+        active = ActiveSet()
+        nodes = range(10)
+        for round_ in range(50):
+            for node in nodes:
+                active.update(node, 100 + round_)
+        # every live node still has a due entry (possibly stale-early)
+        popped = active.take_due(10_000)
+        assert popped == set(nodes)
+
+
+class TestEventWheelRecycling:
+    def test_recycle_reuses_buckets_and_lists(self):
+        wheel = EventWheel()
+        wheel.schedule(1, 0, 1, Char("DFS"))
+        wheel.schedule(1, 0, 2, Char("BACK"))
+        bucket = wheel.pop(1)
+        items = bucket[0]
+        wheel.recycle(bucket)
+        assert len(wheel) == 0
+        # the same dict (and its inner list) come back into service
+        wheel.schedule(2, 3, 1, Char("KILL"))
+        assert wheel._buckets[2] is bucket
+        assert bucket[3] is items  # recycled list, now holding the new entry
+        assert len(bucket[3]) == 1
+
+    def test_recycled_wheel_keeps_delivery_order(self):
+        wheel = EventWheel()
+        wheel.schedule(1, 0, 1, Char("DFS"))
+        wheel.recycle(wheel.pop(1))
+        wheel.schedule(2, 0, 2, Char("DFS"))
+        wheel.schedule(2, 0, 1, Char("KILL"))
+        items = wheel.pop(2)[0]
+        items.sort()
+        assert [(port, c.kind) for _, port, _, c in items] == [
+            (1, "KILL"),
+            (2, "DFS"),
+        ]
+
 
 class StarterRoot(Recorder):
     def __init__(self, char: Char, out_port: int = 1) -> None:
