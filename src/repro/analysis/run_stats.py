@@ -27,6 +27,7 @@ __all__ = [
     "RcaEpisode",
     "rca_episodes",
     "episode_scaling",
+    "phase_outcome_counts",
     "CampaignStats",
     "aggregate_stats",
 ]
@@ -119,6 +120,28 @@ def episode_scaling(episodes: list[RcaEpisode]) -> FitResult:
 # ----------------------------------------------------------------------
 # campaign-level aggregates
 # ----------------------------------------------------------------------
+def phase_outcome_counts(results: Iterable) -> tuple[tuple[str, str, int], ...]:
+    """Outcome counts keyed by timeline phase: ``(phase, outcome, count)``.
+
+    Accepts anything with ``.phase`` / ``.outcome`` attributes — a
+    :class:`~repro.dynamics.experiment.DynamicRunResult` (whose outcome is
+    an enum) or a campaign ``ScenarioResult`` (plain string).  Results
+    without a phase (static scenarios, legacy single-mutation cells) are
+    skipped: the table answers "*when* in the perturbation program did runs
+    end, and how", which only timeline runs can say.
+    """
+    counts: Counter[tuple[str, str]] = Counter()
+    for r in results:
+        phase = getattr(r, "phase", "")
+        if not phase:
+            continue
+        outcome = r.outcome
+        counts[(phase, getattr(outcome, "value", outcome))] += 1
+    return tuple(
+        (phase, outcome, n) for (phase, outcome), n in sorted(counts.items())
+    )
+
+
 @dataclass(frozen=True)
 class CampaignStats:
     """Order-insensitive aggregate of a set of scenario results.
@@ -139,6 +162,9 @@ class CampaignStats:
     lost_characters: int
     episode_count: int
     fit: FitResult | None
+    #: timeline-phase outcome table: (phase, outcome, count), sorted;
+    #: empty when the matrix has no timeline cells
+    phase_outcomes: tuple[tuple[str, str, int], ...] = ()
 
     @property
     def ok_fraction(self) -> float:
@@ -165,6 +191,7 @@ class CampaignStats:
                 "intercept": self.fit.intercept,
                 "r_squared": self.fit.r_squared,
             },
+            "phase_outcomes": [list(row) for row in self.phase_outcomes],
         }
         return json.dumps(doc, sort_keys=True, separators=(",", ":"))
 
@@ -193,4 +220,5 @@ def aggregate_stats(results: Iterable) -> CampaignStats:
         lost_characters=sum(r.lost_characters for r in results),
         episode_count=len(episodes),
         fit=fit,
+        phase_outcomes=phase_outcome_counts(results),
     )

@@ -42,8 +42,12 @@ from repro.dynamics.engine import WireMutation
 from repro.dynamics.experiment import run_dynamic_gtd
 from repro.errors import ReproError, TickBudgetExceeded, TranscriptError
 from repro.protocol.runner import determine_topology
-from repro.topology.faults import shutdown_out_ports
-from repro.topology.portgraph import PortGraph, Wire
+from repro.topology.faults import (
+    pick_cut_victim,
+    pick_free_wire,
+    shutdown_out_ports,
+)
+from repro.topology.portgraph import PortGraph
 from repro.util.fitting import FitResult
 from repro.util.rng import make_rng
 from repro.util.tables import format_table
@@ -74,6 +78,8 @@ class ScenarioResult:
     by_family: tuple[tuple[str, int], ...]
     episodes: tuple[RcaEpisode, ...]
     lost_characters: int = 0
+    #: timeline phase the run ended in ("" for non-timeline scenarios)
+    phase: str = ""
 
     @property
     def ok(self) -> bool:
@@ -97,6 +103,8 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
     fault = scenario.fault_model()
     graph = scenario.build_graph()
     try:
+        if fault.kind == "timeline":
+            return _run_timeline_scenario(scenario, graph, fault)
         if fault.kind in ("cut", "add"):
             return _run_dynamic_scenario(scenario, graph, fault)
         if fault.kind == "shutdown":
@@ -195,9 +203,9 @@ def _run_dynamic_scenario(
     when = int(baseline_ticks * fault.param)
     rng = make_rng(_derive_seed(scenario, fault.kind))
     if fault.kind == "cut":
-        mutation = WireMutation(tick=when, kind="cut", wire=_pick_victim(graph, rng))
+        mutation = WireMutation(tick=when, kind="cut", wire=pick_cut_victim(graph, rng))
     else:
-        mutation = WireMutation(tick=when, kind="add", wire=_pick_addition(graph, rng))
+        mutation = WireMutation(tick=when, kind="add", wire=pick_free_wire(graph, rng))
     outcome = run_dynamic_gtd(
         graph,
         [mutation],
@@ -221,39 +229,48 @@ def _run_dynamic_scenario(
     )
 
 
-def _pick_victim(graph: PortGraph, rng) -> Wire:
-    """A deterministic-per-seed wire whose cut keeps every node legal."""
-    out_degree = Counter(w.src for w in graph.wires())
-    in_degree = Counter(w.dst for w in graph.wires())
-    candidates = [
-        w for w in graph.wires() if out_degree[w.src] > 1 and in_degree[w.dst] > 1
-    ]
-    if not candidates:
-        raise ReproError("no wire can be cut without making the network illegal")
-    return candidates[rng.randrange(len(candidates))]
+def _run_timeline_scenario(
+    scenario: Scenario, graph: PortGraph, fault: FaultModel
+) -> ScenarioResult:
+    """One perturbation-timeline cell: compile, run, classify per phase.
 
-
-def _pick_addition(graph: PortGraph, rng) -> Wire:
-    """A deterministic-per-seed new wire between free ports."""
-    all_ports = set(range(1, graph.delta + 1))
-    srcs = [
-        (node, min(free))
-        for node in graph.nodes()
-        if (free := all_ports - set(graph.connected_out_ports(node)))
-    ]
-    dsts = [
-        (node, min(free))
-        for node in graph.nodes()
-        if (free := all_ports - set(graph.connected_in_ports(node)))
-    ]
-    if not srcs or not dsts:
-        raise ReproError(
-            "no free ports for an 'add' fault; use a family with spare ports "
-            "(e.g. 'spare-ring')"
-        )
-    src, out_port = srcs[rng.randrange(len(srcs))]
-    dst, in_port = dsts[rng.randrange(len(dsts))]
-    return Wire(src, out_port, dst, in_port)
+    The timeline is lowered with the scenario-derived seed and the measured
+    undisturbed runtime as horizon, so the cell is a pure function of the
+    scenario — backends excluded from the seed, exactly like the legacy
+    dynamic cells, so object and flat runs see the same wire program.
+    """
+    assert fault.timeline is not None
+    baseline_ticks, diam = _dynamic_baseline(
+        scenario.family, scenario.size, scenario.seed, scenario.backend
+    )
+    program = fault.timeline.compile(
+        graph,
+        horizon=baseline_ticks,
+        seed=_derive_seed(scenario, "timeline"),
+        root=0,
+    )
+    outcome = run_dynamic_gtd(
+        graph,
+        program,
+        max_ticks=baseline_ticks * 3 + 1000,
+        backend=scenario.backend,
+    )
+    return ScenarioResult(
+        scenario=scenario,
+        outcome=outcome.outcome.value,
+        num_nodes=graph.num_nodes,
+        num_wires=graph.num_wires,
+        diameter=diam,
+        ticks=outcome.ticks,
+        drained_ticks=outcome.ticks,
+        hops=outcome.hops,
+        rca_runs=0,
+        bca_runs=0,
+        by_family=(),
+        episodes=(),
+        lost_characters=outcome.lost_characters,
+        phase=outcome.phase,
+    )
 
 
 def _safe_episodes(transcript) -> list[RcaEpisode]:

@@ -21,6 +21,7 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Iterator
 
+from repro.dynamics.timeline import PerturbationTimeline, parse_timeline
 from repro.errors import ReproError
 from repro.sim.run import DEFAULT_BACKEND, check_backend
 from repro.topology import generators
@@ -175,24 +176,67 @@ class FaultModel:
     * ``"cut"`` — one wire is cut mid-run, at ``param`` × the undisturbed
       protocol runtime (the paper's introductory caveat);
     * ``"add"`` — one wire appears mid-run, at ``param`` × the undisturbed
-      runtime (requires a family with free ports, e.g. ``spare-ring``).
+      runtime (requires a family with free ports, e.g. ``spare-ring``);
+    * ``"timeline"`` — a full perturbation program
+      (:class:`~repro.dynamics.timeline.PerturbationTimeline`): churn,
+      storms, flaps, frontier cuts and cut/heal/add waves, composable with
+      ``+``.  ``param`` is unused; :attr:`timeline` holds the parsed
+      program and the canonical spelling is its grammar string.
+
+    The legacy kinds keep their exact historical canonical form (and hence
+    their spec hashes); a timeline fault's canonical form is the timeline
+    grammar's canonical string.
     """
 
     kind: str
     param: float = 0.0
+    timeline: PerturbationTimeline | None = None
 
     def __str__(self) -> str:
-        return self.kind if self.kind == "none" else f"{self.kind}:{self.param:g}"
+        if self.kind == "none":
+            return self.kind
+        if self.kind == "timeline":
+            assert self.timeline is not None
+            return self.timeline.canonical()
+        return f"{self.kind}:{self.param:g}"
 
 
 _FAULT_KINDS = ("none", "shutdown", "cut", "add")
 
 
+def _is_float(raw: str) -> bool:
+    try:
+        float(raw)
+    except ValueError:
+        return False
+    return True
+
+
 def parse_fault(spec: str) -> FaultModel:
-    """Parse ``"none"``, ``"shutdown:0.1"``, ``"cut:0.5"`` or ``"add:0.5"``."""
+    """Parse a fault spec: a legacy kind or a perturbation timeline.
+
+    Legacy forms — ``"none"``, ``"shutdown:0.1"``, ``"cut:0.5"``,
+    ``"add:0.5"`` — parse exactly as they always have.  Anything carrying
+    timeline syntax (a ``+`` composition, an ``@time``, or ``key=value``
+    parameters — every timeline event has at least one of these) parses
+    through :func:`repro.dynamics.timeline.parse_timeline`.
+    """
     kind, _, raw = spec.partition(":")
+    is_timeline = "+" in spec or "@" in spec or "=" in spec
+    if is_timeline and kind in _FAULT_KINDS and _is_float(raw):
+        # a legacy param in exponent spelling ("cut:1e+0"): the '+' is the
+        # exponent sign, not a timeline composition
+        is_timeline = False
+    if is_timeline:
+        try:
+            return FaultModel("timeline", timeline=parse_timeline(spec))
+        except ReproError as exc:
+            raise ReproError(f"bad fault model {spec!r}: {exc}") from None
     if kind not in _FAULT_KINDS:
-        raise ReproError(f"unknown fault model {spec!r}; known kinds: {_FAULT_KINDS}")
+        raise ReproError(
+            f"unknown fault model {spec!r}; known kinds: {_FAULT_KINDS}, "
+            f"or a perturbation timeline (e.g. 'storm:p=0.1@0.5')"
+        )
     if kind == "none":
         if raw:
             raise ReproError(f"fault model 'none' takes no parameter, got {spec!r}")

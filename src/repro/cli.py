@@ -15,7 +15,14 @@ Subcommands:
 * ``bench-compare`` — diff a fresh benchmark snapshot against a committed
   baseline with a regression threshold (the CI perf gate);
 * ``families`` — list the built-in network families;
+* ``faults`` — list the fault-model vocabulary: the legacy kinds and the
+  perturbation-timeline event grammar;
 * ``lower-bound`` — print the Theorem 5.1 implied lower-bound table.
+
+Dynamic-topology runs thread through ``--timeline``: ``map --timeline``
+runs one perturbed GTD and reports the outcome per phase, ``campaign
+--timeline`` adds the timeline to the fault axis (repeatable; kept apart
+from ``--faults`` because timeline specs contain commas).
 
 Network families are resolved through the shared campaign registry
 (:data:`repro.campaigns.spec.FAMILY_BUILDERS`), so the shell and the
@@ -29,10 +36,13 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro.analysis.run_stats import phase_outcome_counts
 from repro.analysis.transcripts import lower_bound_curve
 from repro.bench.baseline import compare_files
 from repro.campaigns import CampaignSpec, Scenario, run_campaign
 from repro.campaigns.spec import FAMILY_BUILDERS, build_family
+from repro.dynamics import compile_timeline, parse_timeline, run_dynamic_gtd
+from repro.dynamics.timeline import TIMELINE_EVENT_KINDS
 from repro.errors import ReproError, TranscriptError
 from repro.protocol.runner import determine_topology
 from repro.sim.run import DEFAULT_BACKEND, ENGINE_BACKENDS
@@ -83,6 +93,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="engine backend: 'object' (reference) or 'flat' (compiled "
         "tables, same results tick-for-tick, faster on large runs)",
     )
+    p_map.add_argument(
+        "--timeline", metavar="SPEC",
+        help="run under a perturbation timeline (e.g. "
+        "'storm:p=0.1@0.5+heal@0.9') and classify the outcome per phase; "
+        "see 'repro-topology faults' for the grammar",
+    )
     p_map.add_argument("--traffic", action="store_true", help="show traffic profile")
     p_map.add_argument(
         "--verify-cleanup", action="store_true",
@@ -105,6 +121,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp.add_argument(
         "--faults", type=_csv, default=["none"], metavar="F,F,...",
         help="none | shutdown:RATE | cut:FRACTION | add:FRACTION",
+    )
+    p_camp.add_argument(
+        "--timeline", action="append", default=[], metavar="SPEC",
+        help="add a perturbation timeline to the fault axis (repeatable; "
+        "timeline specs contain commas, so they cannot ride in --faults); "
+        "see 'repro-topology faults' for the grammar",
     )
     p_camp.add_argument(
         "--seeds", type=int, default=1, metavar="K",
@@ -172,6 +194,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("families", help="list built-in network families")
 
+    sub.add_parser(
+        "faults",
+        help="list the fault-model vocabulary (legacy kinds + timeline grammar)",
+    )
+
     p_lb = sub.add_parser("lower-bound", help="Theorem 5.1 implied bound table")
     p_lb.add_argument("--delta", type=int, default=5)
     p_lb.add_argument("--max-depth", type=int, default=10)
@@ -217,6 +244,8 @@ def _dispatch(args: argparse.Namespace) -> int:
             )
         )
         return 0
+    if args.command == "faults":
+        return _run_faults_command()
     if args.command == "campaign":
         return _run_campaign_command(args)
     if args.command == "store":
@@ -224,8 +253,15 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "bench-compare":
         return _run_bench_compare(args)
     # map
+    if args.timeline and args.repeats > 1:
+        raise ReproError(
+            "--timeline applies to a single map run; for a sweep, use "
+            "'campaign --timeline'"
+        )
     if args.repeats > 1:
         return _run_map_sweep(args)
+    if args.timeline:
+        return _run_map_timeline(args)
     graph = build_family(args.family, args.size, args.seed)
     print(
         f"network: {args.family}, N={graph.num_nodes}, delta={graph.delta}, "
@@ -250,6 +286,111 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.json:
         with open(args.json, "w") as fh:
             fh.write(result.to_json())
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _run_faults_command() -> int:
+    """``faults``: the fault-model vocabulary, legacy kinds first."""
+    legacy = [
+        ("none", "", "the healthy network"),
+        ("shutdown", "shutdown:RATE", "pre-run: each wire dies w.p. RATE"),
+        ("cut", "cut:T", "one wire cut at T x the undisturbed runtime"),
+        ("add", "add:T", "one wire added at T x the undisturbed runtime"),
+    ]
+    print(
+        format_table(
+            ["kind", "spec", "meaning"],
+            [(name, spec or name, doc) for name, spec, doc in legacy],
+            title="fault models (campaign --faults / scenario fault axis)",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["event", "parameters", "meaning"],
+            [
+                (kind, params, doc)
+                for kind, (params, doc) in sorted(TIMELINE_EVENT_KINDS.items())
+            ],
+            title="timeline events (--timeline; compose with '+', times are "
+            "fractions of the undisturbed runtime T)",
+        )
+    )
+    print()
+    print("example: repro-topology campaign --families spare-ring --sizes 10 \\")
+    print("             --timeline 'storm:p=0.2@0.4+heal@0.9' --seeds 5")
+    return 0
+
+
+def _run_map_timeline(args: argparse.Namespace) -> int:
+    """``map --timeline``: one perturbed GTD run, classified per phase."""
+    if args.verify_cleanup:
+        raise ReproError(
+            "--verify-cleanup asserts the static protocol's invariants; "
+            "a perturbed run violates them by design"
+        )
+    timeline = parse_timeline(args.timeline)  # fail fast, before any run
+    graph = build_family(args.family, args.size, args.seed)
+    print(
+        f"network: {args.family}, N={graph.num_nodes}, delta={graph.delta}, "
+        f"backend={args.backend}, timeline={timeline.canonical()}"
+    )
+    program = compile_timeline(
+        timeline, graph, seed=args.seed, backend=args.backend
+    )
+    result = run_dynamic_gtd(
+        graph,
+        program,
+        max_ticks=program.horizon * 3 + 1000,
+        backend=args.backend,
+    )
+    # the "pre" phase precedes every op by definition; each later phase
+    # opens with the ops that fired at its start tick
+    rows = [("pre", 0, 0)] + [
+        (label, start, sum(1 for op in program.ops if op.tick == start))
+        for label, start in program.phases[1:]
+    ]
+    print()
+    print(
+        format_table(
+            ["phase", "starts at tick", "wire ops"],
+            rows,
+            title=f"timeline program: {len(program.ops)} wire op(s), "
+            f"horizon {program.horizon} ticks (undisturbed runtime)",
+        )
+    )
+    print()
+    print(
+        f"outcome={result.outcome.value}  ended in phase '{result.phase}'  "
+        f"ticks={result.ticks}  hops={result.hops}  "
+        f"lost={result.lost_characters}  "
+        f"ops applied={result.applied_ops}/{len(program.ops)}"
+    )
+    if args.traffic:
+        print()
+        print(render_traffic_profile(result.metrics))
+    if args.json:
+        import json as _json
+
+        doc = {
+            "format": "repro.map-timeline/v1",
+            "family": args.family,
+            "size": graph.num_nodes,
+            "seed": args.seed,
+            "backend": args.backend,
+            "timeline": program.source,
+            "horizon": program.horizon,
+            "phases": [list(p) for p in program.phases],
+            "outcome": result.outcome.value,
+            "phase": result.phase,
+            "ticks": result.ticks,
+            "hops": result.hops,
+            "lost_characters": result.lost_characters,
+            "applied_ops": result.applied_ops,
+        }
+        with open(args.json, "w") as fh:
+            fh.write(_json.dumps(doc, indent=2))
         print(f"wrote {args.json}")
     return 0
 
@@ -300,7 +441,7 @@ def _run_campaign_command(args: argparse.Namespace) -> int:
     spec = CampaignSpec(
         families=tuple(args.families),
         sizes=tuple(args.sizes),
-        faults=tuple(args.faults),
+        faults=tuple(args.faults) + tuple(args.timeline),
         seeds=tuple(range(args.seed, args.seed + args.seeds)),
         backends=(args.backend,),
     )
@@ -308,6 +449,16 @@ def _run_campaign_command(args: argparse.Namespace) -> int:
     reused = len(spec) - len(store.missing(spec)) if store is not None else 0
     campaign = run_campaign(spec, jobs=args.jobs, store=store)
     print(campaign.summary())
+    phase_rows = phase_outcome_counts(campaign.results)
+    if phase_rows:
+        print()
+        print(
+            format_table(
+                ["timeline phase", "outcome", "runs"],
+                list(phase_rows),
+                title="outcomes by timeline phase",
+            )
+        )
     if store is not None:
         print(
             f"\nstore {store.root}: reused {reused} stored scenario(s), "

@@ -4,20 +4,48 @@ The paper's introduction motivates *fast* protocols with exactly this
 hazard: "if a processor is randomly added or removed from the topology of
 the network in the middle of the computation, a global topology
 determination is likely to produce an incorrect result."  This package
-makes that claim executable: a :class:`~repro.dynamics.engine.DynamicEngine`
-can cut or add wires at scheduled ticks while the protocol runs, and
-:func:`~repro.dynamics.experiment.run_dynamic_gtd` classifies the outcome
-(accurate map, stale map, or deadlock).  The E11 benchmark sweeps mutation
-times and tabulates the damage.
+makes that claim executable, at program scale: a
+:class:`~repro.dynamics.timeline.PerturbationTimeline` (parsed from a
+small string grammar — churn, storms, flaps, frontier-targeted cuts,
+cut/heal/add waves, composable with ``+``) is lowered onto a concrete
+network as an ordered :class:`~repro.dynamics.engine.WireMutation`
+program, which either engine backend executes tick-exactly
+(:class:`~repro.dynamics.engine.DynamicEngine` overlays the object
+emission path; :class:`~repro.dynamics.engine.FlatDynamicEngine` patches
+the compiled CSR tables in place and stays on the packed-wheel fast
+path).  :func:`~repro.dynamics.experiment.run_dynamic_gtd` classifies the
+outcome (accurate map, stale map, deadlock, protocol error) and the phase
+of the timeline it fell in.  The E11 benchmark sweeps mutation times and
+tabulates the damage; ``bench_dynamics`` races the two backends on
+churn-heavy workloads.
 """
 
-from repro.dynamics.engine import DynamicEngine, WireMutation
-from repro.dynamics.experiment import DynamicOutcome, DynamicRunResult, run_dynamic_gtd
+from repro.dynamics.engine import (
+    DynamicEngine,
+    FlatDynamicEngine,
+    WireMutation,
+)
+from repro.dynamics.experiment import (
+    DynamicOutcome,
+    DynamicRunResult,
+    compile_timeline,
+    run_dynamic_gtd,
+)
+from repro.dynamics.timeline import (
+    PerturbationTimeline,
+    TimelineProgram,
+    parse_timeline,
+)
 
 __all__ = [
     "DynamicEngine",
+    "FlatDynamicEngine",
     "WireMutation",
     "DynamicOutcome",
     "DynamicRunResult",
+    "compile_timeline",
     "run_dynamic_gtd",
+    "PerturbationTimeline",
+    "TimelineProgram",
+    "parse_timeline",
 ]

@@ -4,7 +4,8 @@ Outcomes:
 
 * ``ACCURATE`` — the protocol terminated and its map matches the *final*
   topology (possible when the mutation lands on a part of the network the
-  DFS had already fully finished, or the mutation list is empty);
+  DFS had already fully finished, when a heal restored the wiring in time,
+  or the mutation list is empty);
 * ``STALE`` — the protocol terminated but its map differs from the final
   topology (it describes a network that no longer exists);
 * ``DEADLOCK`` — the protocol never terminated (e.g. the DFS probe or an
@@ -14,13 +15,18 @@ Outcomes:
   proves impossible (a truncated snake, a loop token off its loop) and the
   strict automaton refused to continue.
 
-This is the paper's introductory caveat, made measurable.
+This is the paper's introductory caveat, made measurable.  A run driven by
+a :class:`~repro.dynamics.timeline.TimelineProgram` additionally reports the
+**phase** the run ended in (which segment of the perturbation program the
+termination or deadlock fell into) — the per-phase outcome tables in
+:mod:`repro.analysis.run_stats` aggregate those across a campaign.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.errors import (
     ProtocolViolation,
@@ -30,17 +36,25 @@ from repro.errors import (
 )
 from repro.protocol.gtd import GTDProcessor
 from repro.protocol.root_computer import MasterComputer, ReconstructedMap
-from repro.protocol.runner import default_tick_budget
+from repro.protocol.runner import default_tick_budget, determine_topology
+from repro.sim.metrics import TrafficMetrics
 from repro.sim.run import DEFAULT_BACKEND, RunConfig, check_backend, execute_run
+from repro.sim.transcript import Transcript
 from repro.topology.isomorphism import port_isomorphic
 from repro.topology.portgraph import PortGraph
 from repro.topology.properties import diameter
 from repro.dynamics.engine import DynamicEngine, FlatDynamicEngine, WireMutation
+from repro.dynamics.timeline import (
+    PerturbationTimeline,
+    TimelineProgram,
+    parse_timeline,
+)
 
 __all__ = [
     "DYNAMIC_ENGINE_BACKENDS",
     "DynamicOutcome",
     "DynamicRunResult",
+    "compile_timeline",
     "run_dynamic_gtd",
 ]
 
@@ -70,24 +84,76 @@ class DynamicRunResult:
     recovered: ReconstructedMap | None
     final_topology: PortGraph
     lost_characters: int
+    #: delivered character-hops (the simulator's work measure)
+    hops: int = 0
+    #: timeline phase the run ended in ("" for plain mutation lists)
+    phase: str = ""
+    #: how many wire ops had fired by the end of the run
+    applied_ops: int = 0
+    #: the root's I/O stream, for differential backend comparison
+    transcript: Transcript = field(default_factory=Transcript)
+    #: the engine's traffic counters at end of run
+    metrics: TrafficMetrics = field(default_factory=TrafficMetrics)
+
+
+def compile_timeline(
+    timeline: PerturbationTimeline | str,
+    graph: PortGraph,
+    *,
+    seed: int = 0,
+    root: int = 0,
+    horizon: int | None = None,
+    backend: str = DEFAULT_BACKEND,
+) -> TimelineProgram:
+    """Lower a timeline (or its spec string) onto ``graph``.
+
+    ``horizon`` defaults to the measured undisturbed protocol runtime — one
+    clean baseline run — so event times written as fractions scale with the
+    network.  Deterministic in ``(timeline, graph, seed, root, horizon)``.
+    """
+    if isinstance(timeline, str):
+        timeline = parse_timeline(timeline)
+    if horizon is None:
+        horizon = determine_topology(graph, root=root, backend=backend).ticks
+    return timeline.compile(graph, horizon=horizon, seed=seed, root=root)
 
 
 def run_dynamic_gtd(
     graph: PortGraph,
-    mutations: list[WireMutation],
+    timeline: TimelineProgram | Sequence[WireMutation] = (),
     *,
     root: int = 0,
     max_ticks: int | None = None,
     backend: str = DEFAULT_BACKEND,
 ) -> DynamicRunResult:
-    """Run GTD on ``graph`` while applying ``mutations``; classify the result."""
+    """Run GTD on ``graph`` while applying ``timeline``; classify the result.
+
+    ``timeline`` is a compiled :class:`TimelineProgram` (phases reported)
+    or a plain list of :class:`WireMutation` (legacy single-op interface).
+    """
     budget = max_ticks if max_ticks is not None else default_tick_budget(
         graph, diameter(graph)
     )
     processors = [GTDProcessor() for _ in graph.nodes()]
     engine_cls = DYNAMIC_ENGINE_BACKENDS[check_backend(backend)]
-    engine = engine_cls(graph, list(processors), mutations, root=root)
+    engine = engine_cls(graph, list(processors), timeline, root=root)
+    program = timeline if isinstance(timeline, TimelineProgram) else None
     root_proc = processors[root]
+
+    def result(outcome: DynamicOutcome, ticks: int, recovered, final) -> DynamicRunResult:
+        return DynamicRunResult(
+            outcome=outcome,
+            ticks=ticks,
+            recovered=recovered,
+            final_topology=final,
+            lost_characters=engine.lost_characters,
+            hops=engine.metrics.total_delivered,
+            phase=program.phase_at(ticks) if program is not None else "",
+            applied_ops=len(engine.applied_mutations),
+            transcript=engine.transcript,
+            metrics=engine.metrics,
+        )
+
     try:
         run = execute_run(
             engine,
@@ -104,13 +170,7 @@ def run_dynamic_gtd(
             if isinstance(exc, TickBudgetExceeded)
             else DynamicOutcome.PROTOCOL_ERROR
         )
-        return DynamicRunResult(
-            outcome=outcome,
-            ticks=engine.tick,
-            recovered=None,
-            final_topology=engine.effective_topology(),
-            lost_characters=engine.lost_characters,
-        )
+        return result(outcome, engine.tick, None, engine.effective_topology())
     ticks = run.ticks
     final = engine.effective_topology()
     try:
@@ -119,17 +179,6 @@ def run_dynamic_gtd(
         accurate = port_isomorphic(final, root, recovered_graph, ReconstructedMap.ROOT)
     except (ReconstructionError, TranscriptError):
         # The transcript itself was corrupted by the change: clearly stale.
-        return DynamicRunResult(
-            outcome=DynamicOutcome.STALE,
-            ticks=ticks,
-            recovered=None,
-            final_topology=final,
-            lost_characters=engine.lost_characters,
-        )
-    return DynamicRunResult(
-        outcome=DynamicOutcome.ACCURATE if accurate else DynamicOutcome.STALE,
-        ticks=ticks,
-        recovered=recovered,
-        final_topology=final,
-        lost_characters=engine.lost_characters,
-    )
+        return result(DynamicOutcome.STALE, ticks, None, final)
+    outcome = DynamicOutcome.ACCURATE if accurate else DynamicOutcome.STALE
+    return result(outcome, ticks, recovered, final)

@@ -1,0 +1,606 @@
+"""The perturbation timeline: a declarative program of mid-run wire faults.
+
+The legacy fault axis (``none / shutdown:p / cut:t / add:t``) can express at
+most one wiring change per run.  A **perturbation timeline** is an ordered,
+seed-deterministic program of fault *events* — multi-wire cut/heal waves,
+port flaps, periodic churn, adversarial frontier-targeted cuts, staged
+shutdown storms — written in a small string grammar and lowered onto a
+concrete :class:`~repro.dynamics.engine.WireMutation` program that either
+engine backend executes tick-exactly.
+
+Grammar
+-------
+
+A timeline is one or more events joined with ``+``.  Each event is
+``kind:key=value,...`` with an optional ``@T`` suffix ("at T × the
+undisturbed protocol runtime"); times and periods are fractions of that
+baseline runtime, so the same spec scales across network sizes::
+
+    churn:rate=0.05,period=0.25      # every 0.25·T: cut each wire w.p. 0.05,
+                                     # heal each downed wire w.p. 0.05
+    churn:rate=0.1,period=0.2,heal=0.5,until=1.5
+    storm:p=0.1@0.5                  # at 0.5·T: each wire dies w.p. 0.1
+    flap:wire=3:1,on=0.2,off=0.4     # wire out of port 1 of node 3 goes
+                                     # down at 0.2·T, back up at 0.4·T
+    flap:wire=3:1,on=0.2,off=0.4,cycles=3
+    frontier:k=2@0.5                 # at 0.5·T: cut the 2 deepest wires
+                                     # (BFS depth from the root — where the
+                                     # DFS frontier is exploring)
+    cut@0.5        cut:n=3@0.5       # wave of n random legal cuts
+    heal@0.8       heal:n=2@0.8      # re-attach downed wires (all, or n)
+    add@0.5        add:n=2@0.5       # wave of n additions on free ports
+    storm:p=0.2@0.3+heal@0.9         # composition: staged storm, late heal
+
+Lowering (:meth:`PerturbationTimeline.compile`) is a pure function of
+``(graph, horizon, seed, root)``: every stochastic choice draws from one
+:func:`repro.util.rng.make_rng` stream in a fixed order, and every sampled
+cut is **legality-checked** — it never strands a processor without an in-
+or out-port and never disconnects the network (the
+:class:`~repro.topology.faults.WireState` policy), so the damage a timeline
+does is always the paper's kind: lost characters and stale port knowledge,
+never an unmappable network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.errors import ReproError, TopologyError
+from repro.dynamics.engine import WireMutation
+from repro.topology.faults import (
+    WireState,
+    apply_wire_events,
+    frontier_targets,
+    sample_cut_wave,
+)
+from repro.topology.portgraph import PortGraph, Wire
+from repro.util.rng import Seed, make_rng
+
+__all__ = [
+    "TIMELINE_EVENT_KINDS",
+    "TimelineEvent",
+    "ChurnEvent",
+    "StormEvent",
+    "FlapEvent",
+    "FrontierEvent",
+    "CutWaveEvent",
+    "HealWaveEvent",
+    "AddWaveEvent",
+    "PerturbationTimeline",
+    "TimelineProgram",
+    "parse_timeline",
+]
+
+
+def _fmt(value: float) -> str:
+    """Canonical numeral: ``0.50`` and ``0.5`` print identically."""
+    return f"{value:g}"
+
+
+def _num(raw: str, what: str) -> float:
+    try:
+        return float(raw)
+    except ValueError:
+        raise ReproError(f"expected a number for {what}, got {raw!r}") from None
+
+
+def _int(raw: str, what: str) -> int:
+    try:
+        return int(raw)
+    except ValueError:
+        raise ReproError(f"expected an integer for {what}, got {raw!r}") from None
+
+
+# One lowering step: (state, rng, root) -> applied (kind, wire) pairs.
+_Action = Callable[[WireState, object, int], list[tuple[str, Wire]]]
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """Base class: one named clause of a timeline spec."""
+
+    def canonical(self) -> str:
+        raise NotImplementedError
+
+    def schedule(self, horizon: int) -> list[tuple[int, _Action]]:
+        """The event's activation moments as ``(tick, action)`` pairs."""
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.canonical()
+
+
+@dataclass(frozen=True)
+class ChurnEvent(TimelineEvent):
+    """Periodic background churn: probabilistic cut + heal waves."""
+
+    rate: float
+    period: float
+    heal: float
+    until: float
+
+    def canonical(self) -> str:
+        text = f"churn:rate={_fmt(self.rate)},period={_fmt(self.period)}"
+        if self.heal != self.rate:
+            text += f",heal={_fmt(self.heal)}"
+        if self.until != 1.0:
+            text += f",until={_fmt(self.until)}"
+        return text
+
+    def schedule(self, horizon: int) -> list[tuple[int, _Action]]:
+        moments = []
+        k = 1
+        while k * self.period <= self.until + 1e-9:
+            moments.append((int(k * self.period * horizon), self._wave))
+            k += 1
+        return moments
+
+    def _wave(self, state: WireState, rng, root: int) -> list[tuple[str, Wire]]:
+        # snapshot the heal candidates *before* the cut wave: a wire cut in
+        # this wave must stay down at least one period (a same-tick
+        # cut+heal pair would be a no-op and the effective churn rate
+        # would silently become rate * (1 - heal))
+        down_before = state.heal_candidates()
+        applied = [("cut", w) for w in sample_cut_wave(state, self.rate, rng)]
+        for wire in down_before:
+            if rng.random() < self.heal and state.can_attach(wire):
+                state.attach(wire)
+                applied.append(("heal", wire))
+        return applied
+
+
+@dataclass(frozen=True)
+class StormEvent(TimelineEvent):
+    """One staged shutdown storm: every wire dies w.p. ``p`` at ``at``."""
+
+    p: float
+    at: float
+
+    def canonical(self) -> str:
+        return f"storm:p={_fmt(self.p)}@{_fmt(self.at)}"
+
+    def schedule(self, horizon: int) -> list[tuple[int, _Action]]:
+        return [(int(self.at * horizon), self._wave)]
+
+    def _wave(self, state: WireState, rng, root: int) -> list[tuple[str, Wire]]:
+        return [("cut", w) for w in sample_cut_wave(state, self.p, rng)]
+
+
+@dataclass(frozen=True)
+class FlapEvent(TimelineEvent):
+    """One named wire flapping down and up (``cycles`` times, 50% duty)."""
+
+    src: int
+    out_port: int
+    on: float
+    off: float
+    cycles: int
+
+    def canonical(self) -> str:
+        text = (
+            f"flap:wire={self.src}:{self.out_port},"
+            f"on={_fmt(self.on)},off={_fmt(self.off)}"
+        )
+        if self.cycles != 1:
+            text += f",cycles={self.cycles}"
+        return text
+
+    def schedule(self, horizon: int) -> list[tuple[int, _Action]]:
+        moments: list[tuple[int, _Action]] = []
+        duty = self.off - self.on
+        for j in range(self.cycles):
+            shift = 2 * j * duty
+            moments.append((int((self.on + shift) * horizon), self._down))
+            moments.append((int((self.off + shift) * horizon), self._up))
+        return moments
+
+    def _wire(self, state: WireState) -> Wire:
+        wire = state.graph.out_wire(self.src, self.out_port)
+        if wire is None:
+            raise TopologyError(
+                f"flap names out-port {self.out_port} of node {self.src}, "
+                f"which carries no wire in this network"
+            )
+        return wire
+
+    def _down(self, state: WireState, rng, root: int) -> list[tuple[str, Wire]]:
+        wire = self._wire(state)
+        if state.can_cut(wire):
+            state.cut(wire)
+            return [("cut", wire)]
+        return []  # already down (another event beat the flap to it)
+
+    def _up(self, state: WireState, rng, root: int) -> list[tuple[str, Wire]]:
+        wire = self._wire(state)
+        if (wire.src, wire.out_port) in state.down and state.can_attach(wire):
+            state.attach(wire)
+            return [("heal", wire)]
+        return []
+
+
+@dataclass(frozen=True)
+class FrontierEvent(TimelineEvent):
+    """Adversarial cut of the ``k`` wires deepest from the root at ``at``."""
+
+    k: int
+    at: float
+
+    def canonical(self) -> str:
+        return f"frontier:k={self.k}@{_fmt(self.at)}"
+
+    def schedule(self, horizon: int) -> list[tuple[int, _Action]]:
+        return [(int(self.at * horizon), self._wave)]
+
+    def _wave(self, state: WireState, rng, root: int) -> list[tuple[str, Wire]]:
+        return [("cut", w) for w in frontier_targets(state, root, self.k)]
+
+
+@dataclass(frozen=True)
+class CutWaveEvent(TimelineEvent):
+    """A wave of ``n`` uniformly-chosen legal cuts at ``at``."""
+
+    n: int
+    at: float
+
+    def canonical(self) -> str:
+        prefix = "cut" if self.n == 1 else f"cut:n={self.n}"
+        return f"{prefix}@{_fmt(self.at)}"
+
+    def schedule(self, horizon: int) -> list[tuple[int, _Action]]:
+        return [(int(self.at * horizon), self._wave)]
+
+    def _wave(self, state: WireState, rng, root: int) -> list[tuple[str, Wire]]:
+        applied: list[tuple[str, Wire]] = []
+        for _ in range(self.n):
+            candidates = [w for w in state.wires() if state.can_cut(w)]
+            if not candidates:
+                raise TopologyError(
+                    "no wire can be cut without making the network illegal"
+                )
+            wire = candidates[rng.randrange(len(candidates))]
+            state.cut(wire)
+            applied.append(("cut", wire))
+        return applied
+
+
+@dataclass(frozen=True)
+class HealWaveEvent(TimelineEvent):
+    """Re-attach downed base wires at ``at`` (all of them, or the first ``n``)."""
+
+    n: int  # 0 means "all"
+    at: float
+
+    def canonical(self) -> str:
+        prefix = "heal" if self.n == 0 else f"heal:n={self.n}"
+        return f"{prefix}@{_fmt(self.at)}"
+
+    def schedule(self, horizon: int) -> list[tuple[int, _Action]]:
+        return [(int(self.at * horizon), self._wave)]
+
+    def _wave(self, state: WireState, rng, root: int) -> list[tuple[str, Wire]]:
+        applied: list[tuple[str, Wire]] = []
+        for wire in state.heal_candidates():
+            if self.n and len(applied) >= self.n:
+                break
+            state.attach(wire)
+            applied.append(("heal", wire))
+        return applied
+
+
+@dataclass(frozen=True)
+class AddWaveEvent(TimelineEvent):
+    """A wave of ``n`` additions between currently-free ports at ``at``."""
+
+    n: int
+    at: float
+
+    def canonical(self) -> str:
+        prefix = "add" if self.n == 1 else f"add:n={self.n}"
+        return f"{prefix}@{_fmt(self.at)}"
+
+    def schedule(self, horizon: int) -> list[tuple[int, _Action]]:
+        return [(int(self.at * horizon), self._wave)]
+
+    def _wave(self, state: WireState, rng, root: int) -> list[tuple[str, Wire]]:
+        graph = state.graph
+        all_ports = range(1, graph.delta + 1)
+        applied: list[tuple[str, Wire]] = []
+        for _ in range(self.n):
+            srcs = [
+                (node, port)
+                for node in graph.nodes()
+                for port in all_ports
+                if (node, port) not in state.present
+            ]
+            dsts = [
+                (node, port)
+                for node in graph.nodes()
+                for port in all_ports
+                if (node, port) not in state.in_use
+            ]
+            if not srcs or not dsts:
+                raise TopologyError(
+                    "no free ports for an 'add' wave; use a family with "
+                    "spare ports (e.g. 'spare-ring')"
+                )
+            src, out_port = srcs[rng.randrange(len(srcs))]
+            dst, in_port = dsts[rng.randrange(len(dsts))]
+            wire = Wire(src, out_port, dst, in_port)
+            state.attach(wire)
+            applied.append(("add", wire))
+        return applied
+
+
+# ----------------------------------------------------------------------
+# the compiled program
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TimelineProgram:
+    """A timeline lowered onto one concrete network: ordered wire ops.
+
+    ``phases`` partitions simulated time for the outcome statistics: the
+    run starts in ``"pre"``, and each distinct op tick opens a new phase
+    labeled ``kinds@tick`` (e.g. ``"cut+heal@120"``).  The program is what
+    the dynamic engines consume (their timeline cursor walks :attr:`ops`)
+    and what the per-phase outcome tables are keyed on.
+    """
+
+    ops: tuple[WireMutation, ...]
+    phases: tuple[tuple[str, int], ...]  # (label, start_tick), ascending
+    horizon: int
+    source: str = ""
+
+    def phase_at(self, tick: int) -> str:
+        """The phase a run ending at ``tick`` ended in.
+
+        An op at tick ``t`` applies after tick ``t``'s deliveries, so its
+        phase covers ticks strictly greater than ``t``.
+        """
+        label = self.phases[0][0] if self.phases else "pre"
+        for candidate, start in self.phases[1:]:
+            if start < tick:
+                label = candidate
+        return label
+
+    def final_topology(self, graph: PortGraph) -> PortGraph:
+        """The wiring after every op, as a frozen legal :class:`PortGraph`.
+
+        Raises :class:`TopologyError` if the program is not replayable on
+        ``graph`` — it can be infeasible, never silently illegal.
+        """
+        return apply_wire_events(graph, ((op.kind, op.wire) for op in self.ops))
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self) -> Iterator[WireMutation]:
+        return iter(self.ops)
+
+
+@dataclass(frozen=True)
+class PerturbationTimeline:
+    """A parsed timeline spec: an ordered tuple of fault events.
+
+    Value semantics follow the canonical string — two spellings that
+    canonicalize identically are the same timeline (same hash, same
+    compiled program), which is what keeps scenario spec hashes stable
+    across parameter spellings.
+    """
+
+    events: tuple[TimelineEvent, ...]
+
+    def canonical(self) -> str:
+        return "+".join(event.canonical() for event in self.events)
+
+    def __str__(self) -> str:
+        return self.canonical()
+
+    def compile(
+        self,
+        graph: PortGraph,
+        *,
+        horizon: int,
+        seed: Seed = 0,
+        root: int = 0,
+    ) -> TimelineProgram:
+        """Lower the timeline onto ``graph``: sample every wave, in order.
+
+        ``horizon`` is the undisturbed protocol runtime in ticks — the unit
+        every event time is a fraction of.  Deterministic in
+        ``(graph, horizon, seed, root)``.
+        """
+        horizon = max(1, int(horizon))
+        rng = make_rng(seed)
+        state = WireState(graph)
+        moments: list[tuple[int, int, int, _Action]] = []
+        for index, event in enumerate(self.events):
+            for sub, (tick, action) in enumerate(event.schedule(horizon)):
+                moments.append((max(0, tick), index, sub, action))
+        moments.sort(key=lambda m: (m[0], m[1], m[2]))
+        ops: list[WireMutation] = []
+        for tick, _, _, action in moments:
+            for kind, wire in action(state, rng, root):
+                ops.append(WireMutation(tick=tick, kind=kind, wire=wire))
+        phases: list[tuple[str, int]] = [("pre", 0)]
+        for tick in sorted({op.tick for op in ops}):
+            kinds = sorted({op.kind for op in ops if op.tick == tick})
+            phases.append((f"{'+'.join(kinds)}@{tick}", tick))
+        return TimelineProgram(
+            ops=tuple(ops),
+            phases=tuple(phases),
+            horizon=horizon,
+            source=self.canonical(),
+        )
+
+
+# ----------------------------------------------------------------------
+# the parser
+# ----------------------------------------------------------------------
+#: kind -> (parameter grammar, one-line description) for the CLI listing.
+TIMELINE_EVENT_KINDS: dict[str, tuple[str, str]] = {
+    "churn": (
+        "rate=R,period=P[,heal=H][,until=U]",
+        "every P*T ticks until U*T (default U=1): cut each wire w.p. R, "
+        "heal each downed wire w.p. H (default R)",
+    ),
+    "storm": (
+        "p=P@F",
+        "staged shutdown storm at F*T ticks: each wire dies w.p. P",
+    ),
+    "flap": (
+        "wire=NODE:PORT,on=A,off=B[,cycles=C]",
+        "the named wire goes down at A*T ticks, back up at B*T (C times)",
+    ),
+    "frontier": (
+        "k=K@F",
+        "adversarial: cut the K wires deepest from the root at F*T ticks",
+    ),
+    "cut": ("[n=N]@F", "wave of N random legal cuts at F*T ticks (default 1)"),
+    "heal": ("[n=N]@F", "re-attach downed wires at F*T ticks (default all)"),
+    "add": ("[n=N]@F", "wave of N additions on free ports at F*T ticks"),
+}
+
+
+def parse_timeline(spec: str) -> PerturbationTimeline:
+    """Parse a ``+``-composed timeline spec into a :class:`PerturbationTimeline`."""
+    parts = [part.strip() for part in spec.split("+")]
+    if not any(parts):
+        raise ReproError("empty timeline spec")
+    if not all(parts):
+        raise ReproError(f"empty event in timeline spec {spec!r}")
+    return PerturbationTimeline(tuple(_parse_event(part) for part in parts))
+
+
+def _parse_event(text: str) -> TimelineEvent:
+    head, _, params = text.partition(":")
+    at: float | None = None
+    if "@" in head:
+        head, _, raw = head.partition("@")
+        at = _num(raw, f"@time in {text!r}")
+    elif "@" in params:
+        params, _, raw = params.rpartition("@")
+        at = _num(raw, f"@time in {text!r}")
+    kind = head.strip()
+    kv: dict[str, str] = {}
+    for item in params.split(",") if params else ():
+        key, eq, value = item.partition("=")
+        if not eq:
+            raise ReproError(
+                f"expected key=value in timeline event {text!r}, got {item!r}"
+            )
+        kv[key.strip()] = value.strip()
+    if "at" in kv:
+        if at is not None:
+            raise ReproError(f"both @time and at= given in {text!r}")
+        at = _num(kv.pop("at"), f"at= in {text!r}")
+    try:
+        builder = _EVENT_BUILDERS[kind]
+    except KeyError:
+        raise ReproError(
+            f"unknown timeline event kind {kind!r} in {text!r}; "
+            f"known: {sorted(TIMELINE_EVENT_KINDS)}"
+        ) from None
+    event = builder(text, kv, at)
+    if kv:
+        raise ReproError(
+            f"unknown parameter(s) {sorted(kv)} for timeline event {text!r}"
+        )
+    return event
+
+
+def _need(kv: dict[str, str], key: str, text: str) -> str:
+    try:
+        return kv.pop(key)
+    except KeyError:
+        raise ReproError(
+            f"timeline event {text!r} needs the {key}= parameter"
+        ) from None
+
+
+def _need_at(at: float | None, text: str) -> float:
+    if at is None:
+        raise ReproError(f"timeline event {text!r} needs an @time (e.g. '@0.5')")
+    if at < 0:
+        raise ReproError(f"@time must be >= 0, got {at} in {text!r}")
+    return at
+
+
+def _probability(value: float, what: str, text: str) -> float:
+    if not 0.0 <= value <= 1.0:
+        raise ReproError(f"{what} must be in [0, 1], got {value} in {text!r}")
+    return value
+
+
+def _build_churn(text: str, kv: dict[str, str], at: float | None) -> ChurnEvent:
+    if at is not None:
+        raise ReproError(f"churn is periodic; it takes period=, not @time ({text!r})")
+    rate = _probability(_num(_need(kv, "rate", text), "rate="), "rate", text)
+    period = _num(_need(kv, "period", text), "period=")
+    if period <= 0:
+        raise ReproError(f"churn period must be > 0, got {period} in {text!r}")
+    heal = (
+        _probability(_num(kv.pop("heal"), "heal="), "heal", text)
+        if "heal" in kv
+        else rate
+    )
+    until = _num(kv.pop("until"), "until=") if "until" in kv else 1.0
+    if until <= 0:
+        raise ReproError(f"churn until must be > 0, got {until} in {text!r}")
+    return ChurnEvent(rate=rate, period=period, heal=heal, until=until)
+
+
+def _build_storm(text: str, kv: dict[str, str], at: float | None) -> StormEvent:
+    p = _probability(_num(_need(kv, "p", text), "p="), "p", text)
+    return StormEvent(p=p, at=_need_at(at, text))
+
+
+def _build_flap(text: str, kv: dict[str, str], at: float | None) -> FlapEvent:
+    if at is not None:
+        raise ReproError(f"flap takes on=/off= windows, not @time ({text!r})")
+    raw = _need(kv, "wire", text)
+    src_raw, sep, port_raw = raw.partition(":")
+    if not sep:
+        raise ReproError(f"flap wire must be NODE:PORT, got {raw!r} in {text!r}")
+    on = _num(_need(kv, "on", text), "on=")
+    off = _num(_need(kv, "off", text), "off=")
+    if not 0 <= on < off:
+        raise ReproError(f"flap needs 0 <= on < off, got on={on} off={off}")
+    cycles = _int(kv.pop("cycles"), "cycles=") if "cycles" in kv else 1
+    if cycles < 1:
+        raise ReproError(f"flap cycles must be >= 1, got {cycles}")
+    return FlapEvent(
+        src=_int(src_raw, "flap node"),
+        out_port=_int(port_raw, "flap port"),
+        on=on,
+        off=off,
+        cycles=cycles,
+    )
+
+
+def _build_frontier(text: str, kv: dict[str, str], at: float | None) -> FrontierEvent:
+    k = _int(_need(kv, "k", text), "k=")
+    if k < 1:
+        raise ReproError(f"frontier k must be >= 1, got {k} in {text!r}")
+    return FrontierEvent(k=k, at=_need_at(at, text))
+
+
+def _build_count_wave(cls, default_n: int, minimum: int):
+    def build(text: str, kv: dict[str, str], at: float | None):
+        n = _int(kv.pop("n"), "n=") if "n" in kv else default_n
+        if n < minimum:
+            raise ReproError(f"n must be >= {minimum}, got {n} in {text!r}")
+        return cls(n=n, at=_need_at(at, text))
+
+    return build
+
+
+_EVENT_BUILDERS: dict[str, Callable] = {
+    "churn": _build_churn,
+    "storm": _build_storm,
+    "flap": _build_flap,
+    "frontier": _build_frontier,
+    "cut": _build_count_wave(CutWaveEvent, default_n=1, minimum=1),
+    "heal": _build_count_wave(HealWaveEvent, default_n=0, minimum=0),
+    "add": _build_count_wave(AddWaveEvent, default_n=1, minimum=1),
+}

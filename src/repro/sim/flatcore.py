@@ -59,6 +59,7 @@ __all__ = [
     "CODE_BITS",
     "CODE_MASK",
     "SEQ_SHIFT",
+    "SEQ_BITS",
     "PORT_SHIFT",
     "PORT_MASK",
     "PRIO_SHIFT",
@@ -262,11 +263,13 @@ class FlatEngine(Engine):
         self._in_shift = [
             (p << PORT_SHIFT) if p >= 0 else -1 for p in self._topo.wire_in_port
         ]
-        # Subclasses that intercept emissions (the dynamic wiring mixin)
-        # must route every entry through their _put_on_wire override; only
-        # the plain flat engine may use the fused drain loop and install
-        # send-time sinks (a cut wire must be judged at drain time, and a
-        # tracer expects emission records at drain time).
+        # A subclass that intercepts emissions by overriding _put_on_wire
+        # forfeits the fused drain loop and send-time sinks: every entry
+        # must route through its override.  FlatDynamicEngine deliberately
+        # does NOT override it — it patches the compiled tables in place
+        # and handles cut slots via _blocked_emission (plus per-node sink
+        # parking while a node's own out-wiring is degraded), which is what
+        # keeps dynamic runs on this fast path.
         self._fused_drain = type(self)._put_on_wire is FlatEngine._put_on_wire
         if self._fused_drain:
             for node, proc in enumerate(processors):
@@ -460,6 +463,20 @@ class FlatEngine(Engine):
                 if processors[node]._outbox:
                     self._drain_node(node)
             wheel.recycle(bucket)
+
+    def _blocked_emission(self, node: int, out_port: int, char: Char, dst: int) -> bool:
+        """Handle an emission through a slot holding no live wire (dst < 0).
+
+        Returns True if the emission was consumed as *modeled* behaviour.
+        The static engine knows no such thing — an unconnected out-port is
+        always a simulation bug here — but the dynamic subclass overrides
+        this to turn the :data:`~repro.topology.compile.CUT` sentinel into
+        a lost character, which is what keeps the fused drain usable while
+        the wiring changes under the run.
+        """
+        raise SimulationError(
+            f"node {node} emitted {char} through unconnected out-port {out_port}"
+        )
 
     def _emit(self, wire, node: int, out_port: int, char: Char) -> None:
         """Slow-path emission over an explicit wire (dynamic added wires).
@@ -740,10 +757,8 @@ class FlatEngine(Engine):
                 slot = slot_base + out_port
                 dst = wire_dst[slot]
                 if dst < 0:
-                    raise SimulationError(
-                        f"node {node} emitted {char} through unconnected "
-                        f"out-port {out_port}"
-                    )
+                    if self._blocked_emission(node, out_port, char, dst):
+                        continue
                 if char is prev_char:
                     base = prev_base
                 else:
@@ -766,6 +781,12 @@ class FlatEngine(Engine):
                 elif not lane:
                     touched.append(dst)
                 lane.append(base | in_shift[slot] | (len(lane) << SEQ_SHIFT))
+            if not touched:
+                # every entry was blocked (dynamic cut wires): an empty
+                # registered bucket would keep the engine "busy" one tick
+                # past the object backend — same cleanup as the purge hook
+                del wheel._buckets[next_tick]
+                wheel.recycle(bucket)
         self._active.update(node, proc._next_due)
 
     def _put_on_wire(self, node: int, out_port: int, char: Char) -> None:
@@ -773,9 +794,8 @@ class FlatEngine(Engine):
         slot = node * topo.stride + out_port
         dst = topo.wire_dst[slot]
         if dst < 0:
-            raise SimulationError(
-                f"node {node} emitted {char} through unconnected out-port {out_port}"
-            )
+            if self._blocked_emission(node, out_port, char, dst):
+                return
         base = self._id_base.get(id(char))
         if base is None:
             base = self._wheel.encode_base(char)

@@ -81,6 +81,7 @@ def result_to_doc(result: ScenarioResult) -> dict:
             for ep in result.episodes
         ],
         "lost_characters": result.lost_characters,
+        "phase": result.phase,
     }
 
 
@@ -106,6 +107,7 @@ def result_from_doc(doc: dict) -> ScenarioResult:
             by_family=tuple((kind, count) for kind, count in doc["by_family"]),
             episodes=tuple(RcaEpisode(**ep) for ep in doc["episodes"]),
             lost_characters=doc.get("lost_characters", 0),
+            phase=doc.get("phase", ""),
         )
     except (KeyError, TypeError) as exc:
         raise StoreError(f"malformed result record: {exc}") from exc

@@ -15,9 +15,18 @@ integer indexings and no hashing:
   out-ports are ``out_ports[out_start[u]:out_start[u+1]]``, ascending.
   ``in_start`` / ``in_ports`` is the same for in-ports.
 
-The compilation is a pure function of the frozen graph; the compiled form
-never mutates (the dynamic backend layers its cut/add overlays *on top*,
-exactly as the object backend overlays the base graph).
+The compilation is a pure function of the frozen graph.  For *static* runs
+the compiled form never mutates.  Dynamic runs patch it **incrementally**
+through a :class:`TopologyPatcher`: a cut stamps the :data:`CUT` sentinel
+into the wire tables, a heal or an add rewires the slot in place, and the
+patcher keeps a free-list of touched slots plus pristine copies of their
+base values, so any slot can be restored in O(1) and the whole topology
+reset in O(touched).  The CSR port census (``out_start``/``out_ports``/
+``in_start``/``in_ports``) is deliberately **not** patched: it feeds the
+processors' :class:`~repro.sim.engine.NodeContext` and the engine's
+per-node sinks, i.e. it models *port awareness established at power-on* —
+exactly the knowledge the paper says processors keep when the physical
+wiring changes under them.
 """
 
 from __future__ import annotations
@@ -28,7 +37,16 @@ from dataclasses import dataclass
 from repro.errors import SimulationError
 from repro.topology.portgraph import PortGraph
 
-__all__ = ["CompiledTopology", "compile_topology"]
+__all__ = ["UNWIRED", "CUT", "CompiledTopology", "TopologyPatcher", "compile_topology"]
+
+#: ``wire_dst`` value of an out-port that never carried a wire.  Emitting
+#: through it is a simulation bug (the processor cannot know the port).
+UNWIRED = -1
+
+#: ``wire_dst`` value of an out-port whose wire has been cut mid-run.  The
+#: processor still believes the port is connected — emissions through it
+#: are *modeled* as lost characters, not rejected as bugs.
+CUT = -2
 
 
 @dataclass(frozen=True)
@@ -63,6 +81,59 @@ class CompiledTopology:
     def in_ports_of(self, node: int) -> tuple[int, ...]:
         """Connected in-ports of ``node``, ascending (CSR slice)."""
         return tuple(self.in_ports[self.in_start[node]:self.in_start[node + 1]])
+
+
+class TopologyPatcher:
+    """Incremental, reversible edits to a :class:`CompiledTopology`.
+
+    Owns the mutation story of the compiled tables: every edit goes through
+    :meth:`cut` / :meth:`attach`, which stamp the slot and remember it in
+    :attr:`touched` — the free-list of slots that differ from the pristine
+    compile.  :meth:`restore` puts one slot back; a slot whose re-attached
+    wire equals its base wire drops off the free-list automatically, so
+    ``touched`` is always exactly the set of degraded slots (the flat
+    dynamic engine keys its per-node fast-path toggling off it).
+    """
+
+    def __init__(self, topo: CompiledTopology) -> None:
+        self.topo = topo
+        # pristine copies: the undo record every restore reads from
+        self._base_dst = array("q", topo.wire_dst)
+        self._base_in = array("q", topo.wire_in_port)
+        #: slots currently differing from the pristine compile
+        self.touched: set[int] = set()
+
+    def slot(self, node: int, out_port: int) -> int:
+        return node * self.topo.stride + out_port
+
+    def cut(self, slot: int) -> None:
+        """Stamp ``slot`` as cut: emissions lose their character."""
+        self.topo.wire_dst[slot] = CUT
+        self.topo.wire_in_port[slot] = CUT
+        self.touched.add(slot)
+
+    def attach(self, slot: int, dst: int, in_port: int) -> None:
+        """Wire ``slot`` to ``(dst, in_port)`` (a heal or an addition)."""
+        self.topo.wire_dst[slot] = dst
+        self.topo.wire_in_port[slot] = in_port
+        if self._base_dst[slot] == dst and self._base_in[slot] == in_port:
+            self.touched.discard(slot)  # healed back to the base wiring
+        else:
+            self.touched.add(slot)
+
+    def restore(self, slot: int) -> None:
+        """Put ``slot`` back to its pristine compiled value."""
+        self.topo.wire_dst[slot] = self._base_dst[slot]
+        self.topo.wire_in_port[slot] = self._base_in[slot]
+        self.touched.discard(slot)
+
+    def reset(self) -> None:
+        """Restore every touched slot (O(touched), via the free-list)."""
+        for slot in list(self.touched):
+            self.restore(slot)
+
+    def is_pristine(self, slot: int) -> bool:
+        return slot not in self.touched
 
 
 def compile_topology(graph: PortGraph) -> CompiledTopology:

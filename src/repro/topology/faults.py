@@ -1,4 +1,4 @@
-"""Fault injection: port-shutdown failures.
+"""Fault injection: port-shutdown failures and timeline wire waves.
 
 The paper motivates general directed networks partly as *bidirectional
 networks with in-port or out-port shutdown failures at individual
@@ -7,18 +7,42 @@ from a healthy (typically bidirectional) graph, kill a random subset of
 wires, and keep the result only if it is still a legal, strongly-connected
 network — exactly the population on which a topology-mapping protocol would
 be deployed after partial failures.
+
+Beyond the static pre-run generators, this module is the sampling layer of
+the perturbation-timeline subsystem (:mod:`repro.dynamics.timeline`): a
+:class:`WireState` tracks the evolving wiring while a timeline is lowered
+to concrete wire operations, and the wave samplers (:func:`sample_cut_wave`,
+:func:`frontier_targets`, :func:`pick_cut_victim`, :func:`pick_free_wire`)
+choose *legal* victims — a sampled cut never strands a processor without an
+in- or out-port and, under the default policy, never disconnects the
+network.  Every stochastic choice draws from a :func:`repro.util.rng.make_rng`
+generator, so a fault pattern is a pure function of its seed — identical in
+every worker process and interpreter invocation.
 """
 
 from __future__ import annotations
 
-import random
+from typing import Iterable, Iterator
 
 from repro.errors import TopologyError
 from repro.topology.portgraph import PortGraph, Wire
-from repro.topology.properties import is_strongly_connected
-from repro.util.rng import make_rng
+from repro.topology.properties import (
+    edges_strongly_connected,
+    is_strongly_connected,
+)
+from repro.util.rng import Seed, make_rng
 
-__all__ = ["remove_wires", "shutdown_out_ports", "degrade_bidirectional"]
+__all__ = [
+    "remove_wires",
+    "shutdown_out_ports",
+    "degrade_bidirectional",
+    "WireState",
+    "pick_cut_victim",
+    "pick_free_wire",
+    "sample_cut_wave",
+    "frontier_targets",
+    "apply_wire_events",
+]
 
 
 def remove_wires(graph: PortGraph, dead: set[Wire]) -> PortGraph:
@@ -38,7 +62,7 @@ def shutdown_out_ports(
     graph: PortGraph,
     failure_rate: float,
     *,
-    seed: int | random.Random | None = None,
+    seed: Seed = None,
     require_strongly_connected: bool = True,
     max_tries: int = 100,
 ) -> PortGraph:
@@ -69,7 +93,7 @@ def degrade_bidirectional(
     graph: PortGraph,
     one_way_fraction: float,
     *,
-    seed: int | random.Random | None = None,
+    seed: Seed = None,
     max_tries: int = 100,
 ) -> PortGraph:
     """Turn a fraction of bidirectional links into one-way links.
@@ -109,3 +133,233 @@ def degrade_bidirectional(
         f"no strongly-connected degraded network at "
         f"one_way_fraction={one_way_fraction} after {max_tries} tries"
     )
+
+
+# ----------------------------------------------------------------------
+# single-victim pickers (one mid-run cut / one mid-run addition)
+# ----------------------------------------------------------------------
+def pick_cut_victim(graph: PortGraph, rng) -> Wire:
+    """A deterministic-per-seed wire whose cut keeps every node legal.
+
+    This is the sampler behind the legacy ``cut:T`` fault model; its draw
+    sequence is part of the stored-result contract (the same scenario must
+    pick the same victim forever), so it stays exactly one ``randrange``
+    over the degree-legal candidates, in wire insertion order.
+    """
+    candidates = [
+        w
+        for w in graph.wires()
+        if graph.out_degree(w.src) > 1 and graph.in_degree(w.dst) > 1
+    ]
+    if not candidates:
+        raise TopologyError("no wire can be cut without making the network illegal")
+    return candidates[rng.randrange(len(candidates))]
+
+
+def pick_free_wire(graph: PortGraph, rng) -> Wire:
+    """A deterministic-per-seed new wire between free ports.
+
+    The sampler behind the legacy ``add:T`` fault model (same draw-sequence
+    contract as :func:`pick_cut_victim`).
+    """
+    all_ports = set(range(1, graph.delta + 1))
+    srcs = [
+        (node, min(free))
+        for node in graph.nodes()
+        if (free := all_ports - set(graph.connected_out_ports(node)))
+    ]
+    dsts = [
+        (node, min(free))
+        for node in graph.nodes()
+        if (free := all_ports - set(graph.connected_in_ports(node)))
+    ]
+    if not srcs or not dsts:
+        raise TopologyError(
+            "no free ports for an 'add' fault; use a family with spare ports "
+            "(e.g. 'spare-ring')"
+        )
+    src, out_port = srcs[rng.randrange(len(srcs))]
+    dst, in_port = dsts[rng.randrange(len(dsts))]
+    return Wire(src, out_port, dst, in_port)
+
+
+# ----------------------------------------------------------------------
+# evolving-wiring state for timeline lowering
+# ----------------------------------------------------------------------
+class WireState:
+    """The wiring of a network as a timeline mutates it, with legality checks.
+
+    Tracks the set of present wires (base wires minus cuts plus additions),
+    per-node degrees, and which base wires are currently down (the heal
+    candidates).  All queries are deterministic: candidate enumerations
+    follow base-graph wire insertion order, then addition order.
+
+    ``keep_connected`` (default True) makes :meth:`can_cut` reject any cut
+    that would disconnect the network, so every intermediate wiring a
+    compiled timeline visits is a legal, strongly-connected
+    :class:`PortGraph` — mid-run damage comes from lost characters and
+    stale port knowledge, never from an unmappable network.
+    """
+
+    def __init__(self, graph: PortGraph, *, keep_connected: bool = True) -> None:
+        self.graph = graph
+        self.keep_connected = keep_connected
+        #: (src, out_port) -> Wire, every wire currently present
+        self.present: dict[tuple[int, int], Wire] = {
+            (w.src, w.out_port): w for w in graph.wires()
+        }
+        #: (dst, in_port) occupancy mirror of :attr:`present`
+        self.in_use: dict[tuple[int, int], Wire] = {
+            (w.dst, w.in_port): w for w in graph.wires()
+        }
+        #: base wires currently down, in cut order (heal candidates)
+        self.down: dict[tuple[int, int], Wire] = {}
+        self.out_deg = [graph.out_degree(u) for u in graph.nodes()]
+        self.in_deg = [graph.in_degree(u) for u in graph.nodes()]
+
+    # -- queries ---------------------------------------------------------
+    def wires(self) -> Iterator[Wire]:
+        """Present wires: base order first, additions in attach order."""
+        return iter(self.present.values())
+
+    def can_cut(self, wire: Wire) -> bool:
+        """Whether cutting ``wire`` keeps the network legal (and connected)."""
+        if self.present.get((wire.src, wire.out_port)) != wire:
+            return False
+        if self.out_deg[wire.src] <= 1 or self.in_deg[wire.dst] <= 1:
+            return False
+        if self.keep_connected:
+            return edges_strongly_connected(
+                self.graph.num_nodes,
+                (
+                    (w.src, w.dst)
+                    for w in self.present.values()
+                    if w is not wire
+                ),
+            )
+        return True
+
+    def can_attach(self, wire: Wire) -> bool:
+        """Whether both endpoint ports of ``wire`` are currently free."""
+        return (
+            (wire.src, wire.out_port) not in self.present
+            and (wire.dst, wire.in_port) not in self.in_use
+        )
+
+    def heal_candidates(self) -> list[Wire]:
+        """Base wires currently down whose ports are still free, cut order."""
+        return [w for w in self.down.values() if self.can_attach(w)]
+
+    # -- transitions -----------------------------------------------------
+    def cut(self, wire: Wire) -> None:
+        key = (wire.src, wire.out_port)
+        if self.present.get(key) != wire:
+            raise TopologyError(f"cannot cut absent wire {wire}")
+        del self.present[key]
+        del self.in_use[(wire.dst, wire.in_port)]
+        self.out_deg[wire.src] -= 1
+        self.in_deg[wire.dst] -= 1
+        if self.graph.out_wire(wire.src, wire.out_port) == wire:
+            self.down[key] = wire
+
+    def attach(self, wire: Wire) -> None:
+        if not self.can_attach(wire):
+            raise TopologyError(f"ports of {wire} are not free")
+        key = (wire.src, wire.out_port)
+        self.present[key] = wire
+        self.in_use[(wire.dst, wire.in_port)] = wire
+        self.out_deg[wire.src] += 1
+        self.in_deg[wire.dst] += 1
+        # only a heal of the downed base wire itself clears it from the
+        # heal-candidate set; an *added* wire borrowing the out-port keeps
+        # the base wire healable for after the addition is cut again
+        # (heal_candidates filters occupied ports through can_attach)
+        if self.down.get(key) == wire:
+            del self.down[key]
+
+    def snapshot(self) -> PortGraph:
+        """The current wiring as a frozen :class:`PortGraph`.
+
+        Raises :class:`TopologyError` if the state is not a legal network
+        (cannot happen through the legality-checked samplers).
+        """
+        current = PortGraph(self.graph.num_nodes, self.graph.delta)
+        for wire in self.present.values():
+            current.add_wire(wire.src, wire.out_port, wire.dst, wire.in_port)
+        return current.freeze()
+
+
+def sample_cut_wave(state: WireState, rate: float, rng) -> list[Wire]:
+    """One shutdown wave: each present wire dies with probability ``rate``.
+
+    Draws one uniform variate per present wire (in deterministic order)
+    *before* filtering for legality, so the random stream does not depend
+    on which earlier victims survived the legality check; illegal victims
+    are then skipped in order.  Returns the cut wires (already applied to
+    ``state``).
+    """
+    marked = [w for w in list(state.wires()) if rng.random() < rate]
+    cut: list[Wire] = []
+    for wire in marked:
+        if state.can_cut(wire):
+            state.cut(wire)
+            cut.append(wire)
+    return cut
+
+
+def frontier_targets(state: WireState, root: int, k: int) -> list[Wire]:
+    """The ``k`` legally-cuttable wires farthest from ``root``, by BFS depth.
+
+    An adversarial choice: the DFS of the mapping protocol explores outward
+    from the root, so at any moment the deep wires are the ones its
+    frontier is touching — cutting them maximizes the chance the probe (or
+    its answer) is lost.  Deterministic: depth descending, ties by base
+    wire order.  Returns the cut wires (already applied to ``state``).
+    """
+    successors: list[list[int]] = [[] for _ in range(state.graph.num_nodes)]
+    for wire in state.present.values():
+        successors[wire.src].append(wire.dst)
+    depth = [-1] * state.graph.num_nodes
+    depth[root] = 0
+    frontier = [root]
+    while frontier:
+        nxt: list[int] = []
+        for u in frontier:
+            for dst in successors[u]:
+                if depth[dst] < 0:
+                    depth[dst] = depth[u] + 1
+                    nxt.append(dst)
+        frontier = nxt
+    ranked = sorted(
+        enumerate(state.wires()),
+        key=lambda pair: (-(depth[pair[1].src] + 1), pair[0]),
+    )
+    cut: list[Wire] = []
+    for _, wire in ranked:
+        if len(cut) >= k:
+            break
+        if state.can_cut(wire):
+            state.cut(wire)
+            cut.append(wire)
+    return cut
+
+
+def apply_wire_events(
+    graph: PortGraph, events: Iterable[tuple[str, Wire]]
+) -> PortGraph:
+    """Replay ``(kind, wire)`` events over ``graph``; return the final wiring.
+
+    ``kind`` is ``"cut"`` (wire must be present), or ``"add"`` / ``"heal"``
+    (both ports must be free).  Raises :class:`TopologyError` on any illegal
+    step or if the final wiring is not a legal network — a fault program can
+    be infeasible, but it can never *silently* produce an illegal graph.
+    """
+    state = WireState(graph, keep_connected=False)
+    for kind, wire in events:
+        if kind == "cut":
+            state.cut(wire)
+        elif kind in ("add", "heal"):
+            state.attach(wire)
+        else:
+            raise TopologyError(f"unknown wire event kind {kind!r}")
+    return state.snapshot()

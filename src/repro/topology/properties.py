@@ -17,6 +17,7 @@ from repro.topology.portgraph import PortGraph
 
 __all__ = [
     "bfs_distances",
+    "edges_strongly_connected",
     "is_strongly_connected",
     "eccentricity",
     "diameter",
@@ -64,6 +65,37 @@ def is_strongly_connected(graph: PortGraph) -> bool:
                 count += 1
                 queue.append(v)
     return count == graph.num_nodes
+
+
+def edges_strongly_connected(num_nodes: int, edges) -> bool:
+    """:func:`is_strongly_connected` over a raw ``(src, dst)`` edge iterable.
+
+    The timeline fault generators probe many candidate wire removals per
+    wave; this variant answers the connectivity question without
+    constructing (and freezing) a throwaway :class:`PortGraph` per probe.
+    """
+    if num_nodes == 1:
+        return True
+    fwd: list[list[int]] = [[] for _ in range(num_nodes)]
+    rev: list[list[int]] = [[] for _ in range(num_nodes)]
+    for src, dst in edges:
+        fwd[src].append(dst)
+        rev[dst].append(src)
+    for adjacency in (fwd, rev):
+        seen = [False] * num_nodes
+        seen[0] = True
+        queue: deque[int] = deque([0])
+        count = 1
+        while queue:
+            u = queue.popleft()
+            for v in adjacency[u]:
+                if not seen[v]:
+                    seen[v] = True
+                    count += 1
+                    queue.append(v)
+        if count != num_nodes:
+            return False
+    return True
 
 
 def eccentricity(graph: PortGraph, source: int) -> int:

@@ -10,11 +10,18 @@ is fully deterministic).
 from __future__ import annotations
 
 import random
+from typing import Union
 
-__all__ = ["make_rng", "spawn_seeds"]
+__all__ = ["Seed", "make_rng", "spawn_seeds"]
+
+#: Anything :func:`make_rng` accepts.  Modules that take a seed parameter
+#: annotate with this alias instead of importing :mod:`random` themselves,
+#: which keeps :func:`make_rng` the single entry point for randomness (no
+#: stray module-level ``random`` usage to break cross-process determinism).
+Seed = Union[int, random.Random, None]
 
 
-def make_rng(seed: int | random.Random | None) -> random.Random:
+def make_rng(seed: Seed) -> random.Random:
     """Return a :class:`random.Random` for ``seed``.
 
     ``seed`` may be ``None`` (fresh nondeterministic generator), an ``int``
@@ -26,7 +33,7 @@ def make_rng(seed: int | random.Random | None) -> random.Random:
     return random.Random(seed)
 
 
-def spawn_seeds(seed: int | random.Random | None, count: int) -> list[int]:
+def spawn_seeds(seed: Seed, count: int) -> list[int]:
     """Derive ``count`` independent 63-bit child seeds from ``seed``.
 
     Useful when an experiment needs one seed per trial but must stay

@@ -152,6 +152,84 @@ def test_campaign_cell_parity(family, size, fault, seed):
     assert obj.lost_characters == flat.lost_characters
 
 
+# ----------------------------------------------------------------------
+# perturbation timelines: the dynamic fast path must stay tick-exact
+# ----------------------------------------------------------------------
+def _timeline_matrix():
+    families = ["spare-ring", "bidirectional-ring", "random"]
+    timelines = [
+        "storm:p=0.25@0.3",
+        "storm:p=0.3@0.2+heal@0.6",
+        "churn:rate=0.15,period=0.25,heal=0.5,until=1.5",
+        "frontier:k=2@0.4",
+        "cut@0.2+heal@0.25",         # heal racing the residence window
+        "cut:n=2@0.3+add@0.5",
+    ]
+    seeds = [0, 1]
+    if os.environ.get("REPRO_PARITY_FUZZ") == "1":
+        families += ["de-bruijn", "ring-of-rings", "hypercube"]
+        timelines += [
+            "flap:wire=2:1,on=0.1,off=0.5,cycles=2",
+            "storm:p=0.5@0.5+heal@0.7+storm:p=0.5@0.9",
+            "churn:rate=0.3,period=0.15,until=2",
+        ]
+        seeds += [2, 3, 4]
+    for family in families:
+        for timeline in timelines:
+            # adds need free ports; restrict them to the spare-ring
+            if "add" in timeline and family != "spare-ring":
+                continue
+            for seed in seeds:
+                yield family, timeline, seed
+
+
+@pytest.mark.parametrize("family,timeline,seed", list(_timeline_matrix()))
+def test_timeline_transcript_parity(family, timeline, seed):
+    """Flat incremental CSR patching must equal the object overlay bit-for-bit."""
+    from repro.dynamics import compile_timeline, run_dynamic_gtd
+    from repro.errors import TopologyError
+
+    graph = build_family(family, 10, seed)
+    try:
+        program = compile_timeline(timeline, graph, seed=seed)
+    except TopologyError:
+        # infeasible on this family — lowering is backend-independent, so
+        # both backends are identically infeasible; nothing to compare
+        pytest.skip(f"{timeline} infeasible on {family}")
+    budget = program.horizon * 3 + 1000
+    obj = run_dynamic_gtd(graph, program, max_ticks=budget, backend="object")
+    flat = run_dynamic_gtd(graph, program, max_ticks=budget, backend="flat")
+    assert obj.outcome == flat.outcome
+    assert obj.ticks == flat.ticks
+    assert obj.phase == flat.phase
+    assert obj.applied_ops == flat.applied_ops
+    assert obj.lost_characters == flat.lost_characters
+    assert obj.hops == flat.hops
+    assert transcript_bytes(obj.transcript) == transcript_bytes(flat.transcript)
+    assert obj.metrics.delivered == flat.metrics.delivered
+    assert obj.final_topology == flat.final_topology
+
+
+@pytest.mark.parametrize(
+    "fault",
+    ["frontier:k=2@0.4", "churn:rate=0.15,period=0.3", "storm:p=0.3@0.2+heal@0.6"],
+)
+@pytest.mark.parametrize("seed", [0, 1])
+def test_timeline_campaign_cell_parity(fault, seed):
+    """Timeline cells behave like every other cell of the matrix."""
+    obj = run_scenario(
+        Scenario(family="spare-ring", size=10, fault=fault, seed=seed)
+    )
+    flat = run_scenario(
+        Scenario(family="spare-ring", size=10, fault=fault, seed=seed, backend="flat")
+    )
+    assert obj.outcome == flat.outcome
+    assert obj.ticks == flat.ticks
+    assert obj.hops == flat.hops
+    assert obj.phase == flat.phase
+    assert obj.lost_characters == flat.lost_characters
+
+
 def test_backend_cells_hash_distinctly_but_default_is_stable():
     """The store must keep per-backend cells apart — and old keys intact."""
     base = Scenario("de-bruijn", 8)
