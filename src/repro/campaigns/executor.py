@@ -14,6 +14,35 @@ stochastic choice inside the worker derives from that seed through
 scenario for scenario, to ``run_campaign(spec, jobs=1)`` — the campaign
 determinism test asserts exactly that equality.
 
+**The zero-rebuild pipeline.**  Because every scenario is a pure function
+of its spec, all expensive setup artifacts are computed once per key and
+reused, per worker process:
+
+* the family :class:`~repro.topology.portgraph.PortGraph` is memoized per
+  ``(family, size, seed)``;
+* the *healthy* protocol run — previously re-measured as the baseline of
+  every dynamic cell, and run again in full for every ``none`` cell — is
+  memoized per ``(family, size, seed, backend)`` and shared by both;
+* engines are checked out of a per-worker
+  :class:`~repro.sim.run.EnginePool` (reset, not rebuilt, between runs),
+  which in turn shares the process-wide compiled-topology and interner
+  caches.
+
+The worker pool itself is **persistent**: one pool (per start method and
+size) survives across ``run_campaign`` invocations, so sweep drivers that
+call it in a loop stop paying a fork-and-reimport per call, and the
+per-worker caches above stay warm between invocations.  Dispatch is
+**chunked**: pending scenarios are grouped by their setup key
+``(family, size, seed, backend)`` and a whole group travels in one pickle
+round-trip, which both amortizes IPC and guarantees every cell sharing a
+baseline lands on the worker that already computed it.  None of this is
+observable in the results — ``jobs=1`` and ``jobs=N`` stay value-identical
+and stores resume byte-identically; :func:`run_scenario` with
+``fresh=True`` bypasses the per-worker memos and the engine pool, and
+:func:`clear_scenario_caches` additionally drops the process-wide
+compiled-topology/interner caches (the benchmark's pre-cache reference
+path clears + runs fresh; the cache-correctness tests rely on both).
+
 Aggregation reuses the shapes of :mod:`repro.analysis.run_stats`: per-RCA
 episodes are extracted from each root transcript inside the worker, and
 :meth:`CampaignResult.episode_fit` fits duration against loop length
@@ -22,6 +51,7 @@ across the whole campaign (Lemma 4.3 at matrix scale).
 
 from __future__ import annotations
 
+import atexit
 import json
 import multiprocessing
 import zlib
@@ -41,7 +71,10 @@ from repro.campaigns.spec import CampaignSpec, FaultModel, Scenario, build_famil
 from repro.dynamics.engine import WireMutation
 from repro.dynamics.experiment import run_dynamic_gtd
 from repro.errors import ReproError, TickBudgetExceeded, TranscriptError
-from repro.protocol.runner import determine_topology
+from repro.protocol.runner import TopologyResult, determine_topology
+from repro.sim.characters import clear_interner_cache
+from repro.sim.run import EnginePool
+from repro.topology.compile import clear_compiled_cache
 from repro.topology.faults import (
     pick_cut_victim,
     pick_free_wire,
@@ -52,7 +85,19 @@ from repro.util.fitting import FitResult
 from repro.util.rng import make_rng
 from repro.util.tables import format_table
 
-__all__ = ["ScenarioResult", "CampaignResult", "run_scenario", "run_campaign"]
+__all__ = [
+    "ScenarioResult",
+    "CampaignResult",
+    "run_scenario",
+    "run_campaign",
+    "clear_scenario_caches",
+    "shutdown_worker_pool",
+]
+
+#: The per-process engine pool every cached scenario run draws from.  In a
+#: campaign worker it lives for the worker's whole lifetime — which, with
+#: the persistent worker pool, spans ``run_campaign`` invocations.
+_ENGINE_POOL = EnginePool()
 
 
 @dataclass(frozen=True)
@@ -92,28 +137,41 @@ class ScenarioResult:
         return self.num_wires * max(1, self.diameter)
 
 
-def run_scenario(scenario: Scenario) -> ScenarioResult:
+def run_scenario(scenario: Scenario, *, fresh: bool = False) -> ScenarioResult:
     """Execute one scenario; deterministic in the scenario alone.
 
     A cell whose fault model cannot be realized on its network (no cuttable
     wire, no free port to add one, a shutdown pattern that never leaves a
     legal graph) reports outcome ``"infeasible"`` instead of aborting the
     rest of the matrix.
+
+    ``fresh=True`` bypasses every per-worker cache (graph memo, healthy-run
+    memo, engine pool) and rebuilds that setup from scratch — the pre-cache
+    execution path.  (The process-wide compiled-topology/interner caches
+    are shared state, not per-scenario setup; a caller that wants those
+    cold too — the campaign benchmark's reference loop — calls
+    :func:`clear_scenario_caches` first.)  The result is value-identical
+    either way: the cache layer is pure reuse, enforced by test and
+    asserted inside the campaign benchmark.
     """
     fault = scenario.fault_model()
-    graph = scenario.build_graph()
+    graph = (
+        scenario.build_graph()
+        if fresh
+        else _family_graph(scenario.family, scenario.size, scenario.seed)
+    )
     try:
         if fault.kind == "timeline":
-            return _run_timeline_scenario(scenario, graph, fault)
+            return _run_timeline_scenario(scenario, graph, fault, fresh=fresh)
         if fault.kind in ("cut", "add"):
-            return _run_dynamic_scenario(scenario, graph, fault)
+            return _run_dynamic_scenario(scenario, graph, fault, fresh=fresh)
         if fault.kind == "shutdown":
             graph = shutdown_out_ports(
                 graph, fault.param, seed=_derive_seed(scenario, "shutdown")
             )
     except ReproError:
         return _empty_result(scenario, graph, "infeasible")
-    return _run_static_scenario(scenario, graph)
+    return _run_static_scenario(scenario, graph, fresh=fresh)
 
 
 def _derive_backend_seed_key(scenario: Scenario) -> str:
@@ -156,11 +214,30 @@ def _derive_seed(scenario: Scenario, purpose: str) -> int:
     return zlib.crc32(key.encode()) & 0x7FFFFFFF
 
 
-def _run_static_scenario(scenario: Scenario, graph: PortGraph) -> ScenarioResult:
-    try:
-        result = determine_topology(graph, backend=scenario.backend)
-    except TickBudgetExceeded:
-        return _empty_result(scenario, graph, "deadlock")
+@lru_cache(maxsize=64)
+def _family_graph(family: str, size: int, seed: int) -> PortGraph:
+    """The per-worker memo of built (frozen, hence shareable) networks."""
+    return build_family(family, size, seed)
+
+
+@lru_cache(maxsize=32)
+def _healthy_run(family: str, size: int, seed: int, backend: str) -> TopologyResult:
+    """The full healthy-network protocol run for a scenario key.
+
+    This is the extension of the old ``_dynamic_baseline`` memo from
+    ``(ticks, diameter)`` to the whole :class:`TopologyResult`: a ``none``
+    static cell *is* the healthy run, so it and every dynamic cell of the
+    same ``(family, size, seed, backend)`` now share one simulation
+    instead of each paying their own.  Per worker process; the value is a
+    pure function of the key, so caching cannot perturb determinism.
+    (Backend parity makes the numbers backend-invariant, but keying on the
+    backend keeps the cache correct by construction.)
+    """
+    graph = _family_graph(family, size, seed)
+    return determine_topology(graph, backend=backend, pool=_ENGINE_POOL)
+
+
+def _static_result(scenario: Scenario, graph: PortGraph, result) -> ScenarioResult:
     return ScenarioResult(
         scenario=scenario,
         outcome="exact" if result.matches(graph) else "mismatch",
@@ -177,29 +254,45 @@ def _run_static_scenario(scenario: Scenario, graph: PortGraph) -> ScenarioResult
     )
 
 
-@lru_cache(maxsize=128)
-def _dynamic_baseline(
-    family: str, size: int, seed: int, backend: str
-) -> tuple[int, int]:
-    """(undisturbed ticks, diameter) for a scenario's healthy network.
+def _run_static_scenario(
+    scenario: Scenario, graph: PortGraph, *, fresh: bool = False
+) -> ScenarioResult:
+    try:
+        if fresh:
+            result = determine_topology(graph, backend=scenario.backend)
+        elif scenario.fault == "none":
+            # the healthy cell is exactly the shared baseline run
+            result = _healthy_run(
+                scenario.family, scenario.size, scenario.seed, scenario.backend
+            )
+        else:
+            # a degraded (shutdown) network: unique to this cell, but the
+            # engine itself still comes from the per-worker pool
+            result = determine_topology(
+                graph, backend=scenario.backend, pool=_ENGINE_POOL
+            )
+    except TickBudgetExceeded:
+        return _empty_result(scenario, graph, "deadlock")
+    return _static_result(scenario, graph, result)
 
-    Every dynamic fault cell of the same (family, size, seed, backend)
-    shares one baseline run; the cache is per worker process, and the
-    value is a pure function of its key, so caching cannot perturb
-    determinism.  (Backend parity makes the tick count backend-invariant,
-    but keying on it keeps the cache correct by construction.)
-    """
-    graph = build_family(family, size, seed)
-    baseline = determine_topology(graph, backend=backend)
+
+def _dynamic_baseline(
+    scenario: Scenario, graph: PortGraph, *, fresh: bool = False
+) -> tuple[int, int]:
+    """(undisturbed ticks, diameter) for a scenario's healthy network."""
+    if fresh:
+        baseline = determine_topology(graph, backend=scenario.backend)
+    else:
+        baseline = _healthy_run(
+            scenario.family, scenario.size, scenario.seed, scenario.backend
+        )
     return baseline.ticks, baseline.diameter
 
 
 def _run_dynamic_scenario(
-    scenario: Scenario, graph: PortGraph, fault: FaultModel
+    scenario: Scenario, graph: PortGraph, fault: FaultModel, *, fresh: bool = False
 ) -> ScenarioResult:
-    baseline_ticks, diam = _dynamic_baseline(
-        scenario.family, scenario.size, scenario.seed, scenario.backend
-    )
+    baseline_ticks, diam = _dynamic_baseline(scenario, graph, fresh=fresh)
     when = int(baseline_ticks * fault.param)
     rng = make_rng(_derive_seed(scenario, fault.kind))
     if fault.kind == "cut":
@@ -211,6 +304,7 @@ def _run_dynamic_scenario(
         [mutation],
         max_ticks=baseline_ticks * 3 + 1000,
         backend=scenario.backend,
+        pool=None if fresh else _ENGINE_POOL,
     )
     return ScenarioResult(
         scenario=scenario,
@@ -230,7 +324,7 @@ def _run_dynamic_scenario(
 
 
 def _run_timeline_scenario(
-    scenario: Scenario, graph: PortGraph, fault: FaultModel
+    scenario: Scenario, graph: PortGraph, fault: FaultModel, *, fresh: bool = False
 ) -> ScenarioResult:
     """One perturbation-timeline cell: compile, run, classify per phase.
 
@@ -240,9 +334,7 @@ def _run_timeline_scenario(
     dynamic cells, so object and flat runs see the same wire program.
     """
     assert fault.timeline is not None
-    baseline_ticks, diam = _dynamic_baseline(
-        scenario.family, scenario.size, scenario.seed, scenario.backend
-    )
+    baseline_ticks, diam = _dynamic_baseline(scenario, graph, fresh=fresh)
     program = fault.timeline.compile(
         graph,
         horizon=baseline_ticks,
@@ -254,6 +346,7 @@ def _run_timeline_scenario(
         program,
         max_ticks=baseline_ticks * 3 + 1000,
         backend=scenario.backend,
+        pool=None if fresh else _ENGINE_POOL,
     )
     return ScenarioResult(
         scenario=scenario,
@@ -283,28 +376,145 @@ def _safe_episodes(transcript) -> list[RcaEpisode]:
 # ----------------------------------------------------------------------
 # the campaign runner
 # ----------------------------------------------------------------------
+#: The persistent worker pool: ``(start method, size, Pool)`` or ``None``.
+#: One pool is kept alive across ``run_campaign`` invocations and reused
+#: whenever the requested method matches and the size suffices — sweep
+#: drivers calling ``run_campaign`` in a loop pay the fork/spawn/import
+#: cost once, and the workers' scenario caches stay warm between calls.
+_WORKER_POOL: tuple[str, int, "multiprocessing.pool.Pool"] | None = None
+
+
+def _resolve_start_method(start_method: str | None) -> str:
+    """The multiprocessing start method a campaign pool should use.
+
+    ``None`` picks ``fork`` where the platform still offers it (cheapest,
+    and the historical behaviour) and otherwise falls back to the
+    platform default — under Python 3.14+ that is ``forkserver``/``spawn``,
+    which the executor supports identically: workers import this module by
+    name and every scenario travels by value.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    if start_method is not None:
+        if start_method not in methods:
+            raise ReproError(
+                f"unknown start method {start_method!r}; "
+                f"this platform offers {methods}"
+            )
+        return start_method
+    return "fork" if "fork" in methods else multiprocessing.get_start_method()
+
+
+def _worker_pool(workers: int, start_method: str | None):
+    """The persistent pool, (re)built only when method or size demand it."""
+    global _WORKER_POOL
+    method = _resolve_start_method(start_method)
+    if _WORKER_POOL is not None:
+        live_method, live_size, pool = _WORKER_POOL
+        if live_method == method and live_size >= workers:
+            return pool
+        shutdown_worker_pool()
+    ctx = multiprocessing.get_context(method)
+    pool = ctx.Pool(processes=workers)
+    _WORKER_POOL = (method, workers, pool)
+    return pool
+
+
+def shutdown_worker_pool() -> None:
+    """Dispose of the persistent worker pool (tests, interpreter exit).
+
+    Safe to call at any time; the next parallel ``run_campaign`` simply
+    builds a fresh pool.  Terminates rather than drains — matching the old
+    per-invocation ``with ctx.Pool(...)`` exit — so chunks abandoned by an
+    error cannot block interpreter shutdown; results only ever live in the
+    parent, so nothing of value is lost.
+    """
+    global _WORKER_POOL
+    if _WORKER_POOL is not None:
+        _, _, pool = _WORKER_POOL
+        _WORKER_POOL = None
+        pool.terminate()
+        pool.join()
+
+
+atexit.register(shutdown_worker_pool)
+
+
+def clear_scenario_caches() -> None:
+    """Reset every per-process scenario cache to cold (tests, benchmarks).
+
+    Clears the graph and healthy-run memos, the engine pool, and the
+    process-wide compiled-topology/interner caches.  Does not touch the
+    persistent worker pool (their caches are per-worker; use
+    :func:`shutdown_worker_pool` to recycle the workers themselves).
+    """
+    _family_graph.cache_clear()
+    _healthy_run.cache_clear()
+    _ENGINE_POOL.clear()
+    clear_compiled_cache()
+    clear_interner_cache()
+
+
+def _chunk_pending(
+    pending: list[tuple[int, Scenario]],
+    workers: int,
+) -> list[list[tuple[int, Scenario]]]:
+    """Group pending cells by setup key, preserving matrix order.
+
+    Cells sharing a ``(family, size, seed, backend)`` key ride together:
+    one pickle round-trip per chunk, and the worker that receives a chunk
+    computes the shared setup (built graph, healthy-run baseline, pooled
+    engine) once instead of racing its siblings to compute it redundantly.
+
+    Chunks are additionally **capped** at roughly two chunks per worker:
+    a fault-heavy matrix with few keys would otherwise collapse onto a
+    couple of workers and idle the rest.  Splitting a key across chunks
+    re-pays its baseline at most once per extra chunk — never worse than
+    the old per-scenario dispatch, which split every key all the way down
+    — and the finer grain also tightens the store's write-through
+    granularity (results persist as each chunk completes).  Chunking is
+    invisible in the results: each cell travels with its matrix index.
+    """
+    groups: dict[tuple, list[tuple[int, Scenario]]] = {}
+    for index, scenario in pending:
+        key = (scenario.family, scenario.size, scenario.seed, scenario.backend)
+        groups.setdefault(key, []).append((index, scenario))
+    cap = max(1, -(-len(pending) // (workers * 2)))
+    chunks: list[list[tuple[int, Scenario]]] = []
+    for group in groups.values():
+        for start in range(0, len(group), cap):
+            chunks.append(group[start:start + cap])
+    return chunks
+
+
 def run_campaign(
     spec: CampaignSpec | Sequence[Scenario],
     *,
     jobs: int = 1,
     store=None,
+    start_method: str | None = None,
 ) -> "CampaignResult":
     """Run every scenario of ``spec``; fan out over ``jobs`` processes.
 
     Results come back in matrix order regardless of ``jobs``; with the same
-    spec they are identical value-for-value for any worker count.
+    spec they are identical value-for-value for any worker count — and for
+    any ``start_method`` (``"fork"``, ``"forkserver"`` or ``"spawn"``;
+    ``None`` prefers ``fork`` where available).  The worker pool is
+    persistent: it survives this call and is reused by the next one with a
+    compatible method/size, keeping per-worker caches warm across sweep
+    loops (see the module docstring; :func:`shutdown_worker_pool` disposes
+    of it).
 
     With ``store`` (a :class:`repro.store.ResultStore` or a path to one),
     the run becomes persistent and incremental: scenarios already recorded
     in the store are loaded instead of executed, and every fresh result is
-    written through **as it completes** — so an interrupted campaign keeps
-    its finished prefix and a re-run with the same store executes only the
-    remainder.  Because :func:`run_scenario` is a pure function of the
-    scenario, a loaded record equals the re-run result value-for-value and
-    the resumed campaign's aggregate is byte-identical to an uninterrupted
-    one.  (Corollary: a store outlives code changes — after editing the
-    protocol or the engine, start a fresh store rather than resuming into
-    results computed by older code.)
+    written through **as its chunk completes** — so an interrupted campaign
+    keeps its finished prefix and a re-run with the same store executes
+    only the remainder.  Because :func:`run_scenario` is a pure function of
+    the scenario, a loaded record equals the re-run result value-for-value
+    and the resumed campaign's aggregate is byte-identical to an
+    uninterrupted one.  (Corollary: a store outlives code changes — after
+    editing the protocol or the engine, start a fresh store rather than
+    resuming into results computed by older code.)
     """
     scenarios = spec.scenarios() if isinstance(spec, CampaignSpec) else list(spec)
     if jobs < 1:
@@ -325,25 +535,36 @@ def run_campaign(
         for index, scenario in pending:
             slots[index] = _run_and_record(scenario, store)
     else:
-        methods = multiprocessing.get_all_start_methods()
-        ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
-        with ctx.Pool(processes=workers) as pool:
-            # imap_unordered (not map/imap) so each result is persisted the
-            # moment *any* worker finishes — an in-order stream would sit
-            # on completed results behind a slow scenario, and a crash
-            # would lose them.  Indices travel with the scenarios, so the
-            # returned matrix order is unaffected.
-            for index, result in pool.imap_unordered(_run_indexed, pending):
-                if store is not None:
-                    store.put(result)
-                slots[index] = result
+        pool = _worker_pool(workers, start_method)
+        # imap_unordered (not map/imap) so each chunk is persisted the
+        # moment *any* worker finishes it — an in-order stream would sit
+        # on completed results behind a slow chunk, and a crash would
+        # lose them.  Indices travel with the scenarios, so the returned
+        # matrix order is unaffected.
+        try:
+            for batch in pool.imap_unordered(
+                _run_chunk, _chunk_pending(pending, workers)
+            ):
+                for index, result in batch:
+                    if store is not None:
+                        store.put(result)
+                    slots[index] = result
+        except BaseException:
+            # A worker error (or Ctrl-C) abandons the iterator, but the
+            # persistent pool would keep grinding through every queued
+            # chunk in the background.  Terminate it — restoring the old
+            # per-invocation `with ctx.Pool(...)` exit behaviour — and let
+            # the next run_campaign build a fresh pool.
+            shutdown_worker_pool()
+            raise
     return CampaignResult(results=slots)
 
 
-def _run_indexed(item: tuple[int, Scenario]) -> tuple[int, "ScenarioResult"]:
-    """Worker shim: carry the matrix index through the unordered pool."""
-    index, scenario = item
-    return index, run_scenario(scenario)
+def _run_chunk(
+    chunk: list[tuple[int, Scenario]],
+) -> list[tuple[int, "ScenarioResult"]]:
+    """Worker shim: one pickle round-trip per setup-key group of cells."""
+    return [(index, run_scenario(scenario)) for index, scenario in chunk]
 
 
 def _coerce_store(store):

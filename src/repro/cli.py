@@ -143,6 +143,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (results are identical for any J)",
     )
     p_camp.add_argument(
+        "--start-method", choices=("fork", "forkserver", "spawn"), default=None,
+        help="multiprocessing start method for the worker pool (default: "
+        "fork where available, else the platform default; results are "
+        "identical for any method)",
+    )
+    p_camp.add_argument(
         "--episodes", action="store_true",
         help="also print the Lemma 4.3 episode-scaling fit over the matrix",
     )
@@ -447,7 +453,9 @@ def _run_campaign_command(args: argparse.Namespace) -> int:
     )
     store = _open_campaign_store(args)
     reused = len(spec) - len(store.missing(spec)) if store is not None else 0
-    campaign = run_campaign(spec, jobs=args.jobs, store=store)
+    campaign = run_campaign(
+        spec, jobs=args.jobs, store=store, start_method=args.start_method
+    )
     print(campaign.summary())
     phase_rows = phase_outcome_counts(campaign.results)
     if phase_rows:

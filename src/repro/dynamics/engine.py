@@ -181,6 +181,34 @@ class DynamicWiringMixin:
     def _on_wire_op(self, op: WireMutation) -> None:
         """Backend-specific reaction to one applied op (default: none)."""
 
+    def _reset_wiring(self) -> None:
+        """Backend hook: put the data plane's wiring back to power-on."""
+
+    # ------------------------------------------------------------------
+    def reset(self, timeline: Sequence[WireMutation] = ()) -> None:
+        """Restore power-on state and load a new wire-op program.
+
+        Engine reuse for dynamic runs: the base engine reset
+        (:meth:`repro.sim.engine.Engine.reset` via whichever concrete
+        engine this mixin composes with) restores clocks, queues and
+        processors; this override additionally restores the wiring to the
+        base graph (backend hook), swaps in the next run's timeline —
+        replay-validated exactly as at construction — and applies its
+        tick-0 ops.  A reset run is byte-identical to a fresh engine
+        constructed with the same timeline (the reuse parity suite
+        enforces it).
+        """
+        super().reset()
+        self._reset_wiring()
+        ops = getattr(timeline, "ops", timeline)
+        self._ops = validate_wire_ops(self.graph, ops)
+        self._cursor = 0
+        self._cut.clear()
+        self._added.clear()
+        self.lost_characters = 0
+        self.applied_mutations = []
+        self._apply_due_mutations()
+
     # ------------------------------------------------------------------
     def step_tick(self) -> None:
         super().step_tick()
@@ -268,6 +296,10 @@ class FlatDynamicEngine(DynamicWiringMixin, FlatEngine):
     is judged at departure time, exactly like the object backend.
     """
 
+    #: patch the compiled tables in place — construction must fork the
+    #: shared cached artifact (see FlatEngine.MUTATES_TOPOLOGY)
+    MUTATES_TOPOLOGY = True
+
     def _init_dynamic_backend(self) -> None:
         self._patcher = TopologyPatcher(self._topo)
         # stash the per-node fast-path closures installed by FlatEngine so
@@ -279,6 +311,24 @@ class FlatDynamicEngine(DynamicWiringMixin, FlatEngine):
         }
         #: node -> set of currently degraded out-ports (cut or rewired)
         self._degraded_ports: dict[int, set[int]] = {}
+
+    def _reset_wiring(self) -> None:
+        """Restore the compiled tables and fast paths to power-on state.
+
+        O(touched): only slots the previous run's ops degraded are
+        restored.  The ``_in_shift`` companion table is re-derived for
+        exactly those slots, and the parked-sink bookkeeping is cleared —
+        the base engine reset already re-installed every sink, which is
+        the correct power-on state (no node starts degraded).
+        """
+        patcher = self._patcher
+        wire_in_port = self._topo.wire_in_port
+        in_shift = self._in_shift
+        for slot in list(patcher.touched):
+            patcher.restore(slot)
+            port = wire_in_port[slot]
+            in_shift[slot] = (port << PORT_SHIFT) if port >= 0 else -1
+        self._degraded_ports.clear()
 
     # ------------------------------------------------------------------
     def _on_wire_op(self, op: WireMutation) -> None:

@@ -38,7 +38,13 @@ from repro.protocol.gtd import GTDProcessor
 from repro.protocol.root_computer import MasterComputer, ReconstructedMap
 from repro.protocol.runner import default_tick_budget, determine_topology
 from repro.sim.metrics import TrafficMetrics
-from repro.sim.run import DEFAULT_BACKEND, RunConfig, check_backend, execute_run
+from repro.sim.run import (
+    DEFAULT_BACKEND,
+    EnginePool,
+    RunConfig,
+    check_backend,
+    execute_run,
+)
 from repro.sim.transcript import Transcript
 from repro.topology.isomorphism import port_isomorphic
 from repro.topology.portgraph import PortGraph
@@ -125,18 +131,29 @@ def run_dynamic_gtd(
     root: int = 0,
     max_ticks: int | None = None,
     backend: str = DEFAULT_BACKEND,
+    pool: EnginePool | None = None,
 ) -> DynamicRunResult:
     """Run GTD on ``graph`` while applying ``timeline``; classify the result.
 
     ``timeline`` is a compiled :class:`TimelineProgram` (phases reported)
     or a plain list of :class:`WireMutation` (legacy single-op interface).
+    With ``pool``, the dynamic engine is checked out of (and returned to)
+    an :class:`~repro.sim.run.EnginePool`: a reused engine is reset to
+    power-on wiring and loaded with this call's timeline, so consecutive
+    perturbation runs on one network skip the whole table rebuild.
     """
     budget = max_ticks if max_ticks is not None else default_tick_budget(
         graph, diameter(graph)
     )
-    processors = [GTDProcessor() for _ in graph.nodes()]
     engine_cls = DYNAMIC_ENGINE_BACKENDS[check_backend(backend)]
-    engine = engine_cls(graph, list(processors), timeline, root=root)
+    if pool is not None:
+        engine = pool.checkout(
+            engine_cls, graph, GTDProcessor, root=root, timeline=timeline
+        )
+        processors = engine.processors
+    else:
+        processors = [GTDProcessor() for _ in graph.nodes()]
+        engine = engine_cls(graph, list(processors), timeline, root=root)
     program = timeline if isinstance(timeline, TimelineProgram) else None
     root_proc = processors[root]
 
@@ -164,6 +181,19 @@ def run_dynamic_gtd(
                 backend=backend,
             ),
         )
+        ticks = run.ticks
+        final = engine.effective_topology()
+        try:
+            recovered = MasterComputer(strict=False).reconstruct(run.transcript)
+            recovered_graph = recovered.to_portgraph(delta=graph.delta)
+            accurate = port_isomorphic(
+                final, root, recovered_graph, ReconstructedMap.ROOT
+            )
+        except (ReconstructionError, TranscriptError):
+            # The transcript itself was corrupted by the change: clearly stale.
+            return result(DynamicOutcome.STALE, ticks, None, final)
+        outcome = DynamicOutcome.ACCURATE if accurate else DynamicOutcome.STALE
+        return result(outcome, ticks, recovered, final)
     except (TickBudgetExceeded, ProtocolViolation) as exc:
         outcome = (
             DynamicOutcome.DEADLOCK
@@ -171,14 +201,6 @@ def run_dynamic_gtd(
             else DynamicOutcome.PROTOCOL_ERROR
         )
         return result(outcome, engine.tick, None, engine.effective_topology())
-    ticks = run.ticks
-    final = engine.effective_topology()
-    try:
-        recovered = MasterComputer(strict=False).reconstruct(run.transcript)
-        recovered_graph = recovered.to_portgraph(delta=graph.delta)
-        accurate = port_isomorphic(final, root, recovered_graph, ReconstructedMap.ROOT)
-    except (ReconstructionError, TranscriptError):
-        # The transcript itself was corrupted by the change: clearly stale.
-        return result(DynamicOutcome.STALE, ticks, None, final)
-    outcome = DynamicOutcome.ACCURATE if accurate else DynamicOutcome.STALE
-    return result(outcome, ticks, recovered, final)
+    finally:
+        if pool is not None:
+            pool.checkin(engine)

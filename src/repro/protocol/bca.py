@@ -12,7 +12,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.sim.engine import Engine
-from repro.sim.run import DEFAULT_BACKEND, RunConfig, execute_run, make_engine
+from repro.sim.run import (
+    DEFAULT_BACKEND,
+    ENGINE_BACKENDS,
+    EnginePool,
+    RunConfig,
+    check_backend,
+    execute_run,
+    make_engine,
+)
 from repro.protocol.automaton import ProtocolProcessor
 from repro.topology.portgraph import PortGraph
 
@@ -67,40 +75,57 @@ def run_single_bca(
     root: int = 0,
     max_ticks: int | None = None,
     backend: str = DEFAULT_BACKEND,
+    pool: EnginePool | None = None,
 ) -> BCARunResult:
     """Send ``message`` backwards through ``(node, in_port)`` and drain.
 
     The receiving processor is ``graph.in_wire(node, in_port).src`` — the
     paper's processor A.  Note the BCA never involves the root specially;
-    ``root`` only selects which node's transcript is recorded.
+    ``root`` only selects which node's transcript is recorded.  With
+    ``pool``, the engine is checked out of (and returned to) an
+    :class:`~repro.sim.run.EnginePool`, as in
+    :func:`~repro.protocol.rca.run_single_rca`.
     """
     wire = graph.in_wire(node, in_port)
     if wire is None:
         raise ValueError(f"in-port {in_port} of node {node} is not wired")
-    processors = [ScriptedBCADriver() for _ in graph.nodes()]
-    engine = make_engine(backend, graph, list(processors), root=root)
-    engine.start()
-    initiator = processors[node]
-    initiator.begin_tick(engine.tick)
-    initiator.trigger(in_port, message)
-    engine.wake(node)
-    target = processors[wire.src]
-    budget = max_ticks or (400 * (graph.num_nodes + 2) + 2000)
-    run = execute_run(
-        engine,
-        RunConfig(
-            max_ticks=budget,
-            until=lambda: initiator.initiator_done_at is not None,
-            start=False,
-            drain_slack=200,
-            backend=backend,
-        ),
-    )
-    assert target.delivered_at is not None, "message never delivered"
-    assert initiator.initiator_done_at is not None
-    # For a self-loop the initiator is its own target.
-    resumed = target.resumed_at
-    assert resumed is not None, "target never resumed"
+    if pool is not None:
+        engine = pool.checkout(
+            ENGINE_BACKENDS[check_backend(backend)],
+            graph,
+            ScriptedBCADriver,
+            root=root,
+        )
+        processors = engine.processors
+    else:
+        processors = [ScriptedBCADriver() for _ in graph.nodes()]
+        engine = make_engine(backend, graph, list(processors), root=root)
+    try:
+        engine.start()
+        initiator = processors[node]
+        initiator.begin_tick(engine.tick)
+        initiator.trigger(in_port, message)
+        engine.wake(node)
+        target = processors[wire.src]
+        budget = max_ticks or (400 * (graph.num_nodes + 2) + 2000)
+        run = execute_run(
+            engine,
+            RunConfig(
+                max_ticks=budget,
+                until=lambda: initiator.initiator_done_at is not None,
+                start=False,
+                drain_slack=200,
+                backend=backend,
+            ),
+        )
+        assert target.delivered_at is not None, "message never delivered"
+        assert initiator.initiator_done_at is not None
+        # For a self-loop the initiator is its own target.
+        resumed = target.resumed_at
+        assert resumed is not None, "target never resumed"
+    finally:
+        if pool is not None:
+            pool.checkin(engine)
     return BCARunResult(
         initiator=node,
         target=wire.src,

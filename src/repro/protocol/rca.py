@@ -13,7 +13,15 @@ from dataclasses import dataclass
 from repro.errors import ProtocolViolation
 from repro.sim.characters import Char
 from repro.sim.engine import Engine
-from repro.sim.run import DEFAULT_BACKEND, RunConfig, execute_run, make_engine
+from repro.sim.run import (
+    DEFAULT_BACKEND,
+    ENGINE_BACKENDS,
+    EnginePool,
+    RunConfig,
+    check_backend,
+    execute_run,
+    make_engine,
+)
 from repro.sim.transcript import Transcript
 from repro.protocol.automaton import ProtocolProcessor
 from repro.topology.portgraph import PortGraph
@@ -64,38 +72,57 @@ def run_single_rca(
     token: Char | None = None,
     max_ticks: int | None = None,
     backend: str = DEFAULT_BACKEND,
+    pool: EnginePool | None = None,
 ) -> RCARunResult:
     """Run one RCA from ``initiator`` toward ``root`` and drain the network.
 
     The token defaults to ``FORWARD(1, 1)``.  Raises
-    :class:`~repro.errors.TickBudgetExceeded` on livelock.
+    :class:`~repro.errors.TickBudgetExceeded` on livelock.  With ``pool``,
+    the engine is checked out of (and returned to) an
+    :class:`~repro.sim.run.EnginePool` — episode loops that fire many RCAs
+    on one network reuse a single engine instead of rebuilding it per
+    episode.  The ``engine`` in the result then stays coherent only until
+    the pool's next checkout for this network.
     """
     if initiator == root:
         raise ProtocolViolation("the root does not run the RCA with itself")
-    processors = [ScriptedRCADriver() for _ in graph.nodes()]
-    engine = make_engine(backend, graph, list(processors), root=root)
-    engine.start()
-    driver = processors[initiator]
-    driver.begin_tick(engine.tick)
-    driver.trigger(token or Char("FWD", out_port=1, in_port=1))
-    engine.wake(initiator)
-    budget = max_ticks or (400 * (graph.num_nodes + 2) + 2000)
-    run = execute_run(
-        engine,
-        RunConfig(
-            max_ticks=budget,
-            until=lambda: driver.completed_at is not None,
-            start=False,
-            drain_slack=200,
-            backend=backend,
-        ),
-    )
-    completed = driver.completed_at
-    assert completed is not None
-    return RCARunResult(
-        initiator=initiator,
-        ticks=run.drained_ticks,
-        completed_at=completed,
-        transcript=run.transcript,
-        engine=engine,
-    )
+    if pool is not None:
+        engine = pool.checkout(
+            ENGINE_BACKENDS[check_backend(backend)],
+            graph,
+            ScriptedRCADriver,
+            root=root,
+        )
+        processors = engine.processors
+    else:
+        processors = [ScriptedRCADriver() for _ in graph.nodes()]
+        engine = make_engine(backend, graph, list(processors), root=root)
+    try:
+        engine.start()
+        driver = processors[initiator]
+        driver.begin_tick(engine.tick)
+        driver.trigger(token or Char("FWD", out_port=1, in_port=1))
+        engine.wake(initiator)
+        budget = max_ticks or (400 * (graph.num_nodes + 2) + 2000)
+        run = execute_run(
+            engine,
+            RunConfig(
+                max_ticks=budget,
+                until=lambda: driver.completed_at is not None,
+                start=False,
+                drain_slack=200,
+                backend=backend,
+            ),
+        )
+        completed = driver.completed_at
+        assert completed is not None
+        return RCARunResult(
+            initiator=initiator,
+            ticks=run.drained_ticks,
+            completed_at=completed,
+            transcript=run.transcript,
+            engine=engine,
+        )
+    finally:
+        if pool is not None:
+            pool.checkin(engine)

@@ -23,7 +23,15 @@ from repro.errors import NotStronglyConnectedError
 from repro.sim.audit import assert_finite_state
 from repro.sim.engine import Engine
 from repro.sim.metrics import TrafficMetrics
-from repro.sim.run import DEFAULT_BACKEND, RunConfig, execute_run, make_engine
+from repro.sim.run import (
+    DEFAULT_BACKEND,
+    ENGINE_BACKENDS,
+    EnginePool,
+    RunConfig,
+    check_backend,
+    execute_run,
+    make_engine,
+)
 from repro.sim.transcript import Transcript
 from repro.topology.isomorphism import port_isomorphic
 from repro.topology.portgraph import PortGraph
@@ -115,6 +123,7 @@ def determine_topology(
     audit_finite_state: bool = False,
     strict_reconstruction: bool = True,
     backend: str = DEFAULT_BACKEND,
+    pool: EnginePool | None = None,
 ) -> TopologyResult:
     """Map ``graph`` with the paper's protocol and reconstruct it at the root.
 
@@ -132,6 +141,10 @@ def determine_topology(
             legal runs).
         backend: engine backend to simulate on (``"object"`` or ``"flat"``);
             both produce identical results, tick for tick.
+        pool: check the engine out of this :class:`~repro.sim.run.EnginePool`
+            (and back in afterwards) instead of constructing a fresh one —
+            the zero-rebuild path campaign workers and benchmark loops use.
+            Results are identical either way.
 
     Raises:
         NotStronglyConnectedError: the protocol requires strong connectivity
@@ -145,38 +158,48 @@ def determine_topology(
     diam = diameter(graph)
     budget = max_ticks if max_ticks is not None else default_tick_budget(graph, diam)
 
-    processors: list[GTDProcessor] = [GTDProcessor() for _ in graph.nodes()]
-    engine = make_engine(backend, graph, list(processors), root=root)
+    if pool is not None:
+        engine = pool.checkout(
+            ENGINE_BACKENDS[check_backend(backend)], graph, GTDProcessor, root=root
+        )
+        processors = engine.processors
+    else:
+        processors = [GTDProcessor() for _ in graph.nodes()]
+        engine = make_engine(backend, graph, list(processors), root=root)
     root_proc = processors[root]
 
-    run = execute_run(
-        engine,
-        RunConfig(
-            max_ticks=budget,
-            until=lambda: root_proc.terminal,
-            after_tick=_cleanup_sweeper(processors) if verify_cleanup else None,
-            backend=backend,
-        ),
-    )
-    if verify_cleanup:
-        assert_network_clean(engine, context="after termination")
-    if audit_finite_state:
-        for proc in processors:
-            assert_finite_state(proc, graph.delta)
+    try:
+        run = execute_run(
+            engine,
+            RunConfig(
+                max_ticks=budget,
+                until=lambda: root_proc.terminal,
+                after_tick=_cleanup_sweeper(processors) if verify_cleanup else None,
+                backend=backend,
+            ),
+        )
+        if verify_cleanup:
+            assert_network_clean(engine, context="after termination")
+        if audit_finite_state:
+            for proc in processors:
+                assert_finite_state(proc, graph.delta)
 
-    computer = MasterComputer(strict=strict_reconstruction)
-    recovered = computer.reconstruct(run.transcript)
-    return TopologyResult(
-        recovered=recovered,
-        graph=recovered.to_portgraph(delta=graph.delta),
-        ticks=run.ticks,
-        drained_ticks=run.drained_ticks,
-        transcript=run.transcript,
-        metrics=run.metrics,
-        rca_runs=sum(p.rca_completed for p in processors),
-        bca_runs=sum(p.bca_completed for p in processors),
-        diameter=diam,
-    )
+        computer = MasterComputer(strict=strict_reconstruction)
+        recovered = computer.reconstruct(run.transcript)
+        return TopologyResult(
+            recovered=recovered,
+            graph=recovered.to_portgraph(delta=graph.delta),
+            ticks=run.ticks,
+            drained_ticks=run.drained_ticks,
+            transcript=run.transcript,
+            metrics=run.metrics,
+            rca_runs=sum(p.rca_completed for p in processors),
+            bca_runs=sum(p.bca_completed for p in processors),
+            diameter=diam,
+        )
+    finally:
+        if pool is not None:
+            pool.checkin(engine)
 
 
 def _cleanup_sweeper(processors: list[GTDProcessor]):

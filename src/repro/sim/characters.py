@@ -57,6 +57,8 @@ __all__ = [
     "enumerate_alphabet",
     "intern_char",
     "CharInterner",
+    "interner_for",
+    "clear_interner_cache",
     "TOKEN_KINDS",
     "MSG_DFS_RETURN",
     "SCOPE_RCA",
@@ -381,3 +383,29 @@ class CharInterner:
         by value or identity.
         """
         return self.chars[code]
+
+
+#: delta -> the process-wide shared interner (see :func:`interner_for`).
+_INTERNERS: dict[int, CharInterner] = {}
+
+
+def interner_for(delta: int) -> CharInterner:
+    """The process-wide shared :class:`CharInterner` for ``delta``.
+
+    Enumerating the alphabet is O(delta^2) object construction — by far
+    the most expensive piece of building a flat engine — and the mapping
+    is a pure function of ``delta``, so every engine at the same degree
+    bound shares one interner.  Sharing is observation-free: codes are an
+    internal address (nothing ordering- or output-relevant ever compares
+    them across engines), lazily-interned extras only ever *append*, and
+    every engine sizes its code-indexed tables off the live ``chars`` list.
+    """
+    interner = _INTERNERS.get(delta)
+    if interner is None:
+        interner = _INTERNERS[delta] = CharInterner(delta)
+    return interner
+
+
+def clear_interner_cache() -> None:
+    """Drop the shared interners (tests, cold-cache baselines)."""
+    _INTERNERS.clear()

@@ -139,6 +139,30 @@ class Engine:
         self._dispatch = build_dispatch_tables(processors)
 
     # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Restore power-on state without rebuilding any derived table.
+
+        After ``reset()`` a run is observationally identical to one on a
+        freshly-constructed engine over the same graph and processor types
+        (the engine-reuse parity suite enforces byte-identical transcripts,
+        ticks and metrics).  What survives: the wiring lookup tables, the
+        per-processor dispatch tables, and the wheel's recycled free pools
+        — i.e. everything that is a pure function of (graph, processor
+        types).  The transcript and metrics are *rebound* to fresh objects,
+        never cleared in place, so results captured from a previous run
+        stay intact when the engine is reused through an
+        :class:`~repro.sim.run.EnginePool`.
+        """
+        self.tick = 0
+        self.transcript = Transcript(enabled=self.transcript.enabled)
+        self.metrics = TrafficMetrics()
+        self.tracer = None
+        self._wheel.clear()
+        self._active.clear()
+        for proc in self.processors:
+            proc.reset()
+
+    # ------------------------------------------------------------------
     def _root_pipe(self, label: str, data: tuple) -> None:
         self.transcript.record_pipe(self.tick, label, data)
 

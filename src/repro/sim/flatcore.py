@@ -46,13 +46,14 @@ from repro.sim.characters import (
     STAR,
     Char,
     CharInterner,
+    interner_for,
     is_growing,
 )
 from repro.sim.engine import Engine
 from repro.sim.metrics import TrafficMetrics
 from repro.sim.processor import Processor
 from repro.sim.scheduler import KIND_PRIORITY
-from repro.topology.compile import compile_topology
+from repro.topology.compile import compiled_topology
 from repro.topology.portgraph import PortGraph
 
 __all__ = [
@@ -159,17 +160,21 @@ class PackedEventWheel:
 
     def schedule(self, tick: int, node: int, in_port: int, char: Char) -> None:
         """File ``char`` for delivery at ``tick`` through ``in_port``."""
-        bucket = self._buckets.get(tick)
+        # hot path: every self.* used more than once is bound to a local
+        buckets = self._buckets
+        bucket = buckets.get(tick)
         if bucket is None:
-            bucket = self._ring.pop() if self._ring else _Bucket()
-            self._buckets[tick] = bucket
+            ring = self._ring
+            bucket = ring.pop() if ring else _Bucket()
+            buckets[tick] = bucket
             ticks = self._ticks
             ticks.append(tick)
             if len(ticks) > 1 and tick < ticks[-2]:
                 ticks.sort()
-        lane = bucket.lanes.get(node)
+        lanes = bucket.lanes
+        lane = lanes.get(node)
         if lane is None:
-            lane = bucket.lanes[node] = array("q")
+            lane = lanes[node] = array("q")
             bucket.nodes.append(node)
         elif not lane:
             bucket.nodes.append(node)
@@ -187,6 +192,23 @@ class PackedEventWheel:
         collected (slow paths and tests need no discipline).
         """
         return self._buckets.pop(tick, None)
+
+    def clear(self) -> None:
+        """Empty the wheel in place, preserving container identity.
+
+        Engine reuse requires clearing rather than replacing: the flat
+        engine's send-time sink closures captured ``_buckets``, ``_ticks``
+        and ``_ring`` at install time, so those exact objects must survive
+        a reset (``_ticks`` is emptied via slice-delete, never rebound).
+        Recycled buckets stay in the free ring for the next run.
+        """
+        buckets = self._buckets
+        ring = self._ring
+        for bucket in buckets.values():
+            bucket.clear()
+            ring.append(bucket)
+        buckets.clear()
+        del self._ticks[:]
 
     def recycle(self, bucket: _Bucket) -> None:
         """Clear a delivered bucket and return it to the free ring."""
@@ -223,13 +245,23 @@ class PackedEventWheel:
 class FlatEngine(Engine):
     """The compiled flat-core backend: same contract, dense data plane.
 
-    Construction compiles the frozen graph to CSR tables, interns the full
-    constant alphabet for the graph's ``delta``, swaps the event wheel for
-    :class:`PackedEventWheel`, and lowers each processor's per-kind handler
-    table into a code-indexed list.  Everything above the data plane —
-    fast-forward, run/drain orchestration, wake and invariant hooks — is
-    inherited from :class:`~repro.sim.engine.Engine` unchanged.
+    Construction resolves the frozen graph's CSR tables and the constant
+    alphabet through the process-wide caches
+    (:func:`repro.topology.compile.compiled_topology`,
+    :func:`repro.sim.characters.interner_for`) — both artifacts are pure
+    functions of (wiring, delta), so every engine over the same network
+    shares one copy instead of re-lowering them — swaps the event wheel
+    for :class:`PackedEventWheel`, and lowers each processor's per-kind
+    handler table into a code-indexed list.  Everything above the data
+    plane — fast-forward, run/drain orchestration, wake and invariant
+    hooks — is inherited from :class:`~repro.sim.engine.Engine` unchanged.
     """
+
+    #: Subclasses that patch the compiled wire tables in place (the dynamic
+    #: engines) set this True; construction then works on a private
+    #: :meth:`~repro.topology.compile.CompiledTopology.fork` so the shared
+    #: cached artifact stays pristine for every other engine.
+    MUTATES_TOPOLOGY = False
 
     def __init__(
         self,
@@ -242,8 +274,9 @@ class FlatEngine(Engine):
         super().__init__(
             graph, processors, root=root, record_transcript=record_transcript
         )
-        self._topo = compile_topology(graph)
-        self._interner = CharInterner(graph.delta)
+        topo = compiled_topology(graph)
+        self._topo = topo.fork() if self.MUTATES_TOPOLOGY else topo
+        self._interner = interner_for(graph.delta)
         self._wheel = PackedEventWheel(self._interner)
         self._id_base = self._wheel.id_base
         self._chars = self._interner.chars
@@ -271,12 +304,38 @@ class FlatEngine(Engine):
         # parking while a node's own out-wiring is degraded), which is what
         # keeps dynamic runs on this fast path.
         self._fused_drain = type(self)._put_on_wire is FlatEngine._put_on_wire
+        #: node -> (sink, broadcast, purge) closures, kept so a reset can
+        #: re-install the very same objects (they memoize per-node state
+        #: and the dynamic engine parks/restores them by identity)
+        self._fast_paths: dict[int, tuple] = {}
         if self._fused_drain:
             for node, proc in enumerate(processors):
                 if node != root and proc.PURGES_ONLY_GROWING:
-                    proc._direct_sink = self._make_direct_sink(node)
-                    proc._direct_broadcast = self._make_broadcast_sink(node)
-                    proc._purge_hook = self._make_purge_hook(node)
+                    paths = (
+                        self._make_direct_sink(node),
+                        self._make_broadcast_sink(node),
+                        self._make_purge_hook(node),
+                    )
+                    self._fast_paths[node] = paths
+                    proc._direct_sink, proc._direct_broadcast, proc._purge_hook = paths
+
+    def reset(self) -> None:
+        """Restore power-on state; every compiled table survives.
+
+        On top of :meth:`Engine.reset`: the per-code emission counters are
+        zeroed *in place* (the fast-path closures captured the list), and
+        the send-time sink/broadcast/purge closures — cleared by each
+        processor's re-attach — are re-installed.  The compiled topology,
+        interner, packed wheel dictionaries, fill table and code-handler
+        tables are exactly the artifacts reuse exists to keep.
+        """
+        super().reset()
+        emitted = self._emitted_by_code
+        emitted[:] = [0] * len(emitted)
+        processors = self.processors
+        for node, paths in self._fast_paths.items():
+            proc = processors[node]
+            proc._direct_sink, proc._direct_broadcast, proc._purge_hook = paths
 
     # ------------------------------------------------------------------
     # metrics: counted per code in flat lists, materialized on read
@@ -413,6 +472,11 @@ class FlatEngine(Engine):
             tracer = self.tracer
             record_recv = self.transcript.record_recv
             lanes = bucket.lanes
+            # the packed-entry field constants, bound once per tick: the
+            # per-entry decode below is the hottest code in a flat run
+            code_mask = CODE_MASK
+            port_shift = PORT_SHIFT
+            port_mask = PORT_MASK
             for node in bucket.nodes:
                 lane = lanes[node]
                 proc = processors[node]
@@ -423,14 +487,14 @@ class FlatEngine(Engine):
                 fallback = proc.handle
                 is_root = node == root
                 for packed in entries:
-                    code = packed & CODE_MASK
+                    code = packed & code_mask
                     if code >= n_codes:
                         # a code scheduled through the generic wheel API
                         # without passing the engine's intern path
                         self._grow_code_tables()
                         handlers = code_handlers[node]
                         n_codes = len(fill_table)
-                    in_port = (packed >> PORT_SHIFT) & PORT_MASK
+                    in_port = (packed >> port_shift) & port_mask
                     char = chars[code]
                     if is_root:
                         record_recv(tick, in_port, char)
@@ -749,6 +813,15 @@ class FlatEngine(Engine):
                     ticks.sort()
             lanes = bucket.lanes
             touched = bucket.nodes
+            # per-entry lookups hoisted out of the loop: bound methods for
+            # the two dict/list hits every entry makes, the packed-field
+            # constants, and the root's transcript recorder
+            lanes_get = lanes.get
+            touched_append = touched.append
+            id_base_get = id_base.get
+            code_mask = CODE_MASK
+            seq_shift = SEQ_SHIFT
+            record_send = self.transcript.record_send if is_root else None
             prev_char: Char | None = None
             prev_base = 0
             for entry in entries:
@@ -762,25 +835,25 @@ class FlatEngine(Engine):
                 if char is prev_char:
                     base = prev_base
                 else:
-                    base = id_base.get(id(char))
+                    base = id_base_get(id(char))
                     if base is None:
                         base = wheel.encode_base(char)
-                        if (base & CODE_MASK) >= len(emitted):
+                        if (base & code_mask) >= len(emitted):
                             self._grow_code_tables()
                     prev_char = char
                     prev_base = base
-                emitted[base & CODE_MASK] += 1
-                if is_root:
-                    self.transcript.record_send(tick, out_port, char)
+                emitted[base & code_mask] += 1
+                if record_send is not None:
+                    record_send(tick, out_port, char)
                 if tracer is not None:
                     tracer.record_emission(tick, node, out_port, char)
-                lane = lanes.get(dst)
+                lane = lanes_get(dst)
                 if lane is None:
                     lane = lanes[dst] = array("q")
-                    touched.append(dst)
+                    touched_append(dst)
                 elif not lane:
-                    touched.append(dst)
-                lane.append(base | in_shift[slot] | (len(lane) << SEQ_SHIFT))
+                    touched_append(dst)
+                lane.append(base | in_shift[slot] | (len(lane) << seq_shift))
             if not touched:
                 # every entry was blocked (dynamic cut wires): an empty
                 # registered bucket would keep the engine "busy" one tick

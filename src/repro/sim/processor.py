@@ -98,6 +98,23 @@ class Processor(ABC):
         self._purge_hook = None
         self._direct_broadcast = None
 
+    def reset(self) -> None:
+        """Restore power-on state in place (engine reuse).
+
+        Re-runs ``__init__`` on this very instance — every processor in the
+        stack is no-arg constructible, and keeping the instance (rather
+        than swapping in a new one) is what lets the engine's precomputed
+        dispatch tables and per-node fast-path closures survive a reset:
+        they hold bound methods of, and references to, *this* object.  The
+        wiring context is re-attached afterwards (``attach`` also clears
+        the engine-installed fast paths; the resetting engine re-installs
+        its own).
+        """
+        ctx = self.ctx
+        type(self).__init__(self)
+        if ctx is not None:
+            self.attach(ctx)
+
     def begin_tick(self, tick: int) -> None:
         """Engine hook: set the current tick before handlers run."""
         self._tick = tick

@@ -29,6 +29,7 @@ large runs, ``object`` is the reference implementation.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -46,6 +47,7 @@ __all__ = [
     "make_engine",
     "backend_of",
     "check_backend",
+    "EnginePool",
     "RunConfig",
     "RunResult",
     "execute_run",
@@ -82,6 +84,121 @@ def make_engine(
     """Build the engine for ``backend`` (``"object"`` or ``"flat"``)."""
     cls = ENGINE_BACKENDS[check_backend(backend)]
     return cls(graph, processors, root=root, record_transcript=record_transcript)
+
+
+class EnginePool:
+    """Reset-and-reuse engines instead of rebuilding their data planes.
+
+    Constructing an engine re-derives everything downstream of (graph,
+    processor types): wiring lookups, dispatch tables and — on the flat
+    backend — the code-indexed handler/fill tables, packed-wheel
+    dictionaries and send-time sink closures.  All of that is a pure
+    function of the construction signature, so a finished engine can serve
+    the next run after an in-place :meth:`~repro.sim.engine.Engine.reset`
+    (byte-identical to a fresh engine; the reuse parity suite enforces it).
+
+    ``checkout`` hands back an idle engine for the exact signature —
+    ``(engine class, graph wiring, processor class, root, transcript
+    flag)`` — already reset, or constructs one on first sight.  ``checkin``
+    returns it after the run.  Results captured from a run (transcript,
+    metrics) stay valid after check-in: a reset *rebinds* those objects,
+    never clears them.  The engine object embedded in some result types is
+    only coherent until its next checkout — campaign and benchmark callers,
+    the intended users, read everything they need before returning.
+
+    The pool is not thread-safe; it is per-process state (each campaign
+    worker owns one).
+    """
+
+    #: idle engines kept per signature; beyond this, checked-in engines
+    #: are simply dropped (a signature rarely needs more than one engine
+    #: at a time — the cap guards pathological checkout patterns).
+    MAX_IDLE_PER_KEY = 4
+
+    #: total idle engines kept across all signatures, evicted LRU.  Some
+    #: callers pool engines under keys that never recur (a campaign's
+    #: shutdown cells each run on their own degraded graph); without a
+    #: global bound a long-lived worker would retain one dead engine per
+    #: such cell forever.
+    MAX_IDLE_TOTAL = 32
+
+    def __init__(self) -> None:
+        # key -> idle engines; ordered dict with most-recently-used keys
+        # last, so global eviction drops the coldest signature first
+        self._idle: "OrderedDict[tuple, list[Engine]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def checkout(
+        self,
+        engine_cls: type[Engine],
+        graph: PortGraph,
+        processor_cls: type[Processor],
+        *,
+        root: int = 0,
+        record_transcript: bool = True,
+        timeline=None,
+    ) -> Engine:
+        """An engine ready to run: reused and reset, or freshly built.
+
+        ``timeline`` (a compiled program or a plain wire-op sequence)
+        selects the dynamic construction/reset signature — dynamic engine
+        classes take it positionally and accept it in ``reset``.
+        ``processor_cls`` must be no-arg constructible (every processor in
+        the stack is); the pool builds one instance per node.
+        """
+        key = (engine_cls, processor_cls, root, record_transcript, graph)
+        stack = self._idle.get(key)
+        if stack:
+            self.hits += 1
+            self._idle.move_to_end(key)
+            engine = stack.pop()
+            if not stack:
+                del self._idle[key]
+            if timeline is None:
+                engine.reset()
+            else:
+                engine.reset(timeline)
+            return engine
+        self.misses += 1
+        processors = [processor_cls() for _ in range(graph.num_nodes)]
+        if timeline is None:
+            engine = engine_cls(
+                graph, processors, root=root, record_transcript=record_transcript
+            )
+        else:
+            engine = engine_cls(
+                graph,
+                processors,
+                timeline,
+                root=root,
+                record_transcript=record_transcript,
+            )
+        engine._pool_key = key
+        return engine
+
+    def checkin(self, engine: Engine) -> None:
+        """Return a finished engine for later reuse (idempotent-safe)."""
+        key = getattr(engine, "_pool_key", None)
+        if key is None:
+            return
+        stack = self._idle.setdefault(key, [])
+        self._idle.move_to_end(key)
+        if engine not in stack and len(stack) < self.MAX_IDLE_PER_KEY:
+            stack.append(engine)
+            total = sum(len(s) for s in self._idle.values())
+            while total > self.MAX_IDLE_TOTAL:
+                coldest_key, coldest = next(iter(self._idle.items()))
+                coldest.pop(0)
+                total -= 1
+                if not coldest:
+                    del self._idle[coldest_key]
+
+    def clear(self) -> None:
+        """Drop every idle engine (tests, cold-cache baselines)."""
+        self._idle.clear()
+        self.hits = 0
+        self.misses = 0
 
 
 def backend_of(engine: Engine) -> str:

@@ -147,6 +147,19 @@ class EventWheel:
         """Remove and return the arrivals bucket for ``tick`` (or ``None``)."""
         return self._buckets.pop(tick, None)
 
+    def clear(self) -> None:
+        """Empty the wheel in place, keeping the recycled free pools.
+
+        Engine reuse (:meth:`repro.sim.engine.Engine.reset`) clears rather
+        than replaces the wheel so the warmed bucket/list pools carry over
+        to the next run.
+        """
+        for bucket in self._buckets.values():
+            self.recycle(bucket)
+        self._buckets.clear()
+        self._ticks.clear()
+        self._seq = 0
+
     def recycle(self, bucket: dict[int, list]) -> None:
         """Clear a popped, fully-delivered bucket into the free pools."""
         list_pool = self._list_pool
@@ -246,6 +259,15 @@ class ActiveSet:
         tolerates that with one empty drain pass.
         """
         return self._due[0][0] if self._due else None
+
+    def clear(self) -> None:
+        """Forget every live node and due entry (engine reuse).
+
+        Clears ``live`` in place — the engine aliases it as ``_live`` and
+        the invariant sweeps read that alias directly.
+        """
+        self.live.clear()
+        self._due.clear()
 
     def __bool__(self) -> bool:
         return bool(self.live)

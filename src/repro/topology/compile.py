@@ -16,28 +16,47 @@ integer indexings and no hashing:
   ``in_start`` / ``in_ports`` is the same for in-ports.
 
 The compilation is a pure function of the frozen graph.  For *static* runs
-the compiled form never mutates.  Dynamic runs patch it **incrementally**
-through a :class:`TopologyPatcher`: a cut stamps the :data:`CUT` sentinel
-into the wire tables, a heal or an add rewires the slot in place, and the
-patcher keeps a free-list of touched slots plus pristine copies of their
-base values, so any slot can be restored in O(1) and the whole topology
-reset in O(touched).  The CSR port census (``out_start``/``out_ports``/
-``in_start``/``in_ports``) is deliberately **not** patched: it feeds the
-processors' :class:`~repro.sim.engine.NodeContext` and the engine's
-per-node sinks, i.e. it models *port awareness established at power-on* —
-exactly the knowledge the paper says processors keep when the physical
-wiring changes under them.
+the compiled form never mutates — which is why it is also **cached**:
+:func:`compiled_topology` keeps one compiled artifact per wiring
+(process-wide, LRU-bounded), so every engine built over the same frozen
+graph shares a single set of tables instead of re-lowering them.  Anything
+that must mutate the tables (the dynamic engines) takes a private
+copy-on-write view first via :meth:`CompiledTopology.fork`: the two wire
+tables are copied (they are what a patch touches), the CSR port census is
+shared, and the fork remembers the :attr:`~CompiledTopology.pristine`
+original so undo records need no extra copies.
+
+Dynamic runs patch their fork **incrementally** through a
+:class:`TopologyPatcher`: a cut stamps the :data:`CUT` sentinel into the
+wire tables, a heal or an add rewires the slot in place, and the patcher
+keeps a free-list of touched slots plus pristine base values, so any slot
+can be restored in O(1) and the whole topology reset in O(touched).  The
+CSR port census (``out_start``/``out_ports``/``in_start``/``in_ports``) is
+deliberately **not** patched: it feeds the processors'
+:class:`~repro.sim.engine.NodeContext` and the engine's per-node sinks,
+i.e. it models *port awareness established at power-on* — exactly the
+knowledge the paper says processors keep when the physical wiring changes
+under them.
 """
 
 from __future__ import annotations
 
 from array import array
-from dataclasses import dataclass
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
 
 from repro.errors import SimulationError
 from repro.topology.portgraph import PortGraph
 
-__all__ = ["UNWIRED", "CUT", "CompiledTopology", "TopologyPatcher", "compile_topology"]
+__all__ = [
+    "UNWIRED",
+    "CUT",
+    "CompiledTopology",
+    "TopologyPatcher",
+    "compile_topology",
+    "compiled_topology",
+    "clear_compiled_cache",
+]
 
 #: ``wire_dst`` value of an out-port that never carried a wire.  Emitting
 #: through it is a simulation bug (the processor cannot know the port).
@@ -49,9 +68,17 @@ UNWIRED = -1
 CUT = -2
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class CompiledTopology:
-    """A frozen :class:`PortGraph` as dense integer tables (read-only)."""
+    """A frozen :class:`PortGraph` as dense integer tables.
+
+    The dataclass is frozen and compares/hashes by identity (``eq=False``),
+    which is exactly what the process-wide cache needs: one artifact per
+    wiring, usable as a dict key, never rebound.  Instances handed out by
+    :func:`compiled_topology` are **shared** and must be treated as
+    read-only; a caller that needs to patch the tables (the dynamic
+    engines) takes a private view with :meth:`fork` first.
+    """
 
     num_nodes: int
     delta: int
@@ -62,6 +89,25 @@ class CompiledTopology:
     out_ports: array           # concatenated connected out-ports, ascending per node
     in_start: array            # CSR offsets into in_ports, length num_nodes + 1
     in_ports: array            # concatenated connected in-ports, ascending per node
+    #: the shared artifact this view was forked from (``None`` on originals).
+    #: A fork's pristine tables double as the patcher's undo record.
+    pristine: "CompiledTopology | None" = field(default=None, repr=False)
+
+    def fork(self) -> "CompiledTopology":
+        """A private copy-on-write view for callers that patch the tables.
+
+        Only the two wire tables are copied (a patch never touches the CSR
+        port census, which models power-on port awareness); the fork keeps
+        a reference to the pristine original so a :class:`TopologyPatcher`
+        can restore slots without copying the base tables again.
+        """
+        base = self.pristine if self.pristine is not None else self
+        return replace(
+            base,
+            wire_dst=array("q", base.wire_dst),
+            wire_in_port=array("q", base.wire_in_port),
+            pristine=base,
+        )
 
     # ------------------------------------------------------------------
     # conveniences (cold paths only; the hot loop indexes the arrays)
@@ -97,9 +143,16 @@ class TopologyPatcher:
 
     def __init__(self, topo: CompiledTopology) -> None:
         self.topo = topo
-        # pristine copies: the undo record every restore reads from
-        self._base_dst = array("q", topo.wire_dst)
-        self._base_in = array("q", topo.wire_in_port)
+        # The undo record every restore reads from.  A fork already carries
+        # its pristine original (same values, never mutated), so its tables
+        # serve as the base without another copy; a directly-compiled
+        # topology gets defensive copies, as before.
+        if topo.pristine is not None:
+            self._base_dst = topo.pristine.wire_dst
+            self._base_in = topo.pristine.wire_in_port
+        else:
+            self._base_dst = array("q", topo.wire_dst)
+            self._base_in = array("q", topo.wire_in_port)
         #: slots currently differing from the pristine compile
         self.touched: set[int] = set()
 
@@ -171,3 +224,41 @@ def compile_topology(graph: PortGraph) -> CompiledTopology:
         in_start=in_start,
         in_ports=in_ports,
     )
+
+
+# ----------------------------------------------------------------------
+# the process-wide compiled-artifact cache
+# ----------------------------------------------------------------------
+#: wiring -> compiled artifact, most-recently-used last.  Keyed by the
+#: :class:`PortGraph` itself: frozen graphs hash/compare structurally
+#: (size, degree bound, exact wire set), so two equal wirings — however
+#: they were built — share one compiled artifact.
+_COMPILED_CACHE: "OrderedDict[PortGraph, CompiledTopology]" = OrderedDict()
+
+#: Cache bound.  An entry is a few dense ``array('q')`` rows (O(N * delta)
+#: ints), so even the cap costs at most a few MB; eviction is LRU.
+_COMPILED_CACHE_MAX = 128
+
+
+def compiled_topology(graph: PortGraph) -> CompiledTopology:
+    """The shared compiled artifact for ``graph`` (compile once per wiring).
+
+    Returns the same :class:`CompiledTopology` instance for every frozen
+    graph with the same wiring, compiling on first sight.  The shared
+    instance is read-only by contract — mutating callers must
+    :meth:`~CompiledTopology.fork` it first (the dynamic engines do).
+    """
+    cache = _COMPILED_CACHE
+    topo = cache.get(graph)
+    if topo is None:
+        topo = cache[graph] = compile_topology(graph)
+        if len(cache) > _COMPILED_CACHE_MAX:
+            cache.popitem(last=False)
+    else:
+        cache.move_to_end(graph)
+    return topo
+
+
+def clear_compiled_cache() -> None:
+    """Drop every cached compiled artifact (tests, cold-cache baselines)."""
+    _COMPILED_CACHE.clear()

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import multiprocessing
 
 import pytest
 
@@ -15,6 +16,7 @@ from repro.campaigns import (
     run_campaign,
     run_scenario,
 )
+from repro.campaigns.executor import shutdown_worker_pool
 from repro.campaigns.spec import FAMILY_BUILDERS
 from repro.cli import main
 from repro.errors import ReproError
@@ -130,6 +132,71 @@ class TestDeterminism:
     def test_jobs_must_be_positive(self):
         with pytest.raises(ReproError):
             run_campaign(SMALL_SPEC, jobs=0)
+
+    def test_unknown_start_method_rejected(self):
+        with pytest.raises(ReproError, match="start method"):
+            run_campaign(SMALL_SPEC, jobs=2, start_method="teleport")
+
+    def test_worker_pool_persists_across_invocations(self):
+        from repro.campaigns import executor
+
+        shutdown_worker_pool()
+        first = run_campaign(SMALL_SPEC, jobs=2)
+        pool_state = executor._WORKER_POOL
+        assert pool_state is not None, "the worker pool must outlive the call"
+        second = run_campaign(SMALL_SPEC, jobs=2)
+        assert executor._WORKER_POOL is pool_state, "pool must be reused, not reforked"
+        assert first.results == second.results
+
+    def test_chunking_groups_by_key_but_keeps_parallel_grain(self):
+        from repro.campaigns.executor import _chunk_pending
+
+        # 2 keys x 6 faults: grouping alone would starve a 4-worker pool
+        pending = [
+            (i, Scenario("spare-ring", 8, f"cut:0.{d}", seed))
+            for i, (seed, d) in enumerate(
+                (s, d) for s in (0, 1) for d in range(1, 7)
+            )
+        ]
+        chunks = _chunk_pending(pending, workers=4)
+        assert len(chunks) >= 6, "fault-heavy matrices must still fan out"
+        # cells of one key stay contiguous and in matrix order per chunk
+        flat = [i for chunk in chunks for i, _ in chunk]
+        assert sorted(flat) == list(range(len(pending)))
+        for chunk in chunks:
+            keys = {(s.family, s.size, s.seed, s.backend) for _, s in chunk}
+            assert len(keys) == 1, "a chunk never mixes setup keys"
+        # serial-sized pools keep whole keys together (maximal sharing)
+        [a, b] = _chunk_pending(pending, workers=1)
+        assert len(a) == len(b) == 6
+
+    @pytest.mark.parametrize(
+        "method",
+        [
+            m
+            for m in ("spawn", "forkserver")
+            if m in multiprocessing.get_all_start_methods()
+        ],
+    )
+    def test_start_methods_are_byte_identical_to_fork(self, method):
+        """Python 3.14 drops fork as the default: every method must agree.
+
+        The campaign below mixes static, shutdown and dynamic cells so the
+        chunked dispatch, the per-worker caches and the seed derivation are
+        all exercised under a freshly-imported (not forked) worker.
+        """
+        spec = CampaignSpec(
+            families=("spare-ring",),
+            sizes=(6,),
+            faults=("none", "shutdown:0.2", "cut:0.5"),
+            seeds=(0, 1),
+        )
+        reference = run_campaign(spec, jobs=2, start_method="fork")
+        try:
+            fresh_import = run_campaign(spec, jobs=2, start_method=method)
+        finally:
+            shutdown_worker_pool()  # do not leave a spawn pool behind
+        assert fresh_import.results == reference.results
 
 
 class TestScenarioResults:
