@@ -1,0 +1,161 @@
+"""Batch-backend throughput: lock-step lanes against the scalar flat path.
+
+The campaign bench (``bench_campaign.py``) gates the zero-rebuild cache
+layer; this module gates what the **batch** backend adds on top of it:
+chunk fusion of the seed axis into lock-step lane runs, cohort dedup of
+equal effective wire programs, and the lane scheduler itself.  Both
+backends run the same mixed matrix through the real executor at steady
+state (``jobs=1``, untimed warmup) and must produce cell-for-cell
+identical results up to the backend tag — the in-bench parity assertion
+below is the same contract the differential test suite enforces.
+
+The speedup is matrix-shaped by construction: lanes only merge where
+effective wire programs coincide (post-terminal ops reduced to the
+healthy run, seed-invariant frontier cuts), so a single-seed matrix
+measures mostly scheduler overhead while a multi-seed matrix realizes
+the fusion wins.  The full case therefore carries the floor; the small
+case is a parity tripwire.  Requires numpy (the ``[batch]`` extra): the
+whole module skips without it, and bench-compare then skips the missing
+metrics rather than gating on stale ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.campaigns.executor import clear_scenario_caches, run_campaign
+from repro.campaigns.spec import CampaignSpec
+from repro.sim.batchcore import have_numpy
+
+from _report import bench_metric, report
+
+pytestmark = pytest.mark.skipif(
+    not have_numpy(), reason="numpy not installed (the [batch] extra)"
+)
+
+#: The campaign bench's mixed matrix, verbatim — statics, legacy cut/add
+#: dynamics, and timeline programs — so batch numbers are directly
+#: comparable with ``BENCH_camp``'s scenarios-per-second.
+FAULTS = (
+    "none",
+    "shutdown:0.15",
+    "cut:0.4",
+    "cut:1.5",
+    "add:0.5",
+    "storm:p=0.3@0.25",
+    "storm:p=0.25@0.2",
+    "churn:rate=0.08,period=0.25,heal=0.9,until=0.7",
+    "churn:rate=0.1,period=0.2,until=0.6",
+    "frontier:k=2@0.3",
+    "frontier:k=3@0.25",
+    "cut@0.3+heal@0.5",
+)
+
+#: case -> (sizes, seeds)
+CASES = {
+    "small": ((10,), (0,)),
+    "full": ((10, 13), (0, 1)),
+}
+
+#: Minimum batch/flat speedup on the full (multi-seed) matrix.  Measured
+#: ~1.15-1.2x on the reference machine — the honest win is bounded by the
+#: mergeable share of the matrix (the per-event protocol work of
+#: non-mergeable lanes is identical to flat by design); the floor leaves
+#: headroom for slower hosts while still catching a scheduler regression.
+SPEEDUP_FLOOR = 1.02
+
+#: case -> backend -> (results, mean_seconds)
+_RUNS: dict[str, dict[str, tuple[list, float]]] = {}
+
+
+def _scenarios(case: str, backend: str):
+    sizes, seeds = CASES[case]
+    return CampaignSpec(
+        families=("spare-ring",),
+        sizes=sizes,
+        faults=FAULTS,
+        seeds=seeds,
+        backends=(backend,),
+    ).scenarios()
+
+
+def _strip_backend(results) -> list[dict]:
+    """Result rows without the scenario tag, for cross-backend equality."""
+    rows = []
+    for result in results:
+        row = asdict(result)
+        row.pop("scenario")
+        rows.append(row)
+    return rows
+
+
+def _finish(case: str, backend: str, results, mean: float, benchmark) -> None:
+    count = len(results)
+    rate = count / mean
+    _RUNS.setdefault(case, {})[backend] = (results, mean)
+    benchmark.extra_info["scenarios"] = count
+    benchmark.extra_info["scenarios_per_second"] = round(rate, 2)
+    metric = (
+        f"{case}_scenarios_per_second"
+        if backend == "batch"
+        else f"{case}_flat_scenarios_per_second"
+    )
+    bench_metric("batch", metric, rate, unit="sc/s", meta={f"{case}_cells": count})
+    report(
+        "bench_batch",
+        f"BATCH [{backend}] {case}: {count} cells in {mean:.2f} s "
+        f"({rate:.1f} scenarios/s)",
+    )
+    seen = _RUNS[case]
+    if len(seen) == 2:
+        flat_results, flat_mean = seen["flat"]
+        batch_results, batch_mean = seen["batch"]
+        # lane-vs-flat parity over the whole pipeline: fusion, cohorts,
+        # lock-step lanes, fan-out — invisible in every result field
+        assert _strip_backend(batch_results) == _strip_backend(flat_results), (
+            f"batch and flat executors disagree on {case}: "
+            f"{[i for i, (a, b) in enumerate(zip(_strip_backend(batch_results), _strip_backend(flat_results))) if a != b]}"
+        )
+        speedup = flat_mean / batch_mean
+        bench_metric("batch", f"{case}_batch_speedup", speedup, unit="x")
+        report(
+            "bench_batch",
+            f"BATCH {case}: lane-fused executor is {speedup:.2f}x the scalar "
+            f"flat path on the same matrix",
+        )
+        if case == "full":
+            assert speedup >= SPEEDUP_FLOOR, (
+                f"batch backend only {speedup:.2f}x flat on {case} "
+                f"(floor {SPEEDUP_FLOOR}x): lane fusion, cohort dedup or "
+                f"the burst scheduler have regressed"
+            )
+
+
+def _run_backend(benchmark, case: str, backend: str, rounds: int) -> None:
+    scenarios = _scenarios(case, backend)
+    clear_scenario_caches()
+    run_campaign(scenarios, jobs=1)  # untimed warmup: steady-state caches
+
+    def run():
+        return run_campaign(scenarios, jobs=1).results
+
+    results = benchmark.pedantic(run, rounds=rounds, iterations=1)
+    _finish(case, backend, results, benchmark.stats.stats.mean, benchmark)
+
+
+def test_batch_small_flat_throughput(benchmark):
+    _run_backend(benchmark, "small", "flat", rounds=3)
+
+
+def test_batch_small_batch_throughput(benchmark):
+    _run_backend(benchmark, "small", "batch", rounds=3)
+
+
+def test_batch_full_flat_throughput(benchmark):
+    _run_backend(benchmark, "full", "flat", rounds=2)
+
+
+def test_batch_full_batch_throughput(benchmark):
+    _run_backend(benchmark, "full", "batch", rounds=2)

@@ -69,7 +69,7 @@ from repro.analysis.run_stats import (
 )
 from repro.campaigns.spec import CampaignSpec, FaultModel, Scenario, build_family
 from repro.dynamics.engine import WireMutation
-from repro.dynamics.experiment import run_dynamic_gtd
+from repro.dynamics.experiment import run_dynamic_gtd, run_dynamic_gtd_lanes
 from repro.errors import ReproError, TickBudgetExceeded, TranscriptError
 from repro.protocol.runner import TopologyResult, determine_topology
 from repro.sim.characters import clear_interner_cache
@@ -220,7 +220,6 @@ def _family_graph(family: str, size: int, seed: int) -> PortGraph:
     return build_family(family, size, seed)
 
 
-@lru_cache(maxsize=32)
 def _healthy_run(family: str, size: int, seed: int, backend: str) -> TopologyResult:
     """The full healthy-network protocol run for a scenario key.
 
@@ -232,8 +231,18 @@ def _healthy_run(family: str, size: int, seed: int, backend: str) -> TopologyRes
     pure function of the key, so caching cannot perturb determinism.
     (Backend parity makes the numbers backend-invariant, but keying on the
     backend keeps the cache correct by construction.)
+
+    Memoized **by graph value**, not by seed: deterministic families
+    (rings, tori, hypercubes…) build the same network for every seed, and
+    the healthy run is a pure function of the graph — so a seed sweep over
+    such a family pays for one baseline simulation, not one per seed.
     """
     graph = _family_graph(family, size, seed)
+    return _healthy_run_for_graph(graph, backend)
+
+
+@lru_cache(maxsize=32)
+def _healthy_run_for_graph(graph: PortGraph, backend: str) -> TopologyResult:
     return determine_topology(graph, backend=backend, pool=_ENGINE_POOL)
 
 
@@ -448,7 +457,7 @@ def clear_scenario_caches() -> None:
     :func:`shutdown_worker_pool` to recycle the workers themselves).
     """
     _family_graph.cache_clear()
-    _healthy_run.cache_clear()
+    _healthy_run_for_graph.cache_clear()
     _ENGINE_POOL.clear()
     clear_compiled_cache()
     clear_interner_cache()
@@ -457,6 +466,7 @@ def clear_scenario_caches() -> None:
 def _chunk_pending(
     pending: list[tuple[int, Scenario]],
     workers: int,
+    lanes: int | None = None,
 ) -> list[list[tuple[int, Scenario]]]:
     """Group pending cells by setup key, preserving matrix order.
 
@@ -465,6 +475,13 @@ def _chunk_pending(
     computes the shared setup (built graph, healthy-run baseline, pooled
     engine) once instead of racing its siblings to compute it redundantly.
 
+    ``batch``-backend cells group by ``(family, size, backend)`` instead —
+    the **seed axis is fused**: every seed of one cell shape rides in one
+    chunk, which the worker runs as lock-step lanes of a single batched
+    engine (see :func:`_run_batch_chunk`).  ``lanes`` caps how many cells
+    fuse into one batched run (``None`` leaves the worker-balancing cap
+    in charge).
+
     Chunks are additionally **capped** at roughly two chunks per worker:
     a fault-heavy matrix with few keys would otherwise collapse onto a
     couple of workers and idle the rest.  Splitting a key across chunks
@@ -472,17 +489,20 @@ def _chunk_pending(
     the old per-scenario dispatch, which split every key all the way down
     — and the finer grain also tightens the store's write-through
     granularity (results persist as each chunk completes).  Chunking is
-    invisible in the results: each cell travels with its matrix index.
+    invisible in the results: each cell travels with its matrix index,
+    and every lane of a fused chunk is byte-identical to its solo run.
     """
     groups: dict[tuple, list[tuple[int, Scenario]]] = {}
     for index, scenario in pending:
-        key = (scenario.family, scenario.size, scenario.seed, scenario.backend)
+        seed_key = None if scenario.backend == "batch" else scenario.seed
+        key = (scenario.family, scenario.size, seed_key, scenario.backend)
         groups.setdefault(key, []).append((index, scenario))
     cap = max(1, -(-len(pending) // (workers * 2)))
     chunks: list[list[tuple[int, Scenario]]] = []
-    for group in groups.values():
-        for start in range(0, len(group), cap):
-            chunks.append(group[start:start + cap])
+    for key, group in groups.items():
+        size = cap if key[2] is not None or not lanes else min(cap, lanes)
+        for start in range(0, len(group), size):
+            chunks.append(group[start:start + size])
     return chunks
 
 
@@ -492,6 +512,7 @@ def run_campaign(
     jobs: int = 1,
     store=None,
     start_method: str | None = None,
+    lanes: int | None = None,
 ) -> "CampaignResult":
     """Run every scenario of ``spec``; fan out over ``jobs`` processes.
 
@@ -532,8 +553,15 @@ def run_campaign(
     # workers that fork, import, and exit without ever running a scenario.
     workers = min(jobs, len(pending))
     if workers <= 1:
-        for index, scenario in pending:
-            slots[index] = _run_and_record(scenario, store)
+        # The serial path routes through the same chunker and chunk runner
+        # as the parallel one: batch-backend cells fuse into lane runs for
+        # any ``jobs``, and ``jobs=1 ≡ jobs=N`` stays a statement about one
+        # code path rather than two.
+        for chunk in _chunk_pending(pending, 1, lanes):
+            for index, result in _run_chunk(chunk):
+                if store is not None:
+                    store.put(result)
+                slots[index] = result
     else:
         pool = _worker_pool(workers, start_method)
         # imap_unordered (not map/imap) so each chunk is persisted the
@@ -543,7 +571,7 @@ def run_campaign(
         # matrix order is unaffected.
         try:
             for batch in pool.imap_unordered(
-                _run_chunk, _chunk_pending(pending, workers)
+                _run_chunk, _chunk_pending(pending, workers, lanes)
             ):
                 for index, result in batch:
                     if store is not None:
@@ -563,8 +591,161 @@ def run_campaign(
 def _run_chunk(
     chunk: list[tuple[int, Scenario]],
 ) -> list[tuple[int, "ScenarioResult"]]:
-    """Worker shim: one pickle round-trip per setup-key group of cells."""
+    """Worker shim: one pickle round-trip per setup-key group of cells.
+
+    A multi-cell ``batch``-backend chunk takes the fused path: its dynamic
+    and timeline cells run as lock-step lanes of one batched engine.
+    """
+    if len(chunk) > 1 and all(s.backend == "batch" for _, s in chunk):
+        return _run_batch_chunk(chunk)
     return [(index, run_scenario(scenario)) for index, scenario in chunk]
+
+
+@dataclass(frozen=True)
+class _LanePlan:
+    """One batch-chunk cell, lowered and ready to ride a lane.
+
+    ``eff_ops`` is what the engine actually consumes: the cell's wire-op
+    program, reduced to ``()`` when every op lands strictly after the
+    undisturbed terminal tick (the run stops at the terminal before any of
+    them can fire; an op at *exactly* the terminal tick does fire, hence
+    strictly).  Cells with equal ``(eff_ops, budget)`` on one graph are
+    byte-identical runs, so they share a single lane — ``program`` (the
+    cell's own compiled timeline, or ``None`` for legacy cut/add cells)
+    stays per-cell because phase attribution is a label over the shared
+    tick count, not part of the simulation.
+    """
+
+    index: int
+    scenario: Scenario
+    graph: PortGraph
+    diameter: int
+    budget: int
+    eff_ops: tuple[WireMutation, ...]
+    program: object  # TimelineProgram | None
+
+
+def _run_batch_chunk(
+    chunk: list[tuple[int, Scenario]],
+) -> list[tuple[int, "ScenarioResult"]]:
+    """Run one fused batch chunk: shared cells solo, lane cells lock-step.
+
+    Static cells (``none``/``shutdown``) have no wire-op axis to fuse and
+    take the ordinary :func:`run_scenario` path (the ``none`` cell *is* the
+    shared healthy baseline, so it is computed once either way).  Dynamic
+    and timeline cells are lowered to per-cell wire-op programs and handed
+    to :func:`_execute_lane_plans`.  Results carry their matrix indices, so
+    callers see nothing of the fusion — each cell's result is
+    value-identical to its solo ``run_scenario``.
+    """
+    out: list[tuple[int, ScenarioResult]] = []
+    lane_cells: list[tuple[int, Scenario, FaultModel]] = []
+    for index, scenario in chunk:
+        fault = scenario.fault_model()
+        if fault.kind in ("cut", "add", "timeline"):
+            lane_cells.append((index, scenario, fault))
+        else:
+            out.append((index, run_scenario(scenario)))
+    out.extend(_execute_lane_plans(lane_cells))
+    return out
+
+
+def _execute_lane_plans(
+    cells: list[tuple[int, Scenario, FaultModel]],
+) -> list[tuple[int, "ScenarioResult"]]:
+    """Lower, cohort, and run a batch chunk's dynamic cells as lanes.
+
+    Lowering mirrors :func:`_run_dynamic_scenario` /
+    :func:`_run_timeline_scenario` exactly — same derived seeds, same
+    horizon, same budget — so each lane's wire-op program is the one its
+    solo run would execute.  Cells sharing a graph **by value** run in one
+    batched engine — a deterministic family builds the same network for
+    every seed, so the seed axis collapses onto one graph group — and
+    within a group, cells whose ``(eff_ops, budget)`` coincide share a
+    single lane and fan the one
+    :class:`~repro.dynamics.experiment.DynamicRunResult` back out to every
+    member (first-seen cohort order keeps lane assignment deterministic).
+    That is where fusion beats the solo path outright: seed-invariant
+    programs (``cut:1.5``-style post-terminal ops reduced to ``()``,
+    ``frontier:k`` cuts that depend only on the graph) simulate once per
+    graph instead of once per seed.
+    """
+    results: list[tuple[int, ScenarioResult]] = []
+    by_graph: dict[PortGraph, list[_LanePlan]] = {}
+    for index, scenario, fault in cells:
+        graph = _family_graph(scenario.family, scenario.size, scenario.seed)
+        try:
+            baseline_ticks, diam = _dynamic_baseline(scenario, graph)
+            if fault.kind == "timeline":
+                assert fault.timeline is not None
+                program = fault.timeline.compile(
+                    graph,
+                    horizon=baseline_ticks,
+                    seed=_derive_seed(scenario, "timeline"),
+                    root=0,
+                )
+                ops: tuple[WireMutation, ...] = program.ops
+            else:
+                when = int(baseline_ticks * fault.param)
+                rng = make_rng(_derive_seed(scenario, fault.kind))
+                wire = (
+                    pick_cut_victim(graph, rng)
+                    if fault.kind == "cut"
+                    else pick_free_wire(graph, rng)
+                )
+                program = None
+                ops = (WireMutation(tick=when, kind=fault.kind, wire=wire),)
+        except ReproError:
+            results.append((index, _empty_result(scenario, graph, "infeasible")))
+            continue
+        post_terminal = ops and min(op.tick for op in ops) > baseline_ticks
+        plan = _LanePlan(
+            index=index,
+            scenario=scenario,
+            graph=graph,
+            diameter=diam,
+            budget=baseline_ticks * 3 + 1000,
+            eff_ops=() if post_terminal else ops,
+            program=program,
+        )
+        by_graph.setdefault(graph, []).append(plan)
+    for graph, plans in by_graph.items():
+        cohorts: dict[tuple, list[_LanePlan]] = {}
+        for plan in plans:
+            cohorts.setdefault((plan.eff_ops, plan.budget), []).append(plan)
+        reps = [members[0] for members in cohorts.values()]
+        outcomes = run_dynamic_gtd_lanes(
+            graph,
+            [rep.eff_ops for rep in reps],
+            [rep.budget for rep in reps],
+            pool=_ENGINE_POOL,
+        )
+        for members, outcome in zip(cohorts.values(), outcomes):
+            for plan in members:
+                results.append((plan.index, _lane_result(plan, outcome)))
+    return results
+
+
+def _lane_result(plan: _LanePlan, outcome) -> "ScenarioResult":
+    """One lane's DynamicRunResult, reduced exactly like its solo path."""
+    graph = plan.graph
+    timeline_cell = plan.program is not None
+    return ScenarioResult(
+        scenario=plan.scenario,
+        outcome=outcome.outcome.value,
+        num_nodes=graph.num_nodes,
+        num_wires=graph.num_wires,
+        diameter=plan.diameter,
+        ticks=outcome.ticks,
+        drained_ticks=outcome.ticks,
+        hops=outcome.hops if timeline_cell else 0,
+        rca_runs=0,
+        bca_runs=0,
+        by_family=(),
+        episodes=(),
+        lost_characters=outcome.lost_characters,
+        phase=plan.program.phase_at(outcome.ticks) if timeline_cell else "",
+    )
 
 
 def _coerce_store(store):
@@ -581,13 +762,6 @@ def _coerce_store(store):
     if isinstance(store, ResultStore):
         return store
     return ResultStore(store)
-
-
-def _run_and_record(scenario: Scenario, store) -> ScenarioResult:
-    result = run_scenario(scenario)
-    if store is not None:
-        store.put(result)
-    return result
 
 
 @dataclass

@@ -143,6 +143,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (results are identical for any J)",
     )
     p_camp.add_argument(
+        "--lanes", type=int, default=None, metavar="S",
+        help="with --backend batch: cap how many cells fuse into one "
+        "lock-step lane run (default: the chunker's worker-balancing cap; "
+        "results are identical for any S)",
+    )
+    p_camp.add_argument(
         "--start-method", choices=("fork", "forkserver", "spawn"), default=None,
         help="multiprocessing start method for the worker pool (default: "
         "fork where available, else the platform default; results are "
@@ -444,6 +450,10 @@ def _open_campaign_store(args: argparse.Namespace) -> ResultStore | None:
 
 
 def _run_campaign_command(args: argparse.Namespace) -> int:
+    if args.lanes is not None and args.backend != "batch":
+        raise ReproError(
+            f"--lanes requires --backend batch (got backend {args.backend!r})"
+        )
     spec = CampaignSpec(
         families=tuple(args.families),
         sizes=tuple(args.sizes),
@@ -454,7 +464,11 @@ def _run_campaign_command(args: argparse.Namespace) -> int:
     store = _open_campaign_store(args)
     reused = len(spec) - len(store.missing(spec)) if store is not None else 0
     campaign = run_campaign(
-        spec, jobs=args.jobs, store=store, start_method=args.start_method
+        spec,
+        jobs=args.jobs,
+        store=store,
+        start_method=args.start_method,
+        lanes=args.lanes,
     )
     print(campaign.summary())
     phase_rows = phase_outcome_counts(campaign.results)

@@ -326,6 +326,15 @@ class Engine:
                 return self.tick
             if until is None and self.is_idle() and self.tick > 0:
                 return self.tick
+            if until is not None and self._next_event_tick() is None:
+                # Dead network under an ``until`` that has just evaluated
+                # false: processor state only changes on delivery, and no
+                # delivery is ever due again, so the predicate can never
+                # flip.  Burn the remaining budget in one jump — the
+                # watchdog below observes the same tick it would have
+                # reached one dead tick at a time.
+                self.tick = max_ticks
+                break
             self._advance(max_ticks)
         if until is not None and until():
             return self.tick

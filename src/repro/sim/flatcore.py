@@ -293,9 +293,13 @@ class FlatEngine(Engine):
         self._grow_code_tables()
         # Per-slot precomputed (in_port << PORT_SHIFT) — ready-made ints, so
         # the hot loops do one list indexing instead of a shift per entry.
-        self._in_shift = [
-            (p << PORT_SHIFT) if p >= 0 else -1 for p in self._topo.wire_in_port
-        ]
+        # The table is immutable protocol data derived from the wiring, so
+        # static engines alias the per-artifact shared copy; only engines
+        # that patch the wiring mid-run need a private mutable list.
+        shared_in_shift = self._topo.shifted_in_ports(PORT_SHIFT)
+        self._in_shift = (
+            list(shared_in_shift) if self.MUTATES_TOPOLOGY else shared_in_shift
+        )
         # A subclass that intercepts emissions by overriding _put_on_wire
         # forfeits the fused drain loop and send-time sinks: every entry
         # must route through its override.  FlatDynamicEngine deliberately

@@ -93,6 +93,34 @@ class CompiledTopology:
     #: A fork's pristine tables double as the patcher's undo record.
     pristine: "CompiledTopology | None" = field(default=None, repr=False)
 
+    def __post_init__(self) -> None:
+        # Derived read-only tables, computed lazily and memoized per shared
+        # artifact.  The dataclass is frozen, so the cache dict is installed
+        # through object.__setattr__; it never appears in repr/fields.
+        object.__setattr__(self, "_derived", {})
+
+    def shifted_in_ports(self, shift: int) -> list[int]:
+        """``wire_in_port`` pre-shifted for packed-entry composition.
+
+        Slot ``s`` holds ``in_port << shift`` for a wired slot and ``-1``
+        otherwise — exactly the table the flat backends index per hop.  The
+        list is computed once per (artifact, shift) and **shared**: static
+        engines may alias it directly, mutating engines must take a
+        ``list(...)`` copy first.  Forks delegate to their pristine
+        original, so every engine over one wiring shares one table.
+        """
+        base = self.pristine if self.pristine is not None else self
+        if base is not self:
+            return base.shifted_in_ports(shift)
+        derived: dict = self._derived  # type: ignore[attr-defined]
+        key = ("in_shift", shift)
+        table = derived.get(key)
+        if table is None:
+            table = derived[key] = [
+                (p << shift) if p >= 0 else -1 for p in self.wire_in_port
+            ]
+        return table
+
     def fork(self) -> "CompiledTopology":
         """A private copy-on-write view for callers that patch the tables.
 

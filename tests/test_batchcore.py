@@ -1,0 +1,217 @@
+"""Unit tests for the lane-parallel batch backend's moving parts.
+
+The byte-parity contract (every decoded lane == a solo flat run) lives in
+``test_backend_parity.py``; this module tests the batch machinery itself:
+the numpy gate of the optional ``[batch]`` extra, lane register packing,
+the lock-step scheduler's per-lane error capture and drain phase, the
+per-lane emission-matrix flush, and the strict post-terminal wire-op
+semantics the campaign executor's cohort reduction relies on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaigns.spec import build_family
+from repro.errors import ReproError
+from repro.protocol.gtd import GTDProcessor
+from repro.protocol.runner import determine_topology
+from repro.sim import batchcore
+from repro.sim.batchcore import (
+    BatchEngine,
+    LaneRun,
+    LaneTimelines,
+    have_numpy,
+    lane_timelines,
+)
+from repro.sim.run import RunConfig, check_backend
+
+needs_numpy = pytest.mark.skipif(
+    not have_numpy(), reason="numpy not installed (the [batch] extra)"
+)
+
+
+# ----------------------------------------------------------------------
+# the numpy gate: module imports always, construction degrades gracefully
+# ----------------------------------------------------------------------
+class TestNumpyGate:
+    def test_module_is_importable_and_reports_absence(self, monkeypatch):
+        monkeypatch.setattr(batchcore, "_np", None)
+        assert not have_numpy()
+        with pytest.raises(ReproError, match=r"repro-topology\[batch\]"):
+            batchcore.require_numpy()
+
+    def test_check_backend_names_the_missing_extra(self, monkeypatch):
+        monkeypatch.setattr(batchcore, "_np", None)
+        with pytest.raises(ReproError, match=r"pip install 'repro-topology\[batch\]'"):
+            check_backend("batch")
+        # the scalar backends never depend on numpy
+        assert check_backend("flat") == "flat"
+        assert check_backend("object") == "object"
+
+    def test_runconfig_validation_names_the_missing_extra(self, monkeypatch):
+        monkeypatch.setattr(batchcore, "_np", None)
+        with pytest.raises(ReproError, match=r"\[batch\]"):
+            RunConfig(max_ticks=10, backend="batch")
+
+    def test_engine_construction_requires_numpy(self, monkeypatch):
+        graph = build_family("de-bruijn", 8, 0)
+        monkeypatch.setattr(batchcore, "_np", None)
+        with pytest.raises(ReproError, match=r"\[batch\]"):
+            BatchEngine(graph, [GTDProcessor() for _ in graph.nodes()])
+
+
+class TestRunConfigLanes:
+    def test_scalar_backends_reject_lanes(self):
+        with pytest.raises(ReproError, match="lane-parallel"):
+            RunConfig(max_ticks=10, backend="flat", lanes=2)
+        with pytest.raises(ReproError, match=">= 1"):
+            RunConfig(max_ticks=10, lanes=0)
+
+    @needs_numpy
+    def test_batch_backend_accepts_lanes(self):
+        assert RunConfig(max_ticks=10, backend="batch", lanes=4).lanes == 4
+
+
+def test_lane_timelines_normalizer():
+    assert lane_timelines((), 1) == ((),)
+    assert lane_timelines(LaneTimelines(((), ())), 2) == ((), ())
+    with pytest.raises(ReproError, match="2 lane timelines for 3 lanes"):
+        lane_timelines(LaneTimelines(((), ())), 3)
+    with pytest.raises(ReproError, match="LaneTimelines"):
+        lane_timelines((), 2)
+
+
+# ----------------------------------------------------------------------
+# lane register packing
+# ----------------------------------------------------------------------
+@needs_numpy
+def test_lane_register_layout():
+    import numpy as np
+
+    graph = build_family("de-bruijn", 8, 0)
+    eng = BatchEngine(graph, [GTDProcessor() for _ in graph.nodes()], lanes=4)
+    assert eng.lanes == 4
+    assert len(eng.lane_engines) == 4
+    assert eng.lane_engines[0] is eng, "lane 0 is the batch engine itself"
+    assert len({id(e) for e in eng.lane_engines}) == 4
+    for reg in (eng._lane_state, eng._lane_clock, eng._lane_error):
+        assert reg.shape == (4,) and reg.dtype == np.int64
+    assert eng._lane_emitted.shape == (4, 0)
+    with pytest.raises(ReproError, match="1 lane configs for 4 lanes"):
+        eng.run_lanes([LaneRun(max_ticks=10)])
+
+
+@needs_numpy
+def test_lane_count_must_be_positive():
+    graph = build_family("de-bruijn", 8, 0)
+    with pytest.raises(ReproError, match=">= 1"):
+        BatchEngine(graph, [GTDProcessor() for _ in graph.nodes()], lanes=0)
+
+
+# ----------------------------------------------------------------------
+# the lock-step scheduler
+# ----------------------------------------------------------------------
+def _gtd_lane_runs(eng, budget=5000, drain=False):
+    return [
+        LaneRun(
+            max_ticks=budget,
+            until=(lambda p=eng.lane_engines[i].processors[eng.root]: p.terminal),
+            drain=drain,
+        )
+        for i in range(eng.lanes)
+    ]
+
+
+@needs_numpy
+def test_identical_lanes_agree_with_the_scalar_run():
+    graph = build_family("de-bruijn", 8, 0)
+    eng = BatchEngine(graph, [GTDProcessor() for _ in graph.nodes()], lanes=3)
+    outs = eng.run_lanes(_gtd_lane_runs(eng, drain=True))
+    solo = determine_topology(graph, backend="flat")
+    for out in outs:
+        assert out.error is None
+        assert out.ticks == solo.ticks
+        assert out.drained_ticks == solo.drained_ticks
+
+
+@needs_numpy
+def test_budget_lane_is_captured_without_aborting_siblings():
+    graph = build_family("de-bruijn", 8, 0)
+    eng = BatchEngine(graph, [GTDProcessor() for _ in graph.nodes()], lanes=2)
+    runs = [
+        LaneRun(max_ticks=3, until=lambda: False),
+        LaneRun(
+            max_ticks=5000,
+            until=(lambda p=eng.lane_engines[1].processors[0]: p.terminal),
+        ),
+    ]
+    outs = eng.run_lanes(runs)
+    assert outs[0].error == "budget" and outs[0].ticks == 3
+    assert outs[1].error is None
+    assert outs[1].ticks == determine_topology(graph, backend="flat").ticks
+
+
+@needs_numpy
+def test_lane_emitted_matrix_flushes_per_lane_counters():
+    graph = build_family("de-bruijn", 8, 0)
+    eng = BatchEngine(graph, [GTDProcessor() for _ in graph.nodes()], lanes=3)
+    outs = eng.run_lanes(_gtd_lane_runs(eng, drain=True))
+    matrix = eng.lane_emitted_matrix()
+    assert matrix.shape[0] == 3
+    for i, out in enumerate(outs):
+        row = eng.lane_engines[i]._emitted_by_code
+        assert list(matrix[i, : len(row)]) == list(row)
+        assert int(matrix[i].sum()) == sum(out.engine.metrics.emitted.values())
+    # identical lanes produce identical emission rows
+    assert (matrix[0] == matrix[1]).all() and (matrix[0] == matrix[2]).all()
+    # the run snapshots the same matrix onto the lane registers
+    assert (eng._lane_emitted == matrix).all()
+
+
+@needs_numpy
+def test_reset_restores_power_on_lanes():
+    graph = build_family("de-bruijn", 8, 0)
+    eng = BatchEngine(graph, [GTDProcessor() for _ in graph.nodes()], lanes=2)
+    first = eng.run_lanes(_gtd_lane_runs(eng))
+    eng.reset()
+    assert eng._lane_emitted.shape == (2, 0)
+    assert all(e.tick == 0 and e.is_idle() for e in eng.lane_engines)
+    again = eng.run_lanes(_gtd_lane_runs(eng))
+    assert [o.ticks for o in again] == [o.ticks for o in first]
+
+
+# ----------------------------------------------------------------------
+# strict post-terminal semantics (the executor's cohort reduction)
+# ----------------------------------------------------------------------
+@needs_numpy
+def test_op_at_terminal_tick_fires_op_after_does_not():
+    """The cohort reduction drops ops strictly *after* the terminal tick.
+
+    An op scheduled at exactly the tick the protocol terminates on still
+    fires (ops apply after that tick's deliveries, before the until check
+    concludes the run is over at the next iteration) — so the executor
+    may only reduce a program to a healthy run when every op lands
+    strictly later.  This pins the boundary the reduction relies on.
+    """
+    from repro.dynamics.engine import WireMutation
+    from repro.dynamics.experiment import run_dynamic_gtd
+    from repro.topology.faults import pick_cut_victim
+    from repro.util.rng import make_rng
+
+    graph = build_family("spare-ring", 10, 0)
+    terminal = run_dynamic_gtd(graph, (), backend="flat").ticks
+    wire = pick_cut_victim(graph, make_rng(0))
+
+    def run_with_cut_at(tick):
+        return run_dynamic_gtd(
+            graph,
+            (WireMutation(tick=tick, kind="cut", wire=wire),),
+            max_ticks=terminal * 3 + 1000,
+            backend="batch",
+        )
+
+    assert run_with_cut_at(terminal).applied_ops == 1
+    after = run_with_cut_at(terminal + 1)
+    assert after.applied_ops == 0
+    assert after.ticks == terminal, "an unfired op must not disturb the run"
