@@ -385,12 +385,30 @@ def _safe_episodes(transcript) -> list[RcaEpisode]:
 # ----------------------------------------------------------------------
 # the campaign runner
 # ----------------------------------------------------------------------
-#: The persistent worker pool: ``(start method, size, Pool)`` or ``None``.
-#: One pool is kept alive across ``run_campaign`` invocations and reused
-#: whenever the requested method matches and the size suffices — sweep
-#: drivers calling ``run_campaign`` in a loop pay the fork/spawn/import
-#: cost once, and the workers' scenario caches stay warm between calls.
-_WORKER_POOL: tuple[str, int, "multiprocessing.pool.Pool"] | None = None
+#: The persistent worker pool: ``(start method, size, artifact library
+#: root, Pool)`` or ``None``.  One pool is kept alive across
+#: ``run_campaign`` invocations and reused whenever the requested method
+#: matches, the size suffices, and the artifact library is the same —
+#: sweep drivers calling ``run_campaign`` in a loop pay the
+#: fork/spawn/import cost once, and the workers' scenario caches stay warm
+#: between calls.
+_WORKER_POOL: tuple[str, int, str | None, "multiprocessing.pool.Pool"] | None = None
+
+
+def _init_worker(artifacts_root: str | None) -> None:
+    """Pool initializer: configure the shared artifact library per worker.
+
+    Runs in every worker at pool construction, whatever the start method —
+    ``fork`` workers would inherit the parent's configuration anyway, but
+    ``forkserver``/``spawn`` workers import this module fresh and must be
+    told explicitly.  With a library configured, a worker's first touch of
+    any wiring is an ``mmap`` load of the parent-prewarmed artifact (pages
+    shared across the whole pool), not a compile.
+    """
+    if artifacts_root is not None:
+        from repro.store.artifacts import configure_artifact_library
+
+        configure_artifact_library(artifacts_root)
 
 
 def _resolve_start_method(start_method: str | None) -> str:
@@ -413,18 +431,22 @@ def _resolve_start_method(start_method: str | None) -> str:
     return "fork" if "fork" in methods else multiprocessing.get_start_method()
 
 
-def _worker_pool(workers: int, start_method: str | None):
-    """The persistent pool, (re)built only when method or size demand it."""
+def _worker_pool(
+    workers: int, start_method: str | None, artifacts_root: str | None = None
+):
+    """The persistent pool, (re)built only when method/size/library demand it."""
     global _WORKER_POOL
     method = _resolve_start_method(start_method)
     if _WORKER_POOL is not None:
-        live_method, live_size, pool = _WORKER_POOL
-        if live_method == method and live_size >= workers:
+        live_method, live_size, live_root, pool = _WORKER_POOL
+        if live_method == method and live_size >= workers and live_root == artifacts_root:
             return pool
         shutdown_worker_pool()
     ctx = multiprocessing.get_context(method)
-    pool = ctx.Pool(processes=workers)
-    _WORKER_POOL = (method, workers, pool)
+    pool = ctx.Pool(
+        processes=workers, initializer=_init_worker, initargs=(artifacts_root,)
+    )
+    _WORKER_POOL = (method, workers, artifacts_root, pool)
     return pool
 
 
@@ -439,7 +461,7 @@ def shutdown_worker_pool() -> None:
     """
     global _WORKER_POOL
     if _WORKER_POOL is not None:
-        _, _, pool = _WORKER_POOL
+        pool = _WORKER_POOL[-1]
         _WORKER_POOL = None
         pool.terminate()
         pool.join()
@@ -506,6 +528,44 @@ def _chunk_pending(
     return chunks
 
 
+def _coerce_artifacts(artifacts):
+    """Accept an ArtifactLibrary, a path, or None (lazy import, like stores)."""
+    if artifacts is None:
+        return None
+    from repro.store.artifacts import ArtifactLibrary
+
+    if isinstance(artifacts, ArtifactLibrary):
+        return artifacts
+    return ArtifactLibrary(artifacts)
+
+
+def _prewarm_artifacts(library, pending: list[tuple[int, Scenario]]) -> int:
+    """Publish every distinct pending wiring to the library; returns count.
+
+    Runs in the parent before dispatch, so workers receive chunks whose
+    artifacts already exist on disk and every one of them — whatever its
+    start method — reaches its first hop through an ``mmap`` load of the
+    same physical pages.  Per distinct ``(family, size, seed)`` this is one
+    ``stat`` when warm and one compile+publish when cold; shutdown cells
+    derive per-cell degraded wirings inside the worker and fall through to
+    the ordinary miss path there.
+    """
+    published = 0
+    seen: set[tuple[str, int, int]] = set()
+    for _, scenario in pending:
+        key = (scenario.family, scenario.size, scenario.seed)
+        if key in seen:
+            continue
+        seen.add(key)
+        try:
+            graph = _family_graph(*key)
+        except ReproError:
+            continue  # infeasible families report per-cell inside the worker
+        _, fresh = library.ensure(graph)
+        published += fresh
+    return published
+
+
 def run_campaign(
     spec: CampaignSpec | Sequence[Scenario],
     *,
@@ -513,6 +573,7 @@ def run_campaign(
     store=None,
     start_method: str | None = None,
     lanes: int | None = None,
+    artifacts=None,
 ) -> "CampaignResult":
     """Run every scenario of ``spec``; fan out over ``jobs`` processes.
 
@@ -536,11 +597,21 @@ def run_campaign(
     uninterrupted one.  (Corollary: a store outlives code changes — after
     editing the protocol or the engine, start a fresh store rather than
     resuming into results computed by older code.)
+
+    With ``artifacts`` (a :class:`repro.store.ArtifactLibrary` or a path to
+    one), compiled topologies persist across processes and campaigns: the
+    parent prewarms the library with every distinct pending wiring, workers
+    are initialized to read through it, and each worker's first touch of a
+    wiring is a zero-copy ``mmap`` load instead of a compile — the whole
+    pool shares one physical copy of each table set.  Like the result
+    store, the library never changes a result's value: artifacts are pure
+    functions of the wiring, byte-validated on load.
     """
     scenarios = spec.scenarios() if isinstance(spec, CampaignSpec) else list(spec)
     if jobs < 1:
         raise ReproError(f"jobs must be >= 1, got {jobs}")
     store = _coerce_store(store)
+    artifacts = _coerce_artifacts(artifacts)
     slots: list[ScenarioResult | None] = [None] * len(scenarios)
     pending: list[tuple[int, Scenario]] = []
     for index, scenario in enumerate(scenarios):
@@ -549,6 +620,11 @@ def run_campaign(
             slots[index] = hit
         else:
             pending.append((index, scenario))
+    if artifacts is not None and pending:
+        from repro.store.artifacts import configure_artifact_library
+
+        _prewarm_artifacts(artifacts, pending)
+        configure_artifact_library(artifacts)  # serial path + fork workers
     # Clamp the pool to the actual work: jobs > len(pending) would spawn
     # workers that fork, import, and exit without ever running a scenario.
     workers = min(jobs, len(pending))
@@ -563,7 +639,11 @@ def run_campaign(
                     store.put(result)
                 slots[index] = result
     else:
-        pool = _worker_pool(workers, start_method)
+        pool = _worker_pool(
+            workers,
+            start_method,
+            str(artifacts.root) if artifacts is not None else None,
+        )
         # imap_unordered (not map/imap) so each chunk is persisted the
         # moment *any* worker finishes it — an in-order stream would sit
         # on completed results behind a slow chunk, and a crash would

@@ -9,9 +9,14 @@ Subcommands:
   fault model × seed) over the :mod:`repro.campaigns` executor; with
   ``--store DIR`` results persist to a content-addressed store and
   overlapping matrices reuse stored cells; ``--resume RUN_DIR`` picks an
-  interrupted run back up, skipping completed scenarios;
+  interrupted run back up, skipping completed scenarios; ``--artifacts
+  DIR`` persists compiled topologies to an mmap-shared library so warm
+  re-runs skip every previously-seen compile;
 * ``store`` — inspect a result store: record count, outcome counts, and
-  the aggregate statistics mined from its JSONL shards;
+  the aggregate statistics mined from its JSONL shards; with
+  ``--artifacts`` the directory is a compiled-artifact library instead
+  (``--verify`` validates every artifact, ``--gc [--keep-mb MB]``
+  removes invalid ones and evicts to a byte budget);
 * ``bench-compare`` — diff a fresh benchmark snapshot against a committed
   baseline with a regression threshold (the CI perf gate);
 * ``families`` — list the built-in network families;
@@ -169,16 +174,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume an interrupted campaign from an existing store: skip "
         "its completed scenarios, run the rest, write through to it",
     )
+    p_camp.add_argument(
+        "--artifacts", metavar="DIR",
+        help="persist compiled topologies to an mmap-shared artifact "
+        "library at DIR (created if absent); warm libraries skip every "
+        "previously-seen compile, across processes and campaigns",
+    )
 
     p_store = sub.add_parser(
         "store",
-        help="inspect a result store: records, outcomes, aggregate stats",
+        help="inspect a result store or (--artifacts) an artifact library",
     )
     p_store.add_argument("dir", metavar="DIR", help="path of the store")
     p_store.add_argument(
         "--json", metavar="PATH",
         help="also write the aggregate stats as canonical JSON to PATH "
         "('-' for stdout)",
+    )
+    p_store.add_argument(
+        "--artifacts", action="store_true",
+        help="DIR is a compiled-artifact library, not a result store: "
+        "print artifact count and total bytes",
+    )
+    p_store.add_argument(
+        "--verify", action="store_true",
+        help="with --artifacts: fully validate every artifact (checksums, "
+        "versions); exit 1 if any is invalid",
+    )
+    p_store.add_argument(
+        "--gc", action="store_true",
+        help="with --artifacts: remove invalid artifacts (and, with "
+        "--keep-mb, evict oldest artifacts down to the byte budget)",
+    )
+    p_store.add_argument(
+        "--keep-mb", type=float, metavar="MB",
+        help="with --gc: byte budget the library must fit after eviction",
     )
 
     p_bc = sub.add_parser(
@@ -469,6 +499,7 @@ def _run_campaign_command(args: argparse.Namespace) -> int:
         store=store,
         start_method=args.start_method,
         lanes=args.lanes,
+        artifacts=args.artifacts,
     )
     print(campaign.summary())
     phase_rows = phase_outcome_counts(campaign.results)
@@ -510,6 +541,10 @@ def _run_campaign_command(args: argparse.Namespace) -> int:
 
 def _run_store_command(args: argparse.Namespace) -> int:
     """``store DIR``: aggregate a result store from its JSONL shards."""
+    if args.artifacts:
+        return _run_artifacts_store_command(args)
+    if args.verify or args.gc or args.keep_mb is not None:
+        raise ReproError("--verify/--gc/--keep-mb apply to --artifacts libraries")
     if not Path(args.dir).is_dir():
         raise ReproError(f"no result store at {args.dir!r}")
     store = ResultStore(args.dir)
@@ -534,6 +569,36 @@ def _run_store_command(args: argparse.Namespace) -> int:
         with open(args.json, "w") as fh:
             fh.write(stats.to_json() + "\n")
         print(f"wrote {args.json}")
+    return 0
+
+
+def _run_artifacts_store_command(args: argparse.Namespace) -> int:
+    """``store DIR --artifacts``: inspect/verify/GC a compiled-artifact library."""
+    from repro.store.artifacts import ArtifactLibrary
+
+    if not Path(args.dir).is_dir():
+        raise ReproError(f"no artifact library at {args.dir!r}")
+    if args.keep_mb is not None and not args.gc:
+        raise ReproError("--keep-mb requires --gc")
+    library = ArtifactLibrary(args.dir)
+    if args.gc:
+        budget = int(args.keep_mb * 1024 * 1024) if args.keep_mb is not None else None
+        removed = library.gc(max_bytes=budget)
+        for entry in removed:
+            reason = entry.error or "evicted (byte budget)"
+            print(f"removed {entry.key[:16]}… ({entry.size} bytes): {reason}")
+        print(f"gc: removed {len(removed)} artifact(s)")
+    stats = library.stats()
+    print(
+        f"artifact library {stats['root']}: {stats['artifacts']} artifact(s), "
+        f"{stats['bytes']} bytes"
+    )
+    if args.verify:
+        bad = [entry for entry in library.entries(validate=True) if not entry.ok]
+        for entry in bad:
+            print(f"INVALID {entry.key[:16]}…: {entry.error}")
+        print(f"verify: {len(bad)} invalid artifact(s)")
+        return 1 if bad else 0
     return 0
 
 

@@ -31,6 +31,30 @@ baseline runtime, so the same spec scales across network sizes::
     add@0.5        add:n=2@0.5       # wave of n additions on free ports
     storm:p=0.2@0.3+heal@0.9         # composition: staged storm, late heal
 
+Formally (all times/periods are non-negative decimal fractions of the
+undisturbed runtime ``T``; whitespace is not permitted)::
+
+    timeline   ::=  event ( "+" event )*
+    event      ::=  kind [ ":" params ] [ "@" time ]
+    kind       ::=  "churn" | "storm" | "flap" | "frontier"
+                  | "cut" | "heal" | "add"
+    params     ::=  param ( "," param )*
+    param      ::=  key "=" value
+    key        ::=  "rate" | "period" | "heal" | "until"      (churn)
+                  | "p"                                       (storm)
+                  | "wire" | "on" | "off" | "cycles"          (flap)
+                  | "k"                                       (frontier)
+                  | "n"                                       (cut/heal/add)
+    value      ::=  number | wirespec
+    wirespec   ::=  node ":" out_port                         (two integers)
+    time       ::=  number
+    number     ::=  digits [ "." digits ]
+
+Each kind accepts only its own keys (anything else raises), probabilities
+must lie in ``[0, 1]``, and canonicalization — used for spec hashing and
+the campaign store — renders numbers minimally so ``storm:p=0.10@0.50``
+and ``storm:p=0.1@0.5`` share one cell.
+
 Lowering (:meth:`PerturbationTimeline.compile`) is a pure function of
 ``(graph, horizon, seed, root)``: every stochastic choice draws from one
 :func:`repro.util.rng.make_rng` stream in a fixed order, and every sampled

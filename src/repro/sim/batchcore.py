@@ -24,7 +24,12 @@ parity contract the differential fuzz suite enforces.  What batching
 buys is shared lowering, one pooled engine per (graph, lane count)
 signature, vectorized lane scheduling, and — at the campaign layer —
 the fusion of a chunk's seed axis so lanes with equal effective wire
-programs share one simulation (:mod:`repro.campaigns.executor`).
+programs share one simulation (:mod:`repro.campaigns.executor`).  The
+shared tables themselves resolve through the two-tier
+:func:`~repro.topology.compile.compiled_topology` cache, so with a warm
+artifact library (:mod:`repro.store.artifacts`) all S lanes ride one
+``mmap``-loaded, page-cache-shared table set that no process had to
+compile.
 
 numpy is an **optional** dependency (the ``[batch]`` extra).  This
 module always imports; only constructing a batch engine requires numpy,

@@ -7,9 +7,13 @@ backend — same delivery order, same transcripts, same metrics, same tick
 counts (the differential parity suite enforces it) — but the hot loop runs
 on dense integer tables instead of Python object graphs:
 
-* the wiring is lowered once per run into CSR-style arrays
-  (:func:`repro.topology.compile.compile_topology`), so an emission
-  resolves its wire with two integer indexings instead of a dict lookup;
+* the wiring is lowered once per *wiring* into CSR-style arrays, resolved
+  through the two-tier :func:`repro.topology.compile.compiled_topology`
+  cache — a process-wide LRU in front of the optional on-disk artifact
+  library (:mod:`repro.store.artifacts`), whose ``mmap``-loaded tables
+  this engine consumes zero-copy — so an emission resolves its wire with
+  two integer indexings instead of a dict lookup, and a warm library
+  means no process ever compiles the same wiring twice;
 * the character alphabet is interned up front
   (:class:`~repro.sim.characters.CharInterner`) — every character is a
   small integer code with one canonical :class:`~repro.sim.characters.Char`

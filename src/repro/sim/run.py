@@ -116,6 +116,13 @@ class EnginePool:
     only coherent until its next checkout — campaign and benchmark callers,
     the intended users, read everything they need before returning.
 
+    The pool composes with the caches *below* it: an engine constructed on
+    a pool miss resolves its tables through ``compiled_topology()``, which
+    reads the process-wide in-memory cache and — when an artifact library
+    is configured (:mod:`repro.store.artifacts`) — the on-disk mmap tier,
+    so even a brand-new pool in a brand-new process skips the compiler for
+    every wiring it has ever seen.
+
     The pool is not thread-safe; it is per-process state (each campaign
     worker owns one).
     """

@@ -1,14 +1,33 @@
-"""Persistent, content-addressed storage for campaign results.
+"""Persistent, content-addressed storage: campaign results and compiled artifacts.
 
-The store turns campaigns from ephemeral processes into cumulative data:
-every completed scenario is appended to a JSONL shard under a key derived
-from the scenario's canonical spec (family, size, fault, seed), so crashed
-sweeps resume where they stopped and overlapping matrices reuse every cell
-they share with past runs.  See :mod:`repro.store.result_store` for the
-layout and the durability story, and the ``--store`` / ``--resume``
-options of ``repro-topology campaign`` for the shell front door.
+Two stores live here, both content-addressed and crash-tolerant:
+
+* :mod:`repro.store.result_store` — campaign *results*: every completed
+  scenario is appended to a JSONL shard under a key derived from the
+  scenario's canonical spec (family, size, fault, seed), so crashed
+  sweeps resume where they stopped and overlapping matrices reuse every
+  cell they share with past runs.
+* :mod:`repro.store.artifacts` — compiled *topologies*: the on-disk tier
+  below the process-wide ``compiled_topology()`` cache, serving
+  ``mmap``-shared CSR tables keyed by graph-spec hash × compiler version
+  so a cold process reaches the hot loop without compiling anything it
+  has ever seen.
+
+See ``docs/FORMATS.md`` for both on-disk layouts, and the ``--store`` /
+``--resume`` / ``--artifacts`` options of ``repro-topology campaign``
+(plus ``repro-topology store DIR --artifacts``) for the shell front door.
 """
 
+from repro.store.artifacts import (
+    ARTIFACT_FORMAT,
+    ArtifactError,
+    ArtifactLibrary,
+    active_artifact_library,
+    artifact_key,
+    configure_artifact_library,
+    dump_artifact,
+    load_artifact,
+)
 from repro.store.result_store import (
     STORE_FORMAT,
     ResultStore,
@@ -16,4 +35,17 @@ from repro.store.result_store import (
     result_to_doc,
 )
 
-__all__ = ["STORE_FORMAT", "ResultStore", "result_from_doc", "result_to_doc"]
+__all__ = [
+    "STORE_FORMAT",
+    "ResultStore",
+    "result_from_doc",
+    "result_to_doc",
+    "ARTIFACT_FORMAT",
+    "ArtifactError",
+    "ArtifactLibrary",
+    "active_artifact_library",
+    "artifact_key",
+    "configure_artifact_library",
+    "dump_artifact",
+    "load_artifact",
+]

@@ -16,15 +16,27 @@ integer indexings and no hashing:
   ``in_start`` / ``in_ports`` is the same for in-ports.
 
 The compilation is a pure function of the frozen graph.  For *static* runs
-the compiled form never mutates — which is why it is also **cached**:
-:func:`compiled_topology` keeps one compiled artifact per wiring
-(process-wide, LRU-bounded), so every engine built over the same frozen
-graph shares a single set of tables instead of re-lowering them.  Anything
-that must mutate the tables (the dynamic engines) takes a private
-copy-on-write view first via :meth:`CompiledTopology.fork`: the two wire
-tables are copied (they are what a patch touches), the CSR port census is
-shared, and the fork remembers the :attr:`~CompiledTopology.pristine`
-original so undo records need no extra copies.
+the compiled form never mutates — which is why it is also **cached**, in
+two tiers.  :func:`compiled_topology` keeps one compiled artifact per
+wiring (process-wide, LRU-bounded), so every engine built over the same
+frozen graph shares a single set of tables instead of re-lowering them.
+Below the in-memory tier sits the optional **on-disk artifact library**
+(:mod:`repro.store.artifacts`): when one is configured — explicitly, via a
+campaign ``artifacts=`` argument, or through the ``REPRO_ARTIFACTS``
+environment variable — a cache miss first tries an ``mmap`` load of the
+serialized tables (zero-copy ``memoryview`` rows shared across processes
+through the page cache), and only compiles on a true library miss, at
+which point the fresh compile is atomically published back.  A cold
+process with a warm library therefore reaches the hot loop without ever
+invoking :func:`compile_topology` (``compile_calls()`` counts invocations
+so tests can assert exactly that).  Anything that must mutate the tables
+(the dynamic engines) takes a private copy-on-write view first via
+:meth:`CompiledTopology.fork`: the two wire tables are copied (they are
+what a patch touches) — materializing them to mutable ``array('q')`` even
+when the base rows live on a read-only mapping — the CSR port census is
+shared (and for mmap-backed artifacts never leaves the mapping), and the
+fork remembers the :attr:`~CompiledTopology.pristine` original so undo
+records need no extra copies.
 
 Dynamic runs patch their fork **incrementally** through a
 :class:`TopologyPatcher`: a cut stamps the :data:`CUT` sentinel into the
@@ -51,12 +63,33 @@ from repro.topology.portgraph import PortGraph
 __all__ = [
     "UNWIRED",
     "CUT",
+    "COMPILER_VERSION",
+    "TABLE_NAMES",
     "CompiledTopology",
     "TopologyPatcher",
     "compile_topology",
     "compiled_topology",
     "clear_compiled_cache",
+    "compile_calls",
 ]
+
+#: Version tag of the lowering itself.  Part of every on-disk artifact
+#: key and header: bump it whenever :func:`compile_topology` changes the
+#: *meaning* of the emitted tables (new sentinel values, different CSR
+#: ordering, …) so previously published artifacts miss instead of being
+#: served with stale semantics.
+COMPILER_VERSION = 1
+
+#: The six dense tables every :class:`CompiledTopology` carries, in
+#: canonical order — the order they are serialized in on disk.
+TABLE_NAMES = (
+    "wire_dst",
+    "wire_in_port",
+    "out_start",
+    "out_ports",
+    "in_start",
+    "in_ports",
+)
 
 #: ``wire_dst`` value of an out-port that never carried a wire.  Emitting
 #: through it is a simulation bug (the processor cannot know the port).
@@ -170,6 +203,13 @@ class TopologyPatcher:
     """
 
     def __init__(self, topo: CompiledTopology) -> None:
+        if not isinstance(topo.wire_dst, array):
+            # mmap-backed artifacts expose read-only memoryview tables; the
+            # dynamic engines must fork() before patching (they all do —
+            # hitting this means a caller skipped the copy-on-write step).
+            raise SimulationError(
+                "cannot patch a read-only (mmap-backed) topology; fork() it first"
+            )
         self.topo = topo
         # The undo record every restore reads from.  A fork already carries
         # its pristine original (same values, never mutated), so its tables
@@ -219,8 +259,10 @@ class TopologyPatcher:
 
 def compile_topology(graph: PortGraph) -> CompiledTopology:
     """Compile a frozen graph into :class:`CompiledTopology` tables."""
+    global _COMPILE_CALLS
     if not graph.frozen:
         raise SimulationError("can only compile a frozen PortGraph")
+    _COMPILE_CALLS += 1
     n = graph.num_nodes
     delta = graph.delta
     stride = delta + 1
@@ -267,23 +309,71 @@ _COMPILED_CACHE: "OrderedDict[PortGraph, CompiledTopology]" = OrderedDict()
 #: ints), so even the cap costs at most a few MB; eviction is LRU.
 _COMPILED_CACHE_MAX = 128
 
+#: Times :func:`compile_topology` has actually run in this process.  The
+#: artifact-library cold-start contract is asserted against this: a warm
+#: library must serve every wiring without a single compile.
+_COMPILE_CALLS = 0
+
+#: The on-disk artifact library below the in-memory cache.  ``compile.py``
+#: never imports :mod:`repro.store.artifacts` (that module imports *us*);
+#: instead the library registers itself here via :func:`_set_artifact_library`
+#: when configured, and :func:`_resolve_library` lazily triggers the
+#: env-var (``REPRO_ARTIFACTS``) resolution exactly once.
+_LIBRARY = None
+_LIBRARY_RESOLVED = False
+
+
+def _set_artifact_library(library) -> None:
+    """Install the on-disk tier (called by ``repro.store.artifacts`` only)."""
+    global _LIBRARY, _LIBRARY_RESOLVED
+    _LIBRARY = library
+    _LIBRARY_RESOLVED = True
+
+
+def _resolve_library():
+    """The active on-disk library, resolving ``REPRO_ARTIFACTS`` lazily."""
+    if not _LIBRARY_RESOLVED:
+        _set_artifact_library(None)  # break recursion if resolution re-enters
+        import os
+
+        if os.environ.get("REPRO_ARTIFACTS"):
+            from repro.store.artifacts import active_artifact_library
+
+            _set_artifact_library(active_artifact_library())
+    return _LIBRARY
+
+
+def compile_calls() -> int:
+    """How many real compiles this process has performed (cache misses)."""
+    return _COMPILE_CALLS
+
 
 def compiled_topology(graph: PortGraph) -> CompiledTopology:
     """The shared compiled artifact for ``graph`` (compile once per wiring).
 
     Returns the same :class:`CompiledTopology` instance for every frozen
-    graph with the same wiring, compiling on first sight.  The shared
-    instance is read-only by contract — mutating callers must
-    :meth:`~CompiledTopology.fork` it first (the dynamic engines do).
+    graph with the same wiring.  Resolution order: in-memory LRU → mmap
+    artifact library (when configured) → :func:`compile_topology`, with a
+    fresh compile atomically published back to the library so the next
+    process mmap-loads it instead.  The shared instance is read-only by
+    contract — mutating callers must :meth:`~CompiledTopology.fork` it
+    first (the dynamic engines do).
     """
     cache = _COMPILED_CACHE
     topo = cache.get(graph)
-    if topo is None:
-        topo = cache[graph] = compile_topology(graph)
-        if len(cache) > _COMPILED_CACHE_MAX:
-            cache.popitem(last=False)
-    else:
+    if topo is not None:
         cache.move_to_end(graph)
+        return topo
+    library = _resolve_library()
+    if library is not None:
+        topo = library.load(graph)
+    if topo is None:
+        topo = compile_topology(graph)
+        if library is not None:
+            library.publish(graph, topo)
+    cache[graph] = topo
+    if len(cache) > _COMPILED_CACHE_MAX:
+        cache.popitem(last=False)
     return topo
 
 
