@@ -72,7 +72,7 @@ from repro.dynamics.engine import WireMutation
 from repro.dynamics.experiment import run_dynamic_gtd, run_dynamic_gtd_lanes
 from repro.errors import ReproError, TickBudgetExceeded, TranscriptError
 from repro.protocol.runner import TopologyResult, determine_topology
-from repro.sim.characters import clear_interner_cache
+from repro.sim.characters import clear_interner_cache, kernel_for
 from repro.sim.run import EnginePool
 from repro.topology.compile import clear_compiled_cache
 from repro.topology.faults import (
@@ -409,6 +409,19 @@ def _init_worker(artifacts_root: str | None) -> None:
         from repro.store.artifacts import configure_artifact_library
 
         configure_artifact_library(artifacts_root)
+    # Warm the character kernel for the common degree bound up front:
+    # every engine at a given delta shares one process-cached kernel
+    # (dense convert/fill/predicate tables) and one interner whose
+    # derived encode maps the packed wheel shares, so paying the
+    # one-time table build at pool construction keeps it out of the
+    # first cell's wall-clock.  ``fork`` workers inherit any further
+    # deltas the parent prewarmed; spawn workers at least get the
+    # delta-2 census every standard family uses.
+    from repro.sim.characters import interner_for, kernel_for
+    from repro.sim.flatcore import PackedEventWheel
+
+    kernel_for(2)
+    PackedEventWheel(interner_for(2))
 
 
 def _resolve_start_method(start_method: str | None) -> str:
@@ -563,6 +576,11 @@ def _prewarm_artifacts(library, pending: list[tuple[int, Scenario]]) -> int:
             continue  # infeasible families report per-cell inside the worker
         _, fresh = library.ensure(graph)
         published += fresh
+        # warm the parent's character kernel for this delta too: fork
+        # workers inherit the built tables for free, and the v2 artifact
+        # just published means even spawn workers mmap them back instead
+        # of recomputing
+        kernel_for(graph.delta)
     return published
 
 

@@ -113,6 +113,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", metavar="PATH",
         help="also write the recovered map + stats as JSON to PATH",
     )
+    p_map.add_argument(
+        "--profile", nargs="?", const="", metavar="FILE",
+        help="run under cProfile and print the top-20 functions by "
+        "cumulative time; with FILE, also dump the raw pstats data "
+        "there (inspect with 'python -m pstats FILE')",
+    )
 
     p_camp = sub.add_parser(
         "campaign",
@@ -300,6 +306,44 @@ def _dispatch(args: argparse.Namespace) -> int:
             "--timeline applies to a single map run; for a sweep, use "
             "'campaign --timeline'"
         )
+    if args.profile is not None:
+        return _run_map_profiled(args)
+    return _run_map(args)
+
+
+def _run_map_profiled(args: argparse.Namespace) -> int:
+    """Run any map variant under cProfile (the ``--profile`` hook).
+
+    Prints the top-20 functions by cumulative time — the view that keeps
+    the hot-loop split visible: code-space dispatch shows up under the
+    engine's ``step_tick`` while object-path fallbacks surface the
+    ``ProtocolProcessor.handle`` tree — and optionally dumps the raw
+    pstats data for offline digging.
+    """
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        if args.repeats > 1:
+            code = _run_map_sweep(args)
+        elif args.timeline:
+            code = _run_map_timeline(args)
+        else:
+            code = _run_map(args)
+    finally:
+        profiler.disable()
+    print()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats("cumulative").print_stats(20)
+    if args.profile:
+        profiler.dump_stats(args.profile)
+        print(f"wrote profile stats to {args.profile}")
+    return code
+
+
+def _run_map(args: argparse.Namespace) -> int:
     if args.repeats > 1:
         return _run_map_sweep(args)
     if args.timeline:

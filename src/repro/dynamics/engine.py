@@ -359,8 +359,13 @@ class FlatDynamicEngine(DynamicWiringMixin, FlatEngine):
         if parked:
             proc._direct_sink = None
             proc._direct_broadcast = None
+            # code handlers emit at send time through wire lists resolved
+            # at build time — both wrong for a degraded node — so they park
+            # and restore in lock-step with the object sinks
+            self._chandlers[node] = None
         else:
             proc._direct_sink, proc._direct_broadcast = saved
+            self._chandlers[node] = self._chandlers_all[node]
 
     def _rehome_wire_entries(self, wire: Wire) -> None:
         """Move pre-scheduled, still-resting characters off a cut wire.

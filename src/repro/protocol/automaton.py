@@ -24,6 +24,7 @@ Every register here is O(delta) — the finite-state audit enforces it.
 
 from __future__ import annotations
 
+from enum import IntEnum
 from typing import Any
 
 from repro.errors import ProtocolViolation
@@ -50,28 +51,75 @@ from repro.protocol.marks import BcaSlot, DyingRelay, GrowingMarks, LoopSlots
 
 __all__ = ["ProtocolProcessor"]
 
-# RCA initiator phases (processor A working through §4.2.1)
-_RCA_IDLE = "idle"
-_RCA_WAIT_OG = "wait_og"          # step 1 done, waiting for first OG head
-_RCA_CONVERT = "convert"          # step 3: streaming OG -> ID
-_RCA_WAIT_ODT = "wait_odt"        # step 3: waiting for the OD tail
-_RCA_WAIT_LOOP = "wait_loop"      # step 4: FORWARD/BACK circling the loop
-_RCA_WAIT_UNMARK = "wait_unmark"  # step 5: UNMARK circling the loop
+# Phase registers are small ints (IntEnum), so the hot-loop comparisons
+# below are int equality and the idle checks are plain truthiness (the
+# quiescent member of each enum is 0).  The externally visible labels —
+# what :meth:`ProtocolProcessor.state_snapshot` reports — are the
+# lower-cased member names, pinned unchanged by the test suite.
 
-# Root phases for its RCA duties
-_ROOT_OPEN = "open"            # accepting the next IG head
-_ROOT_IG_STREAM = "ig_stream"  # converting IG -> OG
-_ROOT_AWAIT_ID = "await_id"    # waiting for the ID head
-_ROOT_ID_STREAM = "id_stream"  # converting ID -> OD
-_ROOT_LOOP = "loop"            # relaying FORWARD/BACK then UNMARK
 
-# BCA initiator phases (processor B, deviation D1)
-_BCA_IDLE = "idle"
-_BCA_SEARCH = "search"            # BG flood out, waiting on the target in-port
-_BCA_CONVERT = "convert"          # streaming BG -> BD
-_BCA_WAIT_TAIL = "wait_tail"      # BD tail circling back to B
-_BCA_WAIT_DONE = "wait_done"      # BDONE circling the loop
-_BCA_WAIT_UNMARK = "wait_unmark"  # BCA UNMARK circling the loop
+class _RcaPhase(IntEnum):
+    """RCA initiator phases (processor A working through §4.2.1)."""
+
+    IDLE = 0
+    WAIT_OG = 1       # step 1 done, waiting for first OG head
+    CONVERT = 2       # step 3: streaming OG -> ID
+    WAIT_ODT = 3      # step 3: waiting for the OD tail
+    WAIT_LOOP = 4     # step 4: FORWARD/BACK circling the loop
+    WAIT_UNMARK = 5   # step 5: UNMARK circling the loop
+
+
+class _RootPhase(IntEnum):
+    """Root phases for its RCA duties."""
+
+    OPEN = 0          # accepting the next IG head
+    IG_STREAM = 1     # converting IG -> OG
+    AWAIT_ID = 2      # waiting for the ID head
+    ID_STREAM = 3     # converting ID -> OD
+    LOOP = 4          # relaying FORWARD/BACK then UNMARK
+
+
+class _BcaPhase(IntEnum):
+    """BCA initiator phases (processor B, deviation D1)."""
+
+    IDLE = 0
+    SEARCH = 1        # BG flood out, waiting on the target in-port
+    CONVERT = 2       # streaming BG -> BD
+    WAIT_TAIL = 3     # BD tail circling back to B
+    WAIT_DONE = 4     # BDONE circling the loop
+    WAIT_UNMARK = 5   # BCA UNMARK circling the loop
+
+
+_RCA_IDLE = _RcaPhase.IDLE
+_RCA_WAIT_OG = _RcaPhase.WAIT_OG
+_RCA_CONVERT = _RcaPhase.CONVERT
+_RCA_WAIT_ODT = _RcaPhase.WAIT_ODT
+_RCA_WAIT_LOOP = _RcaPhase.WAIT_LOOP
+_RCA_WAIT_UNMARK = _RcaPhase.WAIT_UNMARK
+
+_ROOT_OPEN = _RootPhase.OPEN
+_ROOT_IG_STREAM = _RootPhase.IG_STREAM
+_ROOT_AWAIT_ID = _RootPhase.AWAIT_ID
+_ROOT_ID_STREAM = _RootPhase.ID_STREAM
+_ROOT_LOOP = _RootPhase.LOOP
+
+_BCA_IDLE = _BcaPhase.IDLE
+_BCA_SEARCH = _BcaPhase.SEARCH
+_BCA_CONVERT = _BcaPhase.CONVERT
+_BCA_WAIT_TAIL = _BcaPhase.WAIT_TAIL
+_BCA_WAIT_DONE = _BcaPhase.WAIT_DONE
+_BCA_WAIT_UNMARK = _BcaPhase.WAIT_UNMARK
+
+
+# KILL purge predicates, one per scope.  Module-level (not per-call
+# lambdas) so the object path and the code-space handler table share the
+# exact same callables; semantics match ``growing_family_of`` exactly.
+def _purge_rca_growing(char: Char) -> bool:
+    return is_growing(char) and char.kind[:2] in ("IG", "OG")
+
+
+def _purge_bca_growing(char: Char) -> bool:
+    return is_growing(char) and char.kind[:2] == "BG"
 
 
 class ProtocolProcessor(Processor):
@@ -97,6 +145,16 @@ class ProtocolProcessor(Processor):
         super().__init__()
         self.growing = {"IG": GrowingMarks(), "OG": GrowingMarks(), "BG": GrowingMarks()}
         self.relay = {"ID": DyingRelay(), "OD": DyingRelay(), "BD": DyingRelay()}
+        # Flat aliases of the registers above, one attribute load each for
+        # the code-space handlers.  Aliases — not copies: reset() re-runs
+        # this __init__, so handlers must reach the registers through
+        # ``self`` per call, never capture them in closures.
+        self._marks_ig = self.growing["IG"]
+        self._marks_og = self.growing["OG"]
+        self._marks_bg = self.growing["BG"]
+        self._relay_id = self.relay["ID"]
+        self._relay_od = self.relay["OD"]
+        self._relay_bd = self.relay["BD"]
         self.loop = LoopSlots()
         self.bca_slot = BcaSlot()
         # RCA initiator registers
@@ -222,6 +280,186 @@ class ProtocolProcessor(Processor):
         return {
             kind: getattr(self, name) for kind, name in self._DISPATCH_NAMES.items()
         }
+
+    def code_handler_table(self, kernel, chars, csend, cbroadcast):
+        """Code-space handlers: ``handler(in_port, code)``, no Char objects.
+
+        Built once per engine attach by the flat-core backend for non-root
+        nodes running on its send-time fast path.  Every *hot* protocol
+        action — growing-snake relays, dying-snake body streaming, KILL
+        floods, loop-token and UNMARK routing — runs entirely on small-int
+        codes: character queries are one indexed load into the
+        :class:`~repro.sim.characters.CharKernel` tables, and emissions go
+        straight to the packed wheel through ``csend(out_port, code,
+        arrival_tick)`` / ``cbroadcast(code, arrival_tick)``.  Cold or
+        intricate branches (interceptions, head promotion, terminal
+        absorb-and-release steps, protocol violations) delegate to the
+        object-path handlers via ``chars[code]``, so semantics — including
+        exception messages — are byte-identical by construction.
+
+        The engine applies the kernel fill table *before* dispatch, so
+        ``code`` is always concrete here (mirroring the object loop, which
+        fills before calling the per-kind handler).  Handlers reach every
+        mutable register through ``self`` per call — :meth:`reset` re-runs
+        ``__init__`` and rebinds them all.  Returns ``None`` (no table)
+        when a subclass overrides :meth:`handle`, mirroring
+        :meth:`handler_table`.
+        """
+        if type(self).handle is not ProtocolProcessor.handle:
+            return None
+        role_list = kernel.role_list
+        body_ig = kernel.body_codes[0]
+        body_og = kernel.body_codes[1]
+        body_bg = kernel.body_codes[4]
+        # the wiring context is attach-stable (reset re-attaches the same
+        # NodeContext), so the connected out-ports may be captured
+        out_ports = self.ctx.out_ports
+
+        def c_ig(in_port: int, code: int) -> None:
+            # §2.3.2 relay for IG (the root intercepts IG, but the engine
+            # never installs code handlers on the root)
+            marks = self._marks_ig
+            if not marks.visited:
+                if role_list[code] == 0:
+                    marks.mark(in_port)
+                    cbroadcast(code, self._tick + 3)
+                return
+            if in_port != marks.parent_in:
+                return
+            if role_list[code] == 2:
+                arrival = self._tick + 3
+                for port in out_ports:
+                    csend(port, body_ig[port], arrival)
+                cbroadcast(code, arrival + 1)
+            else:
+                cbroadcast(code, self._tick + 3)
+
+        def c_og(in_port: int, code: int) -> None:
+            if self.rca_phase:
+                self._rca_handle_og(in_port, chars[code])
+                return
+            marks = self._marks_og
+            if not marks.visited:
+                if role_list[code] == 0:
+                    marks.mark(in_port)
+                    cbroadcast(code, self._tick + 3)
+                return
+            if in_port != marks.parent_in:
+                return
+            if role_list[code] == 2:
+                arrival = self._tick + 3
+                for port in out_ports:
+                    csend(port, body_og[port], arrival)
+                cbroadcast(code, arrival + 1)
+            else:
+                cbroadcast(code, self._tick + 3)
+
+        def c_bg(in_port: int, code: int) -> None:
+            if self.bca_phase:
+                self._bca_handle_bg(in_port, chars[code])
+                return
+            marks = self._marks_bg
+            if not marks.visited:
+                if role_list[code] == 0:
+                    marks.mark(in_port)
+                    cbroadcast(code, self._tick + 3)
+                return
+            if in_port != marks.parent_in:
+                return
+            if role_list[code] == 2:
+                arrival = self._tick + 3
+                for port in out_ports:
+                    csend(port, body_bg[port], arrival)
+                cbroadcast(code, arrival + 1)
+            else:
+                cbroadcast(code, self._tick + 3)
+
+        def c_id(in_port: int, code: int) -> None:
+            # §2.3.3 body streaming; heads, tails, promotion and the root
+            # interception all delegate (rare: once per snake per node)
+            relay = self._relay_id
+            if (
+                relay.active
+                and in_port == relay.pred
+                and not relay.promote_next
+                and role_list[code] == 1
+            ):
+                csend(relay.succ, code, self._tick + 3)
+            else:
+                self._handle_rca_dying("ID", in_port, chars[code])
+
+        def c_od(in_port: int, code: int) -> None:
+            relay = self._relay_od
+            if (
+                relay.active
+                and in_port == relay.pred
+                and not relay.promote_next
+                and role_list[code] == 1
+            ):
+                csend(relay.succ, code, self._tick + 3)
+            else:
+                self._handle_rca_dying("OD", in_port, chars[code])
+
+        def c_bd(in_port: int, code: int) -> None:
+            relay = self._relay_bd
+            if (
+                relay.active
+                and in_port == relay.pred
+                and not relay.promote_next
+                and role_list[code] == 1
+            ):
+                csend(relay.succ, code, self._tick + 3)
+            else:
+                self._handle_bd(in_port, chars[code])
+
+        def c_loop(in_port: int, code: int) -> None:
+            # the initiator's absorb (step 4 -> 5) delegates; route() only
+            # mutates the alternation state when it succeeds, so a None
+            # return can safely re-run through the object path to raise
+            if self.rca_phase == _RCA_WAIT_LOOP and in_port == self.loop.pred1:
+                self._handle_loop_token(in_port, chars[code])
+                return
+            succ = self.loop.route(in_port)
+            if succ is None:
+                self._handle_loop_token(in_port, chars[code])
+                return
+            csend(succ, code, self._tick + 3)
+
+        def c_unmark_rca(in_port: int, code: int) -> None:
+            if self.rca_phase == _RCA_WAIT_UNMARK and in_port == self.loop.pred1:
+                self._handle_unmark_rca(in_port, chars[code])
+                return
+            succ = self.loop.unmark(in_port)
+            if succ is None:
+                self._handle_unmark_rca(in_port, chars[code])
+                return
+            csend(succ, code, self._tick + 1)
+
+        def c_kill_rca(in_port: int, code: int) -> None:
+            purged = self.purge_outbox(_purge_rca_growing)
+            ig = self._marks_ig
+            og = self._marks_og
+            if purged or ig.visited or og.visited:
+                ig.clear()
+                og.clear()
+                cbroadcast(code, self._tick + 1)
+
+        def c_kill_bca(in_port: int, code: int) -> None:
+            purged = self.purge_outbox(_purge_bca_growing)
+            bg = self._marks_bg
+            if purged or bg.visited:
+                bg.clear()
+                cbroadcast(code, self._tick + 1)
+
+        # Handler-plan slots (classified once in the kernel): the family
+        # index for snakes, 6 = loop token, 7/8 = RCA/BCA KILL, 9 = RCA
+        # UNMARK.  DFS, BDONE and the BCA UNMARK stay on the object path
+        # (cold or subclass-hooked); a None entry is the engine's fallback.
+        impl = (
+            c_ig, c_og, c_id, c_od, c_bg, c_bd,
+            c_loop, c_kill_rca, c_kill_bca, c_unmark_rca,
+        )
+        return [impl[slot] if slot >= 0 else None for slot in kernel.handler_plan]
 
     # ==================================================================
     # growing snakes (§2.3.2)
@@ -515,9 +753,10 @@ class ProtocolProcessor(Processor):
     # cleanup: KILL and UNMARK
     # ==================================================================
     def _handle_kill(self, char: Char) -> None:
-        families = growing_family_of(char.payload or SCOPE_RCA)
+        scope = char.payload or SCOPE_RCA
+        families = growing_family_of(scope)
         purged = self.purge_outbox(
-            lambda c: is_growing(c) and snake_family(c) in families
+            _purge_rca_growing if scope == SCOPE_RCA else _purge_bca_growing
         )
         marked = any(self.growing[f].visited for f in families)
         if marked or purged:
@@ -625,7 +864,9 @@ class ProtocolProcessor(Processor):
         families = growing_family_of(scope)
         for family in families:
             self.growing[family].clear()
-        self.purge_outbox(lambda c: is_growing(c) and snake_family(c) in families)
+        self.purge_outbox(
+            _purge_rca_growing if scope == SCOPE_RCA else _purge_bca_growing
+        )
         self.broadcast(intern_char("KILL", payload=scope))
 
     def _reset_rca_registers(self) -> None:
@@ -670,18 +911,18 @@ class ProtocolProcessor(Processor):
             "loop": self.loop.snapshot(),
             "bca_slot": self.bca_slot.snapshot(),
             "rca": {
-                "phase": self.rca_phase,
+                "phase": self.rca_phase.name.lower(),
                 "token": self.rca_token.kind if self.rca_token else None,
                 "accept_port": self.rca_accept_port,
                 "promote": self.rca_promote,
             },
             "root": {
-                "phase": self.root_phase,
+                "phase": self.root_phase.name.lower(),
                 "ig_src": self.root_ig_src,
                 "id_promote": self.root_id_promote,
             },
             "bca": {
-                "phase": self.bca_phase,
+                "phase": self.bca_phase.name.lower(),
                 "in_port": self.bca_in_port,
                 "msg": self.bca_msg,
                 "promote": self.bca_promote,

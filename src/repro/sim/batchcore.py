@@ -44,6 +44,17 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.errors import ProtocolViolation, ReproError
+from repro.sim.characters import (
+    KFLAG_BODY,
+    KFLAG_DYING,
+    KFLAG_GROWING,
+    KFLAG_HEAD,
+    KFLAG_SCOPE_BCA,
+    KFLAG_SCOPE_RCA,
+    KFLAG_SNAKE,
+    KFLAG_SPEED3,
+    KFLAG_TAIL,
+)
 from repro.sim.flatcore import FlatEngine
 from repro.sim.processor import Processor
 from repro.topology.portgraph import PortGraph
@@ -56,12 +67,40 @@ except ImportError:  # pragma: no cover
 __all__ = [
     "have_numpy",
     "require_numpy",
+    "TRAFFIC_CLASSES",
     "LaneTimelines",
     "LaneRun",
     "LaneOutcome",
     "BatchLaneMixin",
     "BatchEngine",
 ]
+
+#: Column labels of :meth:`BatchLaneMixin.lane_traffic_classes`, each
+#: backed by one ``KFLAG_*`` predicate bit of the compiled kernel's
+#: ``char_flags`` table (see :mod:`repro.sim.characters`).
+TRAFFIC_CLASSES = (
+    "snake",
+    "growing",
+    "dying",
+    "head",
+    "body",
+    "tail",
+    "scope_rca",
+    "scope_bca",
+    "speed3",
+)
+
+_CLASS_BITS = (
+    KFLAG_SNAKE,
+    KFLAG_GROWING,
+    KFLAG_DYING,
+    KFLAG_HEAD,
+    KFLAG_BODY,
+    KFLAG_TAIL,
+    KFLAG_SCOPE_RCA,
+    KFLAG_SCOPE_BCA,
+    KFLAG_SPEED3,
+)
 
 #: lane scheduler states (values of the ``(S,)`` state register)
 LANE_RUNNING = 0
@@ -187,6 +226,18 @@ class BatchLaneMixin:
         #: (S, num_codes) per-lane emission counters, snapshotted at the
         #: end of each run_lanes call (and zeroed by reset)
         self._lane_emitted = _np.zeros((lanes, 0), dtype=_np.int64)
+        #: (K, C) 0/1 gather matrix over the compiled kernel's predicate
+        #: bitmasks — one column per TRAFFIC_CLASSES entry.  Viewed
+        #: zero-copy out of the (possibly mmap-backed) ``char_flags``
+        #: table, so a warm artifact load pays no rebuild here either.
+        flags = _np.frombuffer(self._topo.char_flags, dtype=_np.int64)
+        bits = _np.array(_CLASS_BITS, dtype=_np.int64)
+        self._class_masks = ((flags[:, None] & bits) != 0).astype(_np.int64)
+        #: (S, C) per-lane traffic-class totals, refreshed by the
+        #: pre-classification pass each lock-step round
+        self._lane_classes = _np.zeros(
+            (lanes, len(TRAFFIC_CLASSES)), dtype=_np.int64
+        )
 
     def _make_lane_sibling(self, lane: int) -> FlatEngine:
         """Construct the scalar engine behind lane ``lane`` (> 0)."""
@@ -220,11 +271,43 @@ class BatchLaneMixin:
                 matrix[i, : len(row)] = row
         return matrix
 
+    def _classify_lanes(self):
+        """The vectorized pre-classification pass: one gather per round.
+
+        Buckets every lane's per-code emission counters through the
+        kernel's predicate bitmask columns in a single ``(S, K) @ (K, C)``
+        product — no per-character Python, no ``Char`` objects.  Codes a
+        run interned beyond the compiled census carry no kernel flags and
+        classify as zero across the board.
+        """
+        emitted = self.lane_emitted_matrix()
+        masks = self._class_masks
+        k = min(emitted.shape[1], masks.shape[0])
+        self._lane_classes = emitted[:, :k] @ masks[:k]
+        return self._lane_classes
+
+    def lane_traffic_classes(self):
+        """Per-lane emission totals bucketed by character class.
+
+        Returns an ``(S, len(TRAFFIC_CLASSES))`` int64 matrix: row ``i``
+        is lane ``i``'s lifetime emission counts summed per predicate
+        class, in :data:`TRAFFIC_CLASSES` column order.  A character
+        carrying several flags (every snake token does) counts in each
+        matching column, so columns overlap by design — read them as
+        per-predicate totals, not a partition.  Refreshed from the live
+        counters on every call.
+        """
+        require_numpy()
+        return self._classify_lanes()
+
     def _reset_lane_registers(self) -> None:
         self._lane_state[:] = 0
         self._lane_clock[:] = 0
         self._lane_error[:] = 0
         self._lane_emitted = _np.zeros((self.lanes, 0), dtype=_np.int64)
+        self._lane_classes = _np.zeros(
+            (self.lanes, len(TRAFFIC_CLASSES)), dtype=_np.int64
+        )
 
     # ------------------------------------------------------------------
     # the lock-step scheduler
@@ -269,11 +352,17 @@ class BatchLaneMixin:
             live = _np.flatnonzero(state != LANE_DONE)
             if live.size == 0:
                 break
+            # pre-classification: refresh the per-lane traffic-class
+            # totals once per lock-step round (amortized over _BURST
+            # event steps per lane), so campaign-level consumers can
+            # watch class mix evolve without touching the hot loop
+            self._classify_lanes()
             for idx in live.tolist():
                 self._lane_burst(idx, engines[idx], runs[idx], state, limit,
                                  error, term, drained)
                 self._lane_clock[idx] = engines[idx].tick
         self._lane_emitted = self.lane_emitted_matrix()
+        self._classify_lanes()
         codes = (None, "budget", "protocol")
         return [
             LaneOutcome(

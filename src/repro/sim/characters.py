@@ -31,6 +31,7 @@ transcript-counting argument needs.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 
 __all__ = [
@@ -59,6 +60,23 @@ __all__ = [
     "CharInterner",
     "interner_for",
     "clear_interner_cache",
+    "CharKernel",
+    "kernel_alphabet",
+    "kernel_size",
+    "kernel_for",
+    "clear_kernel_cache",
+    "KFLAG_SNAKE",
+    "KFLAG_GROWING",
+    "KFLAG_DYING",
+    "KFLAG_HEAD",
+    "KFLAG_BODY",
+    "KFLAG_TAIL",
+    "KFLAG_SCOPE_RCA",
+    "KFLAG_SCOPE_BCA",
+    "KFLAG_SPEED3",
+    "KFLAG_FILLS",
+    "KPRIO_SHIFT",
+    "KPRIO_MASK",
     "TOKEN_KINDS",
     "MSG_DFS_RETURN",
     "SCOPE_RCA",
@@ -350,17 +368,26 @@ class CharInterner:
     and stay stable for the lifetime of the interner.
     """
 
-    __slots__ = ("delta", "chars", "codes")
+    __slots__ = ("delta", "chars", "codes", "derived")
 
     def __init__(self, delta: int) -> None:
         self.delta = delta
         #: code -> canonical instance (also keeps every canonical alive,
-        #: which is what makes identity-keyed caches on top of it safe)
-        self.chars: list[Char] = enumerate_alphabet(delta)
+        #: which is what makes identity-keyed caches on top of it safe).
+        #: Seeded from the *kernel* alphabet — the census plus its closure
+        #: under engine fill-in — so interner codes index straight into the
+        #: :class:`CharKernel` tables for the same delta.
+        self.chars: list[Char] = list(kernel_for(delta).chars)
         #: value -> code
         self.codes: dict[Char, int] = {
             char: code for code, char in enumerate(self.chars)
         }
+        #: scratch space for code-indexed tables engines derive from this
+        #: interner (packed wheel encode maps, fill variants, ...).  Each
+        #: entry must be a pure, append-only function of ``chars``, so every
+        #: engine sharing the interner can share one copy instead of
+        #: rebuilding it per construction; lifetime is the interner's.
+        self.derived: dict[str, object] = {}
 
     def __len__(self) -> int:
         return len(self.chars)
@@ -409,3 +436,277 @@ def interner_for(delta: int) -> CharInterner:
 def clear_interner_cache() -> None:
     """Drop the shared interners (tests, cold-cache baselines)."""
     _INTERNERS.clear()
+    _KERNELS.clear()
+
+
+# ----------------------------------------------------------------------
+# the compile-time character kernel (code-space hot loop support)
+# ----------------------------------------------------------------------
+# Every per-hop character operation — predicates, family/role accessors,
+# fill-in, conversion — is a pure function on the closed finite alphabet
+# of Lemma 5.2, so it can be lowered once into dense ``array('q')`` tables
+# indexed by character code.  The flat-core backend then answers every
+# character question with one indexed load instead of inspecting a
+# :class:`Char` object, and the tables ride the compiled-topology artifact
+# (format v2) through the same zero-copy mmap path as the wire tables.
+
+#: Per-code predicate bitmask layout (``char_flags`` table).
+KFLAG_SNAKE = 1 << 0
+KFLAG_GROWING = 1 << 1
+KFLAG_DYING = 1 << 2
+KFLAG_HEAD = 1 << 3
+KFLAG_BODY = 1 << 4
+KFLAG_TAIL = 1 << 5
+#: Scope bits are set on KILL/UNMARK tokens (from their payload).
+KFLAG_SCOPE_RCA = 1 << 6
+KFLAG_SCOPE_BCA = 1 << 7
+KFLAG_SPEED3 = 1 << 8
+#: Set when the *engine-side* fill-in of §2.3.2 applies: a growing snake
+#: or DFS token whose second entry is still ``*`` (see ``char_fill``).
+KFLAG_FILLS = 1 << 9
+#: The scheduler's in-tick priority, stored in two bits above the flags.
+KPRIO_SHIFT = 10
+KPRIO_MASK = 0b11
+
+
+def kernel_alphabet(delta: int) -> list[Char]:
+    """The closed code space of the character kernel.
+
+    This is :func:`enumerate_alphabet` (the Lemma 5.2 census minus the
+    blank) extended with the 3·delta *filled growing tails* —
+    ``IGT/OGT/BGT`` with a concrete in-port — which the engine-side
+    fill-in of §2.3.2 produces on delivery but the census does not list
+    (the census tail is the bare ``<family>T``).  Closing the set under
+    the fill table keeps every table entry a valid code.  The order is
+    deterministic: census first (so census codes are unchanged), then the
+    filled tails family-major.
+    """
+    chars = enumerate_alphabet(delta)
+    for family in GROWING_FAMILIES:
+        for in_port in range(1, delta + 1):
+            chars.append(intern_char(family + _ROLE_TAIL, 0, in_port))
+    return chars
+
+
+def kernel_size(delta: int) -> int:
+    """Number of codes in :func:`kernel_alphabet` (a pure function of delta)."""
+    return alphabet_size(delta) - 1 + 3 * delta
+
+
+class CharKernel:
+    """Dense int64 lookup tables over the closed character code space.
+
+    Built once per ``delta`` and shared process-wide (:func:`kernel_for`).
+    The seven ``array('q')`` tables are the serializable compile-time
+    product (they ride topology artifacts); the plain-list mirrors and the
+    derived constructor tables exist because CPython indexes a ``list``
+    faster than an ``array`` in the hot loop.
+
+    Serialized tables (``K = kernel_size(delta)`` codes):
+
+    ``char_flags``     ``K``          predicate bitmask + priority bits
+    ``char_family``    ``K``          index into :data:`SNAKE_FAMILIES`, -1
+    ``char_role``      ``K``          0=head / 1=body / 2=tail, -1
+    ``char_out_port``  ``K``          first port entry (0 when unused)
+    ``char_in_port``   ``K``          second port entry (0 = ``*``)
+    ``char_fill``      ``K*(delta+1)``  ``(code, in_port) -> code`` fill-in
+    ``char_convert``   ``K*6``        ``(code, family index) -> code``, -1
+
+    The fill table mirrors the *engine's* fill semantics (growing snakes
+    and DFS only — dying characters are delivered verbatim, matching
+    ``FlatEngine`` and the object backend's §2.3.2 reading), with row 0
+    (``in_port == STAR``) the identity.  The convert table re-brands a
+    snake code into each target family at the same role/ports/payload;
+    entries whose result falls outside the code space are -1.
+    """
+
+    __slots__ = (
+        "delta",
+        "n_codes",
+        "chars",
+        "codes",
+        "char_flags",
+        "char_family",
+        "char_role",
+        "char_out_port",
+        "char_in_port",
+        "char_fill",
+        "char_convert",
+        "flags_list",
+        "family_list",
+        "role_list",
+        "prio_list",
+        "fill_list",
+        "fill_rows",
+        "convert_list",
+        "as_head_list",
+        "body_codes",
+        "handler_plan",
+    )
+
+    def __init__(self, delta: int) -> None:
+        self.delta = delta
+        chars = kernel_alphabet(delta)
+        self.chars: tuple[Char, ...] = tuple(chars)
+        self.n_codes = n = len(chars)
+        self.codes: dict[Char, int] = {c: i for i, c in enumerate(chars)}
+        fam_index = {family: i for i, family in enumerate(SNAKE_FAMILIES)}
+        role_index = {_ROLE_HEAD: 0, _ROLE_BODY: 1, _ROLE_TAIL: 2}
+
+        flags = [0] * n
+        family = [-1] * n
+        role = [-1] * n
+        out_port = [0] * n
+        in_port = [0] * n
+        fill = [0] * (n * (delta + 1))
+        conv = [-1] * (n * 6)
+        for code, char in enumerate(chars):
+            f = 0
+            if is_snake(char):
+                f |= KFLAG_SNAKE
+                fam = snake_family(char)
+                family[code] = fam_index[fam]
+                role[code] = role_index[snake_role(char)]
+                f |= (KFLAG_HEAD, KFLAG_BODY, KFLAG_TAIL)[role[code]]
+                if fam in GROWING_FAMILIES:
+                    f |= KFLAG_GROWING
+                else:
+                    f |= KFLAG_DYING
+                for target, fi in fam_index.items():
+                    got = self.codes.get(
+                        Char(
+                            target + char.kind[2],
+                            char.out_port,
+                            char.in_port,
+                            char.payload,
+                        )
+                    )
+                    if got is not None:
+                        conv[code * 6 + fi] = got
+            if char.kind in SPEED3_KINDS:
+                f |= KFLAG_SPEED3
+                if char.payload == SCOPE_RCA:
+                    f |= KFLAG_SCOPE_RCA
+                elif char.payload == SCOPE_BCA:
+                    f |= KFLAG_SCOPE_BCA
+            out_port[code] = char.out_port
+            in_port[code] = char.in_port
+            fills = char.in_port == STAR and (
+                (f & KFLAG_GROWING) or char.kind == "DFS"
+            )
+            if fills:
+                f |= KFLAG_FILLS
+            base = code * (delta + 1)
+            for j in range(delta + 1):
+                if fills and j != STAR:
+                    fill[base + j] = self.codes[
+                        intern_char(char.kind, char.out_port, j, char.payload)
+                    ]
+                else:
+                    fill[base + j] = code
+            prio = (
+                0
+                if f & KFLAG_SPEED3
+                else 1
+                if f & KFLAG_DYING
+                else 2
+                if f & KFLAG_GROWING
+                else 3
+            )
+            flags[code] = f | (prio << KPRIO_SHIFT)
+
+        self.char_flags = array("q", flags)
+        self.char_family = array("q", family)
+        self.char_role = array("q", role)
+        self.char_out_port = array("q", out_port)
+        self.char_in_port = array("q", in_port)
+        self.char_fill = array("q", fill)
+        self.char_convert = array("q", conv)
+        # hot-loop mirrors: CPython list indexing beats array indexing
+        self.flags_list = flags
+        self.family_list = family
+        self.role_list = role
+        self.prio_list = [f >> KPRIO_SHIFT & KPRIO_MASK for f in flags]
+        self.fill_list = fill
+        #: the fill table re-sliced per code — two list indexings beat the
+        #: flat table's multiply-and-add in the delivery loop
+        self.fill_rows = [
+            fill[c * (delta + 1) : (c + 1) * (delta + 1)] for c in range(n)
+        ]
+        self.convert_list = conv
+        #: body code -> the same-family head at the same ports (-1 elsewhere);
+        #: the dying-relay promotion (head eaten, next body crowned) in one load.
+        self.as_head_list = [
+            self.codes.get(
+                Char(
+                    snake_family(c) + _ROLE_HEAD, c.out_port, c.in_port, c.payload
+                ),
+                -1,
+            )
+            if is_snake(c) and snake_role(c) == _ROLE_BODY
+            else -1
+            for c in chars
+        ]
+        #: family index -> out_port-indexed ``<family>B(port, *)`` codes
+        #: (slot 0 unused) — the tail relay's per-port body sends in one load.
+        self.body_codes = [
+            [-1]
+            + [
+                self.codes[intern_char(fam + _ROLE_BODY, p)]
+                for p in range(1, delta + 1)
+            ]
+            for fam in SNAKE_FAMILIES
+        ]
+        #: code -> which code-space handler serves it: the family index for
+        #: snakes, then 6 = loop token, 7 = RCA KILL, 8 = BCA KILL,
+        #: 9 = RCA UNMARK, -1 = none (object path).  Classified once here so
+        #: a processor's per-node handler table is a single list indexing
+        #: pass over this plan instead of per-character kind inspection.
+        plan = []
+        for code, char in enumerate(chars):
+            fam = family[code]
+            if fam >= 0:
+                plan.append(fam)
+            elif char.kind in ("FWD", "BACK"):
+                plan.append(6)
+            elif char.kind == "KILL":
+                plan.append(7 if (char.payload or SCOPE_RCA) == SCOPE_RCA else 8)
+            elif char.kind == "UNMARK" and char.payload == SCOPE_RCA:
+                plan.append(9)
+            else:
+                plan.append(-1)
+        self.handler_plan = plan
+
+    def tables(self) -> tuple[array, ...]:
+        """The seven serializable tables, in artifact format-v2 order."""
+        return (
+            self.char_flags,
+            self.char_family,
+            self.char_role,
+            self.char_out_port,
+            self.char_in_port,
+            self.char_fill,
+            self.char_convert,
+        )
+
+
+#: delta -> the process-wide shared kernel (see :func:`kernel_for`).
+_KERNELS: dict[int, CharKernel] = {}
+
+
+def kernel_for(delta: int) -> CharKernel:
+    """The process-wide shared :class:`CharKernel` for ``delta``.
+
+    Like :func:`interner_for`, the kernel is a pure function of ``delta``;
+    building it is the O(delta^2) part of engine construction, so every
+    engine at the same degree bound shares one instance.
+    """
+    kernel = _KERNELS.get(delta)
+    if kernel is None:
+        kernel = _KERNELS[delta] = CharKernel(delta)
+    return kernel
+
+
+def clear_kernel_cache() -> None:
+    """Drop the shared kernels (tests, cold-cache baselines)."""
+    _KERNELS.clear()

@@ -93,6 +93,13 @@ class Engine:
             default because the master computer needs it).
     """
 
+    #: Whether construction precomputes the per-processor kind-dispatch
+    #: tables.  This engine's own delivery loop indexes them every tick, so
+    #: they are built eagerly here; a backend whose hot loop dispatches on
+    #: character codes instead (the flat core) sets this False and resolves
+    #: handler tables per node on first fallback delivery.
+    EAGER_DISPATCH = True
+
     def __init__(
         self,
         graph: PortGraph,
@@ -136,7 +143,7 @@ class Engine:
                     pipe=(self._root_pipe if node == root else _discard_pipe),
                 )
             )
-        self._dispatch = build_dispatch_tables(processors)
+        self._dispatch = build_dispatch_tables(processors) if self.EAGER_DISPATCH else None
 
     # ------------------------------------------------------------------
     def reset(self) -> None:
@@ -286,13 +293,19 @@ class Engine:
             return wheel_tick
         return min(wheel_tick, due_tick)
 
-    def _advance(self, max_ticks: int) -> None:
+    _UNCOMPUTED = object()
+
+    def _advance(self, max_ticks: int, nxt: int | None | object = _UNCOMPUTED) -> None:
         """Step to the next tick at which an event can occur.
 
         Fast-forwards the clock over provably-empty ticks; never advances
-        past ``max_ticks``.
+        past ``max_ticks``.  ``nxt`` lets :meth:`run` pass the
+        ``_next_event_tick()`` it already computed for its dead-network
+        check instead of scanning the wheel and drain queue twice per
+        iteration.
         """
-        nxt = self._next_event_tick()
+        if nxt is Engine._UNCOMPUTED:
+            nxt = self._next_event_tick()
         if nxt is None:
             # Dead network: nothing to deliver or drain, ever.  Advance one
             # tick (matching the pre-scheduler engine) so idle detection and
@@ -326,7 +339,8 @@ class Engine:
                 return self.tick
             if until is None and self.is_idle() and self.tick > 0:
                 return self.tick
-            if until is not None and self._next_event_tick() is None:
+            nxt = self._next_event_tick()
+            if until is not None and nxt is None:
                 # Dead network under an ``until`` that has just evaluated
                 # false: processor state only changes on delivery, and no
                 # delivery is ever due again, so the predicate can never
@@ -335,7 +349,7 @@ class Engine:
                 # reached one dead tick at a time.
                 self.tick = max_ticks
                 break
-            self._advance(max_ticks)
+            self._advance(max_ticks, nxt)
         if until is not None and until():
             return self.tick
         raise TickBudgetExceeded(max_ticks)

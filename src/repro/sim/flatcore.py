@@ -52,6 +52,7 @@ from repro.sim.characters import (
     CharInterner,
     interner_for,
     is_growing,
+    kernel_for,
 )
 from repro.sim.engine import Engine
 from repro.sim.metrics import TrafficMetrics
@@ -132,19 +133,27 @@ class PackedEventWheel:
     def __init__(self, interner: CharInterner) -> None:
         self.interner = interner
         self.chars = interner.chars
-        #: value -> packed (priority << PRIO_SHIFT) | code.  Folding the
-        #: priority in here is what makes a schedule a single dict hit.
-        self.base_of: dict[Char, int] = {
-            char: (KIND_PRIORITY[char.kind] << PRIO_SHIFT) | code
-            for code, char in enumerate(interner.chars)
-        }
-        #: id(canonical instance) -> base.  Identity fast path: most
-        #: traffic is canonical instances flowing back out of the wheel
-        #: (flood relays re-broadcast the delivered character), and id()
-        #: of a permanently-alive canonical is a safe key.
-        self.id_base: dict[int, int] = {
-            id(char): base for char, base in self.base_of.items()
-        }
+        # The two encode maps are pure append-only functions of the
+        # interner's chars list, so every wheel over the same interner
+        # shares one copy (cached on the interner) instead of rebuilding
+        # both dicts per engine construction.
+        maps = interner.derived.get("wheel_maps")
+        if maps is None:
+            #: value -> packed (priority << PRIO_SHIFT) | code.  Folding the
+            #: priority in here is what makes a schedule a single dict hit.
+            base_of: dict[Char, int] = {
+                char: (KIND_PRIORITY[char.kind] << PRIO_SHIFT) | code
+                for code, char in enumerate(interner.chars)
+            }
+            #: id(canonical instance) -> base.  Identity fast path: most
+            #: traffic is canonical instances flowing back out of the wheel
+            #: (flood relays re-broadcast the delivered character), and id()
+            #: of a permanently-alive canonical is a safe key.
+            id_base: dict[int, int] = {
+                id(char): base for char, base in base_of.items()
+            }
+            maps = interner.derived["wheel_maps"] = (base_of, id_base)
+        self.base_of, self.id_base = maps
         self._buckets: dict[int, _Bucket] = {}
         self._ticks: list[int] = []   # sorted ascending; popped from the front
         self._ring: list[_Bucket] = []
@@ -267,6 +276,10 @@ class FlatEngine(Engine):
     #: cached artifact stays pristine for every other engine.
     MUTATES_TOPOLOGY = False
 
+    #: the flat hot loop dispatches on character codes; the per-kind object
+    #: tables are resolved per node on first fallback use (see Engine)
+    EAGER_DISPATCH = False
+
     def __init__(
         self,
         graph: PortGraph,
@@ -285,15 +298,28 @@ class FlatEngine(Engine):
         self._id_base = self._wheel.id_base
         self._chars = self._interner.chars
         self._emitted_by_code: list[int] = []
+        # Two more pure functions of the interner's chars list, shared by
+        # every engine at this delta through the interner's derived-table
+        # cache (both only ever append, in code order):
+        derived = self._interner.derived
         # code -> whether the character is a growing-snake kind (the only
         # purgeable class under the PURGES_ONLY_GROWING contract)
-        self._growing_code: list[bool] = []
-        # node -> code-indexed handler list (None = fall back to .handle)
-        self._code_handlers: list[list] = [[] for _ in processors]
+        growing = derived.get("growing_code")
+        if growing is None:
+            growing = derived["growing_code"] = []
+        self._growing_code: list[bool] = growing
         # code -> None, or an in-port-indexed list of the canonical filled
         # characters: the §2.3.2 "change the * to j" rule applied once per
         # (character, arrival port) pair instead of allocating per arrival.
-        self._fill_table: list[list[Char] | None] = []
+        fill = derived.get("fill_table")
+        if fill is None:
+            fill = derived["fill_table"] = []
+        self._fill_table: list[list[Char] | None] = fill
+        # node -> code-indexed handler list (None = fall back to .handle),
+        # resolved lazily on a node's first object-path delivery: with code
+        # dispatch in front, most nodes never need one.
+        self._code_handlers: list[list | None] = [None] * len(processors)
+        self._kind_tables: list[dict | None] = [None] * len(processors)
         self._grow_code_tables()
         # Per-slot precomputed (in_port << PORT_SHIFT) — ready-made ints, so
         # the hot loops do one list indexing instead of a shift per entry.
@@ -326,6 +352,62 @@ class FlatEngine(Engine):
                     )
                     self._fast_paths[node] = paths
                     proc._direct_sink, proc._direct_broadcast, proc._purge_hook = paths
+        # ---- the code-space kernel (compile-time character algebra) ----
+        # Every character operation the hot loop needs — fill, role, family,
+        # priority — is a pure function on the Lemma 5.2 census, precomputed
+        # by the CharKernel into dense tables whose codes coincide with the
+        # interner's (the interner is seeded from the kernel).  Per-node
+        # code handlers dispatch on those small ints and emit through the
+        # code sinks below, so a hot delivery never touches a Char object.
+        self._kernel = kernel = kernel_for(graph.delta)
+        self._kernel_fill = kernel.fill_rows          # per-code rows, len delta+1
+        # code -> (priority << PRIO_SHIFT) | code: the packed-entry base,
+        # table-indexed instead of dict-looked-up on the code fast path
+        self._code_base = [
+            (prio << PRIO_SHIFT) | code for code, prio in enumerate(kernel.prio_list)
+        ]
+        #: node -> code-indexed list of code-space handlers, or None (object
+        #: path).  Only nodes on the send-time fast path qualify — the code
+        #: sinks schedule at send time, which is exactly the
+        #: PURGES_ONLY_GROWING licence the direct sinks already require.
+        #: The code loop inlines ``begin_tick`` as a plain attribute store,
+        #: so an override of it also disqualifies a processor.
+        base_begin = Processor.begin_tick
+        self._chandlers_all: list[list | None] = [None] * len(processors)
+        for node in self._fast_paths:
+            proc = processors[node]
+            if type(proc).begin_tick is not base_begin:
+                continue
+            self._chandlers_all[node] = proc.code_handler_table(
+                kernel,
+                self._chars,
+                self._make_code_sink(node),
+                self._make_code_broadcast(node),
+            )
+        #: the live view: the dynamic engine parks a degraded node's entry
+        #: (sets it None) and restores it, mirroring its sink parking
+        self._chandlers: list[list | None] = list(self._chandlers_all)
+        self._pack_tick_locals()
+
+    def _pack_tick_locals(self) -> None:
+        """Bundle the per-tick loop's constant bindings into one tuple.
+
+        ``step_tick`` runs once per event tick; rebinding a dozen attribute
+        lookups there is measurable on sparse runs.  Everything in the
+        bundle is either identity-stable across a reset (lists mutated in
+        place) or re-packed by :meth:`reset` (the transcript is rebound).
+        """
+        self._tick_locals = (
+            self.processors,
+            self._code_handlers,
+            self._chars,
+            self._fill_table,
+            self.root,
+            self.transcript.record_recv,
+            self._chandlers,
+            self._kernel_fill,
+            self._kernel.n_codes,
+        )
 
     def reset(self) -> None:
         """Restore power-on state; every compiled table survives.
@@ -344,6 +426,10 @@ class FlatEngine(Engine):
         for node, paths in self._fast_paths.items():
             proc = processors[node]
             proc._direct_sink, proc._direct_broadcast, proc._purge_hook = paths
+        # un-park every code-handler table (the closures themselves survive:
+        # they reach all mutable processor state through `self` per call)
+        self._chandlers[:] = self._chandlers_all
+        self._pack_tick_locals()  # the transcript recorder was rebound
 
     # ------------------------------------------------------------------
     # metrics: counted per code in flat lists, materialized on read
@@ -401,16 +487,38 @@ class FlatEngine(Engine):
         grow = total - len(self._emitted_by_code)
         if grow > 0:
             self._emitted_by_code.extend([0] * grow)
-            self._growing_code.extend(
-                char.kind in GROWING_KINDS for char in self._chars[-grow:]
+        growing = self._growing_code  # shared per interner: may be ahead
+        if len(growing) < total:
+            growing.extend(
+                char.kind in GROWING_KINDS for char in self._chars[len(growing):]
             )
         for node, code_table in enumerate(self._code_handlers):
+            if code_table is None:
+                continue  # not resolved yet; built to full size on demand
             missing = total - len(code_table)
             if missing > 0:
-                table = self._dispatch[node]
+                table = self._kind_tables[node]
                 code_table.extend(
                     table.get(char.kind) for char in self._chars[-missing:]
                 )
+
+    def _node_code_table(self, node: int) -> list:
+        """Resolve (and cache) ``node``'s code-indexed object-handler list.
+
+        Lazily replaces the eager per-node tables the engine used to build
+        up front: with code dispatch in front of the object path, only the
+        root and nodes that actually take a fallback delivery ever pay for
+        one.
+        """
+        kind_table = self._kind_tables[node]
+        if kind_table is None:
+            kind_table = self._kind_tables[node] = self.processors[
+                node
+            ].handler_table()
+        code_table = self._code_handlers[node] = [
+            kind_table.get(char.kind) for char in self._chars
+        ]
+        return code_table
 
     def _extend_fill_table(self) -> None:
         """Precompute canonical STAR-filled variants for new codes.
@@ -471,15 +579,24 @@ class FlatEngine(Engine):
         bucket = wheel.pop(tick)
 
         if bucket is not None:
-            processors = self.processors
-            code_handlers = self._code_handlers
-            chars = self._chars
-            fill_table = self._fill_table
+            (
+                processors,
+                code_handlers,
+                chars,
+                fill_table,
+                root,
+                record_recv,
+                live_chandlers,
+                kfill,
+                kn,
+            ) = self._tick_locals
             n_codes = len(fill_table)
-            root = self.root
             tracer = self.tracer
-            record_recv = self.transcript.record_recv
             lanes = bucket.lanes
+            # the code-space kernel: per-tick gate — a tracer needs every
+            # delivery decoded and recorded, so its presence sends whole
+            # ticks down the object path
+            chandlers = live_chandlers if tracer is None else None
             # the packed-entry field constants, bound once per tick: the
             # per-entry decode below is the hottest code in a flat run
             code_mask = CODE_MASK
@@ -488,10 +605,55 @@ class FlatEngine(Engine):
             for node in bucket.nodes:
                 lane = lanes[node]
                 proc = processors[node]
-                proc.begin_tick(tick)
                 # one plain integer sort recovers (priority, in-port, FIFO)
                 entries = sorted(lane) if len(lane) > 1 else lane
+                ctable = chandlers[node] if chandlers is not None else None
+                if ctable is not None:
+                    # code-space delivery: fill is one indexed load, the
+                    # handler dispatches on the small-int code, and only
+                    # codes outside the kernel (lazily interned strays) or
+                    # without a code handler decode a Char.  The kernel
+                    # fill agrees with fill_table on every kernel code by
+                    # construction, so the fallback skips the object fill.
+                    # begin_tick inlined (table install requires the base
+                    # implementation); object-path bindings resolve lazily.
+                    proc._tick = tick
+                    handlers = fallback = None
+                    for packed in entries:
+                        code = packed & code_mask
+                        in_port = (packed >> port_shift) & port_mask
+                        if code < kn:
+                            code = kfill[code][in_port]
+                            h = ctable[code]
+                            if h is not None:
+                                h(in_port, code)
+                                continue
+                            char = chars[code]
+                        else:
+                            if code >= n_codes:
+                                self._grow_code_tables()
+                                n_codes = len(fill_table)
+                                handlers = None
+                            char = chars[code]
+                            fills = fill_table[code]
+                            if fills is not None:
+                                char = fills[in_port]
+                        if handlers is None:
+                            handlers = (
+                                code_handlers[node]
+                                or self._node_code_table(node)
+                            )
+                            fallback = proc.handle
+                        handler = handlers[code]
+                        if handler is None:
+                            fallback(in_port, char)
+                        else:
+                            handler(in_port, char)
+                    continue
+                proc.begin_tick(tick)
                 handlers = code_handlers[node]
+                if handlers is None:
+                    handlers = self._node_code_table(node)
                 fallback = proc.handle
                 is_root = node == root
                 for packed in entries:
@@ -530,11 +692,16 @@ class FlatEngine(Engine):
             for node in active.take_due(tick):
                 self._drain_node(node)
         if bucket is not None:
-            processors = self.processors
-            for node in bucket.nodes:
+            # fused outbox sweep + bucket recycle: one walk over the
+            # delivered nodes checks for queued output and empties the
+            # lane (drains schedule at tick+1, never into this bucket)
+            nodes = bucket.nodes
+            for node in nodes:
                 if processors[node]._outbox:
                     self._drain_node(node)
-            wheel.recycle(bucket)
+                del lanes[node][:]
+            nodes.clear()
+            wheel._ring.append(bucket)
 
     def _blocked_emission(self, node: int, out_port: int, char: Char, dst: int) -> bool:
         """Handle an emission through a slot holding no live wire (dst < 0).
@@ -705,6 +872,106 @@ class FlatEngine(Engine):
             return True
 
         return sink_many
+
+    def _make_code_sink(self, node: int):
+        """A send-time scheduler over raw character codes.
+
+        The code-space companion of :meth:`_make_direct_sink`, handed to
+        :meth:`~repro.sim.processor.Processor.code_handler_table` as
+        ``csend(out_port, code, arrival_tick)``.  No intern lookup, no
+        identity memo, no decline protocol: the caller is a code handler,
+        which only ever runs when no tracer is attached (gated per tick)
+        and only ever emits kernel codes — so the body is the wire resolve,
+        the emission count, and the packed append.  Raises the same
+        :class:`~repro.errors.SimulationError` as the object sink on an
+        unconnected slot.
+        """
+        topo = self._topo
+        slot_base = node * topo.stride
+        wire_dst = topo.wire_dst
+        in_shift = self._in_shift
+        wheel = self._wheel
+        buckets = wheel._buckets
+        ring = wheel._ring
+        ticks = wheel._ticks
+        emitted = self._emitted_by_code  # extended in place, never rebound
+        code_base = self._code_base
+        chars = self._chars
+
+        def csend(out_port: int, code: int, arrival: int) -> None:
+            slot = slot_base + out_port
+            dst = wire_dst[slot]
+            if dst < 0:
+                raise SimulationError(
+                    f"node {node} emitted {chars[code]} through unconnected "
+                    f"out-port {out_port}"
+                )
+            emitted[code] += 1
+            bucket = buckets.get(arrival)
+            if bucket is None:
+                bucket = ring.pop() if ring else _Bucket()
+                buckets[arrival] = bucket
+                ticks.append(arrival)
+                if len(ticks) > 1 and arrival < ticks[-2]:
+                    ticks.sort()
+            lanes = bucket.lanes
+            lane = lanes.get(dst)
+            if lane is None:
+                lane = lanes[dst] = array("q")
+                bucket.nodes.append(dst)
+            elif not lane:
+                bucket.nodes.append(dst)
+            lane.append(code_base[code] | in_shift[slot] | (len(lane) << SEQ_SHIFT))
+
+        return csend
+
+    def _make_code_broadcast(self, node: int):
+        """The code-space :meth:`_make_broadcast_sink`: one call, all ports.
+
+        Handed to ``code_handler_table`` as ``cbroadcast(code,
+        arrival_tick)``.  Code handlers always broadcast through every
+        connected out-port (the §2.3.2 flood shape), so the wire list is
+        resolved once at build time; the dynamic engine parks a node's code
+        handlers whenever its out-wiring degrades, exactly as it parks the
+        object sinks, so the precomputed list never goes stale while in
+        use.
+        """
+        topo = self._topo
+        slot_base = node * topo.stride
+        all_wires = tuple(
+            (topo.wire_dst[slot_base + port], self._in_shift[slot_base + port])
+            for port in topo.out_ports_of(node)
+        )
+        n_ports = len(all_wires)
+        wheel = self._wheel
+        buckets = wheel._buckets
+        ring = wheel._ring
+        ticks = wheel._ticks
+        emitted = self._emitted_by_code  # extended in place, never rebound
+        code_base = self._code_base
+
+        def cbroadcast(code: int, arrival: int) -> None:
+            emitted[code] += n_ports
+            bucket = buckets.get(arrival)
+            if bucket is None:
+                bucket = ring.pop() if ring else _Bucket()
+                buckets[arrival] = bucket
+                ticks.append(arrival)
+                if len(ticks) > 1 and arrival < ticks[-2]:
+                    ticks.sort()
+            lanes = bucket.lanes
+            nodes = bucket.nodes
+            base = code_base[code]
+            for dst, shifted_in in all_wires:
+                lane = lanes.get(dst)
+                if lane is None:
+                    lane = lanes[dst] = array("q")
+                    nodes.append(dst)
+                elif not lane:
+                    nodes.append(dst)
+                lane.append(base | shifted_in | (len(lane) << SEQ_SHIFT))
+
+        return cbroadcast
 
     def _make_purge_hook(self, node: int):
         """Erase ``node``'s pre-scheduled, still-purgeable characters.

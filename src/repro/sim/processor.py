@@ -132,6 +132,23 @@ class Processor(ABC):
         """
         return {}
 
+    def code_handler_table(self, kernel, chars, csend, cbroadcast):
+        """Code-indexed handler list for a code-space engine backend.
+
+        A backend that keeps deliveries as small-int character codes (the
+        flat core) calls this at attach time with the compile-time
+        :class:`~repro.sim.characters.CharKernel`, the interner's
+        code→``Char`` list, and two code-space emitters — ``csend(out_port,
+        code, arrival_tick)`` and ``cbroadcast(code, arrival_tick)`` — that
+        schedule straight into its delivery queue.  The return value is a
+        list indexed by character code whose entries are ``handler(in_port,
+        code)`` callables or ``None`` (``None`` means: decode the character
+        and take the object path for that delivery).  Returning ``None``
+        instead of a table opts the whole processor out.  The base class
+        publishes no table.
+        """
+        return None
+
     def drain_due(self, tick: int) -> list[OutboxEntry]:
         """Remove and return outbox entries due at or before ``tick``."""
         outbox = self._outbox

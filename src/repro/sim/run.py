@@ -234,11 +234,17 @@ class EnginePool:
 def backend_of(engine: Engine) -> str:
     """The backend name an engine instance implements.
 
-    Classifies by instance type so backend subclasses (the dynamic
-    engines) resolve to their data plane: anything carrying batch lanes
-    is ``"batch"``, anything else built on :class:`FlatEngine` is
-    ``"flat"``, every other :class:`Engine` is ``"object"``.
+    An exact match against the registry wins (so a registered engine
+    class — including bench/test variants added to
+    :data:`ENGINE_BACKENDS` — reports its own name); otherwise subclasses
+    (the dynamic engines) classify by their data plane: anything carrying
+    batch lanes is ``"batch"``, anything else built on
+    :class:`FlatEngine` is ``"flat"``, every other :class:`Engine` is
+    ``"object"``.
     """
+    for name, cls in ENGINE_BACKENDS.items():
+        if type(engine) is cls:
+            return name
     if isinstance(engine, BatchLaneMixin):
         return "batch"
     return "flat" if isinstance(engine, FlatEngine) else "object"

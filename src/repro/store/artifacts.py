@@ -84,12 +84,13 @@ LIBRARY_FORMAT = "repro.artifact-library/v1"
 
 #: Human-readable tag of the binary artifact format (documentation and
 #: manifest only; the binary header carries the integer version).
-ARTIFACT_FORMAT = "repro.topology-artifact/v1"
+ARTIFACT_FORMAT = "repro.topology-artifact/v2"
 
 #: Binary format version stamped into (and checked against) every header.
 #: Bump whenever the byte layout changes; old files then fail validation
-#: and are recompiled/republished (``gc`` removes them).
-ARTIFACT_FORMAT_VERSION = 1
+#: and are recompiled/republished (``gc`` removes them).  v2 appended the
+#: seven character-kernel tables and the ``kernel_codes`` dimension.
+ARTIFACT_FORMAT_VERSION = 2
 
 #: First 8 bytes of every artifact file.
 ARTIFACT_MAGIC = b"RPROTOPO"
@@ -100,13 +101,14 @@ ARTIFACT_SUFFIX = ".rtopo"
 #: Hex chars of the key used as the fan-out subdirectory (256 buckets).
 _SHARD_PREFIX = 2
 
-#: Header layout, little-endian (104 bytes; see docs/FORMATS.md):
+#: Header layout, little-endian (168 bytes; see docs/FORMATS.md):
 #: magic, format version, compiler version, num_nodes, delta, stride,
-#: alphabet census (interned-alphabet size for this delta), six table
-#: lengths in int64 elements, payload crc32, header crc32.
-_HEADER = struct.Struct("<8sII4Q6QII")
+#: alphabet census (interned-alphabet size for this delta), kernel code
+#: count, thirteen table lengths in int64 elements, payload crc32,
+#: header crc32.
+_HEADER = struct.Struct("<8sII5Q13QII")
 
-#: Table order inside the payload (and of the six length fields).
+#: Table order inside the payload (and of the thirteen length fields).
 _TABLES = TABLE_NAMES
 
 
@@ -122,6 +124,18 @@ def _census(delta: int) -> int:
     from repro.sim.characters import alphabet_size
 
     return alphabet_size(delta)
+
+
+def _kernel_codes(delta: int) -> int:
+    """The character-kernel code-space size recorded in the header.
+
+    Like the census, a pure function of ``delta`` — the loader
+    cross-checks it so a kernel-alphabet change without a compiler bump
+    is caught before any kernel table is trusted.
+    """
+    from repro.sim.characters import kernel_size
+
+    return kernel_size(delta)
 
 
 def _le_bytes(table) -> bytes:
@@ -171,7 +185,7 @@ def artifact_key(graph: PortGraph) -> str:
 def dump_artifact(topo: CompiledTopology) -> bytes:
     """Serialize compiled tables to the artifact binary format.
 
-    Little-endian regardless of host; the payload is the six tables
+    Little-endian regardless of host; the payload is the thirteen tables
     concatenated as raw int64s, the header records their element counts
     and a crc32 of the payload, and the header itself ends with a crc32
     over its own preceding bytes — so truncation or corruption anywhere
@@ -190,6 +204,7 @@ def dump_artifact(topo: CompiledTopology) -> bytes:
         topo.delta,
         topo.stride,
         _census(topo.delta),
+        _kernel_codes(topo.delta),
         *(len(getattr(topo, name)) for name in _TABLES),
         zlib.crc32(payload),
         0,
@@ -206,19 +221,23 @@ def _parse_header(buf, size: int, where: str) -> tuple[list[int], dict[str, int]
     magic, fmt_version, compiler = fields[0], fields[1], fields[2]
     if magic != ARTIFACT_MAGIC:
         raise ArtifactError(f"{where}: not a topology artifact (bad magic)")
-    header_crc = fields[-1]
-    if zlib.crc32(bytes(buf[: _HEADER.size - 4])) != header_crc:
-        raise ArtifactError(f"{where}: header checksum mismatch")
+    # The format version lives at a fixed offset in every layout revision,
+    # so it is checked *before* the header crc (whose position is
+    # layout-dependent): a v1 file reports a clean version mismatch
+    # instead of a spurious checksum error.
     if fmt_version != ARTIFACT_FORMAT_VERSION:
         raise ArtifactError(
             f"{where}: format version {fmt_version} != {ARTIFACT_FORMAT_VERSION}"
         )
+    header_crc = fields[-1]
+    if zlib.crc32(bytes(buf[: _HEADER.size - 4])) != header_crc:
+        raise ArtifactError(f"{where}: header checksum mismatch")
     if compiler != COMPILER_VERSION:
         raise ArtifactError(
             f"{where}: compiler version {compiler} != {COMPILER_VERSION}"
         )
-    num_nodes, delta, stride, census = fields[3:7]
-    lengths = list(fields[7:13])
+    num_nodes, delta, stride, census, kernel_codes = fields[3:8]
+    lengths = list(fields[8:21])
     if delta < 2 or stride != delta + 1 or num_nodes < 1:
         raise ArtifactError(f"{where}: implausible dimensions in header")
     if census != _census(delta):
@@ -227,6 +246,12 @@ def _parse_header(buf, size: int, where: str) -> tuple[list[int], dict[str, int]
             f"delta={delta} (alphabet enumeration changed without a "
             f"compiler version bump)"
         )
+    if kernel_codes != _kernel_codes(delta):
+        raise ArtifactError(
+            f"{where}: kernel code count {kernel_codes} != "
+            f"{_kernel_codes(delta)} for delta={delta} (kernel alphabet "
+            f"changed without a compiler version bump)"
+        )
     expected = [
         num_nodes * stride,
         num_nodes * stride,
@@ -234,6 +259,13 @@ def _parse_header(buf, size: int, where: str) -> tuple[list[int], dict[str, int]
         lengths[3],
         num_nodes + 1,
         lengths[5],
+        kernel_codes,
+        kernel_codes,
+        kernel_codes,
+        kernel_codes,
+        kernel_codes,
+        kernel_codes * (delta + 1),
+        kernel_codes * 6,
     ]
     if (
         lengths != expected
@@ -246,7 +278,7 @@ def _parse_header(buf, size: int, where: str) -> tuple[list[int], dict[str, int]
             f"{where}: file is {size} bytes, header promises "
             f"{_HEADER.size + 8 * sum(lengths)} (torn write?)"
         )
-    payload_crc = fields[13]
+    payload_crc = fields[21]
     if zlib.crc32(bytes(buf[_HEADER.size:])) != payload_crc:
         raise ArtifactError(f"{where}: payload checksum mismatch")
     return lengths, {"num_nodes": num_nodes, "delta": delta, "stride": stride}
@@ -255,7 +287,7 @@ def _parse_header(buf, size: int, where: str) -> tuple[list[int], dict[str, int]
 def load_artifact(path: str | os.PathLike) -> CompiledTopology:
     """mmap an artifact file into a shared read-only :class:`CompiledTopology`.
 
-    The six tables come back as zero-copy ``memoryview``\\ s cast to
+    The thirteen tables come back as zero-copy ``memoryview``\\ s cast to
     int64 over the mapping, so every process that loads the same file
     shares one physical copy via the page cache; nothing is materialized
     until a dynamic engine :meth:`~CompiledTopology.fork`\\ s the two wire

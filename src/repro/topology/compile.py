@@ -58,6 +58,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 
 from repro.errors import SimulationError
+from repro.sim.characters import kernel_for
 from repro.topology.portgraph import PortGraph
 
 __all__ = [
@@ -80,8 +81,12 @@ __all__ = [
 #: served with stale semantics.
 COMPILER_VERSION = 1
 
-#: The six dense tables every :class:`CompiledTopology` carries, in
-#: canonical order — the order they are serialized in on disk.
+#: The thirteen dense tables every :class:`CompiledTopology` carries, in
+#: canonical order — the order they are serialized in on disk.  The first
+#: six lower the *wiring*; the last seven lower the *character algebra*
+#: (the :class:`~repro.sim.characters.CharKernel` tables, artifact format
+#: v2 — a pure function of ``delta``, serialized so a cold process reaches
+#: the code-space hot loop without enumerating the alphabet).
 TABLE_NAMES = (
     "wire_dst",
     "wire_in_port",
@@ -89,6 +94,13 @@ TABLE_NAMES = (
     "out_ports",
     "in_start",
     "in_ports",
+    "char_flags",
+    "char_family",
+    "char_role",
+    "char_out_port",
+    "char_in_port",
+    "char_fill",
+    "char_convert",
 )
 
 #: ``wire_dst`` value of an out-port that never carried a wire.  Emitting
@@ -122,6 +134,15 @@ class CompiledTopology:
     out_ports: array           # concatenated connected out-ports, ascending per node
     in_start: array            # CSR offsets into in_ports, length num_nodes + 1
     in_ports: array            # concatenated connected in-ports, ascending per node
+    # Character-kernel tables (format v2; see repro.sim.characters.CharKernel).
+    # ``K = kernel_size(delta)`` codes; never patched, shared by forks as-is.
+    char_flags: array = field(default=None, repr=False)     # K predicate masks
+    char_family: array = field(default=None, repr=False)    # K family indices
+    char_role: array = field(default=None, repr=False)      # K role indices
+    char_out_port: array = field(default=None, repr=False)  # K first entries
+    char_in_port: array = field(default=None, repr=False)   # K second entries
+    char_fill: array = field(default=None, repr=False)      # K*(delta+1) fill map
+    char_convert: array = field(default=None, repr=False)   # K*6 convert map
     #: the shared artifact this view was forked from (``None`` on originals).
     #: A fork's pristine tables double as the patcher's undo record.
     pristine: "CompiledTopology | None" = field(default=None, repr=False)
@@ -283,6 +304,7 @@ def compile_topology(graph: PortGraph) -> CompiledTopology:
         out_start[node + 1] = len(out_ports)
         in_start[node + 1] = len(in_ports)
 
+    kernel = kernel_for(delta)
     return CompiledTopology(
         num_nodes=n,
         delta=delta,
@@ -293,6 +315,13 @@ def compile_topology(graph: PortGraph) -> CompiledTopology:
         out_ports=out_ports,
         in_start=in_start,
         in_ports=in_ports,
+        char_flags=kernel.char_flags,
+        char_family=kernel.char_family,
+        char_role=kernel.char_role,
+        char_out_port=kernel.char_out_port,
+        char_in_port=kernel.char_in_port,
+        char_fill=kernel.char_fill,
+        char_convert=kernel.char_convert,
     )
 
 

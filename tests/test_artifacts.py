@@ -200,7 +200,7 @@ class TestValidation:
         path = self._published(library)
         blob = bytearray(path.read_bytes())
         struct.pack_into("<I", blob, 8, ARTIFACT_FORMAT_VERSION + 1)
-        head_size = struct.calcsize("<8sII4Q6QII")
+        head_size = struct.calcsize("<8sII5Q13QII")
         struct.pack_into(
             "<I", blob, head_size - 4, zlib.crc32(bytes(blob[: head_size - 4]))
         )

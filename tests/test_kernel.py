@@ -1,0 +1,427 @@
+"""The compile-time character kernel (:class:`repro.sim.characters.CharKernel`).
+
+Exhaustive parity between the dense code-space tables and the object-path
+character functions they replace: every code of the Lemma 5.2 census
+(plus the filled-tail closure), every in-port of the fill table, every
+family column of the convert table, every predicate bit — checked against
+``is_snake``/``is_growing``/``is_dying``/``snake_family``/``snake_role``/
+``fill_in_port``/``convert``/``speed_of`` directly.  Also pins the
+externally visible automaton phase labels (now IntEnum-backed) and the
+format-v1 → v2 artifact-library migration story.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+import sys
+import zlib
+from array import array
+
+import pytest
+
+from repro.campaigns.spec import build_family
+from repro.protocol.automaton import ProtocolProcessor, _BcaPhase, _RcaPhase, _RootPhase
+from repro.sim.characters import (
+    DYING_FAMILIES,
+    GROWING_FAMILIES,
+    KFLAG_BODY,
+    KFLAG_DYING,
+    KFLAG_FILLS,
+    KFLAG_GROWING,
+    KFLAG_HEAD,
+    KFLAG_SCOPE_BCA,
+    KFLAG_SCOPE_RCA,
+    KFLAG_SNAKE,
+    KFLAG_SPEED3,
+    KFLAG_TAIL,
+    KPRIO_MASK,
+    KPRIO_SHIFT,
+    SCOPE_BCA,
+    SCOPE_RCA,
+    SNAKE_FAMILIES,
+    STAR,
+    Char,
+    alphabet_size,
+    convert,
+    enumerate_alphabet,
+    fill_in_port,
+    is_dying,
+    is_growing,
+    is_snake,
+    kernel_alphabet,
+    kernel_for,
+    kernel_size,
+    snake_family,
+    snake_role,
+    speed_of,
+)
+from repro.sim.scheduler import KIND_PRIORITY
+from repro.store.artifacts import (
+    ARTIFACT_MAGIC,
+    ArtifactLibrary,
+    artifact_key,
+    configure_artifact_library,
+)
+from repro.topology.compile import (
+    COMPILER_VERSION,
+    TABLE_NAMES,
+    clear_compiled_cache,
+    compile_topology,
+)
+
+DELTAS = (2, 3)
+
+
+# ----------------------------------------------------------------------
+# satellite: external phase labels survive the IntEnum migration
+# ----------------------------------------------------------------------
+class TestPhaseLabels:
+    """The string labels ``state_snapshot`` reports are an external API."""
+
+    def test_rca_phase_labels_pinned(self):
+        assert {p.name.lower(): int(p) for p in _RcaPhase} == {
+            "idle": 0,
+            "wait_og": 1,
+            "convert": 2,
+            "wait_odt": 3,
+            "wait_loop": 4,
+            "wait_unmark": 5,
+        }
+
+    def test_root_phase_labels_pinned(self):
+        assert {p.name.lower(): int(p) for p in _RootPhase} == {
+            "open": 0,
+            "ig_stream": 1,
+            "await_id": 2,
+            "id_stream": 3,
+            "loop": 4,
+        }
+
+    def test_bca_phase_labels_pinned(self):
+        assert {p.name.lower(): int(p) for p in _BcaPhase} == {
+            "idle": 0,
+            "search": 1,
+            "convert": 2,
+            "wait_tail": 3,
+            "wait_done": 4,
+            "wait_unmark": 5,
+        }
+
+    def test_quiescent_members_are_falsy(self):
+        # the hot loop relies on plain truthiness for the idle checks
+        assert not _RcaPhase.IDLE and not _RootPhase.OPEN and not _BcaPhase.IDLE
+
+    def test_snapshot_reports_lowercase_names(self):
+        proc = ProtocolProcessor()
+        snap = proc.state_snapshot()
+        assert snap["rca"]["phase"] == "idle"
+        assert snap["root"]["phase"] == "open"
+        assert snap["bca"]["phase"] == "idle"
+
+
+# ----------------------------------------------------------------------
+# satellite: exhaustive kernel ↔ object-path parity
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("delta", DELTAS)
+class TestKernelParity:
+    def test_census_prefix_and_closure(self, delta):
+        kernel = kernel_for(delta)
+        census = enumerate_alphabet(delta)
+        assert kernel.n_codes == kernel_size(delta)
+        assert kernel.n_codes == len(kernel.chars)
+        # census codes come first, unchanged, so interner codes line up
+        assert list(kernel.chars[: len(census)]) == census
+        # the closure adds exactly the filled growing tails
+        extra = kernel.chars[len(census):]
+        assert len(extra) == 3 * delta
+        for char in extra:
+            assert snake_role(char) == "T"
+            assert snake_family(char) in GROWING_FAMILIES
+            assert char.in_port != STAR
+        # every table entry is a valid code (the closure property)
+        for table in (kernel.char_fill, kernel.char_convert):
+            for value in table:
+                assert -1 <= value < kernel.n_codes
+        assert len(kernel.char_fill) == kernel.n_codes * (delta + 1)
+        assert len(kernel.char_convert) == kernel.n_codes * 6
+
+    def test_predicate_flags_match_object_predicates(self, delta):
+        kernel = kernel_for(delta)
+        for code, char in enumerate(kernel.chars):
+            flags = kernel.char_flags[code]
+            assert bool(flags & KFLAG_SNAKE) == is_snake(char), char
+            assert bool(flags & KFLAG_GROWING) == is_growing(char), char
+            assert bool(flags & KFLAG_DYING) == is_dying(char), char
+            assert bool(flags & KFLAG_HEAD) == (
+                is_snake(char) and snake_role(char) == "H"
+            ), char
+            assert bool(flags & KFLAG_BODY) == (
+                is_snake(char) and snake_role(char) == "B"
+            ), char
+            assert bool(flags & KFLAG_TAIL) == (
+                is_snake(char) and snake_role(char) == "T"
+            ), char
+            assert bool(flags & KFLAG_SPEED3) == (speed_of(char) == 3), char
+            assert bool(flags & KFLAG_SCOPE_RCA) == (
+                speed_of(char) == 3 and char.payload == SCOPE_RCA
+            ), char
+            assert bool(flags & KFLAG_SCOPE_BCA) == (
+                speed_of(char) == 3 and char.payload == SCOPE_BCA
+            ), char
+
+    def test_priority_bits_match_scheduler(self, delta):
+        kernel = kernel_for(delta)
+        for code, char in enumerate(kernel.chars):
+            prio = (kernel.char_flags[code] >> KPRIO_SHIFT) & KPRIO_MASK
+            assert prio == KIND_PRIORITY[char.kind], char
+            assert kernel.prio_list[code] == prio
+
+    def test_family_role_and_port_tables(self, delta):
+        kernel = kernel_for(delta)
+        for code, char in enumerate(kernel.chars):
+            if is_snake(char):
+                assert (
+                    SNAKE_FAMILIES[kernel.char_family[code]]
+                    == snake_family(char)
+                ), char
+                assert (
+                    "HBT"[kernel.char_role[code]] == snake_role(char)
+                ), char
+            else:
+                assert kernel.char_family[code] == -1, char
+                assert kernel.char_role[code] == -1, char
+            assert kernel.char_out_port[code] == char.out_port
+            assert kernel.char_in_port[code] == char.in_port
+
+    def test_fill_table_every_code_every_in_port(self, delta):
+        """``(code, in_port) -> code`` fill-in vs §2.3.2 engine semantics.
+
+        The engine fills growing snakes and DFS tokens whose second entry
+        is ``*``; everything else — including ``*``-ported *dying* codes,
+        which both backends deliver verbatim — maps to itself.
+        """
+        kernel = kernel_for(delta)
+        for code, char in enumerate(kernel.chars):
+            engine_fills = char.in_port == STAR and (
+                is_growing(char) or char.kind == "DFS"
+            )
+            assert bool(kernel.char_flags[code] & KFLAG_FILLS) == engine_fills
+            row = kernel.fill_rows[code]
+            assert list(row) == [
+                kernel.char_fill[code * (delta + 1) + j]
+                for j in range(delta + 1)
+            ]
+            assert row[STAR] == code  # row 0 is always the identity
+            for j in range(1, delta + 1):
+                if engine_fills:
+                    expected = kernel.codes[fill_in_port(char, j)]
+                else:
+                    expected = code
+                assert row[j] == expected, (char, j)
+
+    def test_convert_table_every_code_every_family(self, delta):
+        kernel = kernel_for(delta)
+        for code, char in enumerate(kernel.chars):
+            for fi, family in enumerate(SNAKE_FAMILIES):
+                got = kernel.char_convert[code * 6 + fi]
+                if not is_snake(char):
+                    assert got == -1, (char, family)
+                    continue
+                target = convert(char, family)
+                expected = kernel.codes.get(target, -1)
+                assert got == expected, (char, family)
+                if got >= 0:
+                    assert kernel.chars[got] == target
+
+    def test_convert_covers_the_protocol_rebrandings(self, delta):
+        """The wirings the automaton actually uses never fall to -1."""
+        kernel = kernel_for(delta)
+        pairs = [("IG", "OG"), ("OG", "ID"), ("ID", "OD"), ("BG", "BD")]
+        for src, dst in pairs:
+            fi = SNAKE_FAMILIES.index(dst)
+            for code, char in enumerate(kernel.chars):
+                if is_snake(char) and snake_family(char) == src:
+                    if snake_role(char) == "T" and (
+                        char.payload is not None or char.in_port != STAR
+                    ):
+                        # payloaded and engine-filled tails convert to
+                        # characters outside the code space; those
+                        # conversions run on the object path, so -1 is
+                        # the correct entry
+                        continue
+                    assert kernel.char_convert[code * 6 + fi] >= 0, (char, dst)
+
+    def test_handler_plan_classification(self, delta):
+        kernel = kernel_for(delta)
+        for code, char in enumerate(kernel.chars):
+            slot = kernel.handler_plan[code]
+            if is_snake(char):
+                assert slot == SNAKE_FAMILIES.index(snake_family(char))
+            elif char.kind in ("FWD", "BACK"):
+                assert slot == 6
+            elif char.kind == "KILL":
+                scope = char.payload or SCOPE_RCA
+                assert slot == (7 if scope == SCOPE_RCA else 8)
+            elif char.kind == "UNMARK" and char.payload == SCOPE_RCA:
+                assert slot == 9
+            else:
+                assert slot == -1, char
+
+    def test_as_head_and_body_codes(self, delta):
+        kernel = kernel_for(delta)
+        for code, char in enumerate(kernel.chars):
+            promoted = kernel.as_head_list[code]
+            if is_snake(char) and snake_role(char) == "B":
+                head = Char(
+                    snake_family(char) + "H",
+                    char.out_port,
+                    char.in_port,
+                    char.payload,
+                )
+                assert promoted == kernel.codes.get(head, -1)
+            else:
+                assert promoted == -1
+        for fi, family in enumerate(SNAKE_FAMILIES):
+            row = kernel.body_codes[fi]
+            assert row[0] == -1
+            for port in range(1, delta + 1):
+                body = kernel.chars[row[port]]
+                assert snake_family(body) == family
+                assert snake_role(body) == "B"
+                assert body.out_port == port
+                assert body.in_port == STAR
+
+    def test_tables_roundtrip_to_kernel_alphabet(self, delta):
+        # the serialized tuple is exactly the seven artifact tables
+        kernel = kernel_for(delta)
+        tables = kernel.tables()
+        assert [len(t) for t in tables] == [
+            kernel.n_codes,
+            kernel.n_codes,
+            kernel.n_codes,
+            kernel.n_codes,
+            kernel.n_codes,
+            kernel.n_codes * (delta + 1),
+            kernel.n_codes * 6,
+        ]
+        assert kernel_alphabet(delta) == list(kernel.chars)
+        assert alphabet_size(delta) - 1 + 3 * delta == kernel.n_codes
+
+
+# ----------------------------------------------------------------------
+# satellite: v1 → v2 artifact-library migration
+# ----------------------------------------------------------------------
+_V1_HEADER = struct.Struct("<8sII4Q6QII")
+
+
+def _le_bytes(table) -> bytes:
+    data = array("q", table)
+    if sys.byteorder != "little":  # pragma: no cover
+        data = array("q", data)
+        data.byteswap()
+    return data.tobytes()
+
+
+def _v1_key(graph) -> str:
+    """The content address a format-v1 library computed for ``graph``."""
+    h = hashlib.sha256()
+    h.update(ARTIFACT_MAGIC)
+    h.update(_le_bytes([1, COMPILER_VERSION, graph.num_nodes, graph.delta]))
+    wires = array("q")
+    for wire in sorted(graph.wires()):
+        wires.extend(wire)
+    h.update(_le_bytes(wires))
+    return h.hexdigest()
+
+
+def _dump_v1(topo) -> bytes:
+    """Serialize ``topo`` in the retired six-table v1 layout."""
+    names = TABLE_NAMES[:6]
+    payload = b"".join(_le_bytes(getattr(topo, name)) for name in names)
+    census = alphabet_size(topo.delta) - 1
+    head = _V1_HEADER.pack(
+        ARTIFACT_MAGIC,
+        1,
+        COMPILER_VERSION,
+        topo.num_nodes,
+        topo.delta,
+        topo.stride,
+        census,
+        *(len(getattr(topo, name)) for name in names),
+        zlib.crc32(payload),
+        0,
+    )
+    head = head[:-4] + struct.pack("<I", zlib.crc32(head[:-4]))
+    return head + payload
+
+
+class TestV1Migration:
+    @pytest.fixture(autouse=True)
+    def _cold(self):
+        configure_artifact_library(None)
+        clear_compiled_cache()
+        yield
+        configure_artifact_library(None)
+        clear_compiled_cache()
+
+    def _library_with_v1(self, tmp_path):
+        library = ArtifactLibrary(tmp_path / "artifacts")
+        graph = build_family("de-bruijn", 8, 0)
+        topo = compile_topology(graph)
+        v1_path = library.path_for(_v1_key(graph))
+        v1_path.parent.mkdir(parents=True, exist_ok=True)
+        v1_path.write_bytes(_dump_v1(topo))
+        return library, graph, v1_path
+
+    def test_v1_artifact_is_a_clean_load_miss(self, tmp_path):
+        library, graph, v1_path = self._library_with_v1(tmp_path)
+        # the v2 key differs (format version joins the hash), so the v1
+        # file is simply not found — a miss, not a validation failure
+        assert artifact_key(graph) != _v1_key(graph)
+        assert library.load(graph) is None
+        assert library.load_failures == 0
+
+    def test_v1_bytes_at_v2_key_fail_with_version_not_crc(self, tmp_path):
+        # a tampered/copied file in v1 layout under the v2 key must
+        # report the version mismatch (checked before the layout-dependent
+        # header crc), and count as a miss
+        library, graph, v1_path = self._library_with_v1(tmp_path)
+        v2_path = library.path_for(artifact_key(graph))
+        v2_path.parent.mkdir(parents=True, exist_ok=True)
+        v2_path.write_bytes(v1_path.read_bytes())
+        assert library.load(graph) is None
+        assert library.load_failures == 1
+        bad = [e for e in library.entries(validate=True) if not e.ok]
+        assert any("format version 1" in e.error for e in bad)
+
+    def test_republish_heals_the_library(self, tmp_path):
+        library, graph, _ = self._library_with_v1(tmp_path)
+        key, fresh = library.ensure(graph)
+        assert fresh == 1
+        assert key == artifact_key(graph)
+        topo = library.load(graph)
+        assert topo is not None
+        # the healed artifact carries the kernel tables (format v2)
+        kernel = kernel_for(graph.delta)
+        assert list(topo.char_flags) == list(kernel.char_flags)
+
+    def test_cli_verify_reports_the_v1_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        library, graph, _ = self._library_with_v1(tmp_path)
+        library.ensure(graph)
+        code = main(["store", str(library.root), "--artifacts", "--verify"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "INVALID" in out
+        assert "format version 1" in out
+        assert "verify: 1 invalid artifact(s)" in out
+
+    def test_gc_reclaims_the_v1_file_keeps_v2(self, tmp_path):
+        library, graph, v1_path = self._library_with_v1(tmp_path)
+        library.ensure(graph)
+        removed = library.gc()
+        assert [e.path for e in removed] == [v1_path]
+        assert not v1_path.exists()
+        assert library.load(graph) is not None
