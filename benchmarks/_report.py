@@ -27,6 +27,9 @@ OUT_DIR = pathlib.Path(__file__).parent / "out"
 #: of silently gating on stale ones.
 _RESET_THIS_SESSION: set[str] = set()
 
+#: Same idea for the human-readable ``<experiment>.txt`` logs.
+_TXT_RESET_THIS_SESSION: set[str] = set()
+
 
 def report(experiment: str, text: str) -> None:
     """Print ``text`` and persist it under ``benchmarks/out/``."""
@@ -34,6 +37,9 @@ def report(experiment: str, text: str) -> None:
     print(text)
     OUT_DIR.mkdir(exist_ok=True)
     path = OUT_DIR / f"{experiment}.txt"
+    if experiment not in _TXT_RESET_THIS_SESSION:
+        path.unlink(missing_ok=True)
+        _TXT_RESET_THIS_SESSION.add(experiment)
     with path.open("a") as fh:
         fh.write(text + "\n\n")
 

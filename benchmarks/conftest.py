@@ -1,8 +1,14 @@
-"""Benchmark-suite configuration: fresh output directory per session."""
+"""Benchmark-suite configuration: make sure the output directory exists.
+
+Per-file staleness is handled inside ``_report``: the first metric (or
+report line) an experiment records in a session unlinks that
+experiment's own snapshot/log.  Wiping the whole directory here instead
+would break CI's one-bench-per-step flow — every later invocation would
+erase the snapshots the earlier steps produced, leaving the
+bench-compare steps nothing to diff.
+"""
 
 from __future__ import annotations
-
-import shutil
 
 import pytest
 
@@ -11,8 +17,5 @@ from _report import OUT_DIR
 
 @pytest.fixture(scope="session", autouse=True)
 def clean_out_dir():
-    """Start each benchmark session with an empty results directory."""
-    if OUT_DIR.exists():
-        shutil.rmtree(OUT_DIR)
-    OUT_DIR.mkdir()
+    OUT_DIR.mkdir(exist_ok=True)
     yield

@@ -54,6 +54,7 @@ from __future__ import annotations
 import atexit
 import json
 import multiprocessing
+import os
 import zlib
 from collections import Counter
 from dataclasses import asdict, dataclass
@@ -392,10 +393,18 @@ def _safe_episodes(transcript) -> list[RcaEpisode]:
 #: sweep drivers calling ``run_campaign`` in a loop pay the
 #: fork/spawn/import cost once, and the workers' scenario caches stay warm
 #: between calls.
-_WORKER_POOL: tuple[str, int, str | None, "multiprocessing.pool.Pool"] | None = None
+_WORKER_POOL: (
+    tuple[str, int, str | None, str | None, "multiprocessing.pool.Pool"] | None
+) = None
+
+#: Per-worker profiling state (``campaign --profile``): the directory the
+#: worker dumps its accumulated pstats into after every chunk, and the
+#: process-lifetime profiler itself.  Both stay ``None`` in ordinary runs.
+_PROFILE_DIR: str | None = None
+_WORKER_PROFILER = None
 
 
-def _init_worker(artifacts_root: str | None) -> None:
+def _init_worker(artifacts_root: str | None, profile_dir: str | None = None) -> None:
     """Pool initializer: configure the shared artifact library per worker.
 
     Runs in every worker at pool construction, whatever the start method —
@@ -404,7 +413,19 @@ def _init_worker(artifacts_root: str | None) -> None:
     told explicitly.  With a library configured, a worker's first touch of
     any wiring is an ``mmap`` load of the parent-prewarmed artifact (pages
     shared across the whole pool), not a compile.
+
+    With ``profile_dir`` (``campaign --profile``), the worker also arms a
+    process-lifetime :mod:`cProfile` profiler: every chunk runs under it,
+    and after each chunk the accumulated stats are dumped to a per-pid
+    file in ``profile_dir`` — dumps are snapshots, so whenever the parent
+    reads the directory it sees each worker's complete profile so far.
     """
+    if profile_dir is not None:
+        import cProfile
+
+        global _PROFILE_DIR, _WORKER_PROFILER
+        _PROFILE_DIR = profile_dir
+        _WORKER_PROFILER = cProfile.Profile()
     if artifacts_root is not None:
         from repro.store.artifacts import configure_artifact_library
 
@@ -445,21 +466,36 @@ def _resolve_start_method(start_method: str | None) -> str:
 
 
 def _worker_pool(
-    workers: int, start_method: str | None, artifacts_root: str | None = None
+    workers: int,
+    start_method: str | None,
+    artifacts_root: str | None = None,
+    profile_dir: str | None = None,
 ):
-    """The persistent pool, (re)built only when method/size/library demand it."""
+    """The persistent pool, (re)built only when method/size/library demand it.
+
+    ``profile_dir`` joins the compatibility key: a profiled campaign never
+    reuses unarmed workers, and the next unprofiled campaign rebuilds a
+    clean pool rather than keep paying the profiler overhead.
+    """
     global _WORKER_POOL
     method = _resolve_start_method(start_method)
     if _WORKER_POOL is not None:
-        live_method, live_size, live_root, pool = _WORKER_POOL
-        if live_method == method and live_size >= workers and live_root == artifacts_root:
+        live_method, live_size, live_root, live_profile, pool = _WORKER_POOL
+        if (
+            live_method == method
+            and live_size >= workers
+            and live_root == artifacts_root
+            and live_profile == profile_dir
+        ):
             return pool
         shutdown_worker_pool()
     ctx = multiprocessing.get_context(method)
     pool = ctx.Pool(
-        processes=workers, initializer=_init_worker, initargs=(artifacts_root,)
+        processes=workers,
+        initializer=_init_worker,
+        initargs=(artifacts_root, profile_dir),
     )
-    _WORKER_POOL = (method, workers, artifacts_root, pool)
+    _WORKER_POOL = (method, workers, artifacts_root, profile_dir, pool)
     return pool
 
 
@@ -592,6 +628,7 @@ def run_campaign(
     start_method: str | None = None,
     lanes: int | None = None,
     artifacts=None,
+    profile_dir: str | None = None,
 ) -> "CampaignResult":
     """Run every scenario of ``spec``; fan out over ``jobs`` processes.
 
@@ -624,6 +661,13 @@ def run_campaign(
     pool shares one physical copy of each table set.  Like the result
     store, the library never changes a result's value: artifacts are pure
     functions of the wiring, byte-validated on load.
+
+    With ``profile_dir`` (the ``campaign --profile`` plumbing), parallel
+    workers are armed with per-process :mod:`cProfile` profilers and dump
+    per-pid pstats snapshots into the directory after every chunk; the
+    caller aggregates them with :class:`pstats.Stats` afterwards.  The
+    serial path ignores it — everything already runs in the caller's
+    process, under whatever profiler the caller armed.
     """
     scenarios = spec.scenarios() if isinstance(spec, CampaignSpec) else list(spec)
     if jobs < 1:
@@ -661,6 +705,7 @@ def run_campaign(
             workers,
             start_method,
             str(artifacts.root) if artifacts is not None else None,
+            profile_dir,
         )
         # imap_unordered (not map/imap) so each chunk is persisted the
         # moment *any* worker finishes it — an in-order stream would sit
@@ -692,8 +737,28 @@ def _run_chunk(
     """Worker shim: one pickle round-trip per setup-key group of cells.
 
     A multi-cell ``batch``-backend chunk takes the fused path: its dynamic
-    and timeline cells run as lock-step lanes of one batched engine.
+    and timeline cells run as lock-step lanes of one batched engine.  In a
+    profiling-armed worker (``campaign --profile``), the chunk runs under
+    the worker's process-lifetime profiler and the accumulated stats are
+    re-dumped afterwards — so the per-pid stats file is always a complete
+    snapshot, even if the pool is terminated between chunks.
     """
+    profiler = _WORKER_PROFILER
+    if profiler is None:
+        return _run_chunk_cells(chunk)
+    profiler.enable()
+    try:
+        return _run_chunk_cells(chunk)
+    finally:
+        profiler.disable()
+        profiler.dump_stats(
+            os.path.join(_PROFILE_DIR, f"worker-{os.getpid()}.pstats")
+        )
+
+
+def _run_chunk_cells(
+    chunk: list[tuple[int, Scenario]],
+) -> list[tuple[int, "ScenarioResult"]]:
     if len(chunk) > 1 and all(s.backend == "batch" for _, s in chunk):
         return _run_batch_chunk(chunk)
     return [(index, run_scenario(scenario)) for index, scenario in chunk]

@@ -186,6 +186,13 @@ def build_parser() -> argparse.ArgumentParser:
         "library at DIR (created if absent); warm libraries skip every "
         "previously-seen compile, across processes and campaigns",
     )
+    p_camp.add_argument(
+        "--profile", nargs="?", const="", metavar="FILE",
+        help="run under cProfile — aggregated across every worker process "
+        "with --jobs — and print the top-20 functions by cumulative time; "
+        "with FILE, also dump the merged pstats data there (inspect with "
+        "'python -m pstats FILE')",
+    )
 
     p_store = sub.add_parser(
         "store",
@@ -295,6 +302,8 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "faults":
         return _run_faults_command()
     if args.command == "campaign":
+        if args.profile is not None:
+            return _run_campaign_profiled(args)
         return _run_campaign_command(args)
     if args.command == "store":
         return _run_store_command(args)
@@ -523,7 +532,59 @@ def _open_campaign_store(args: argparse.Namespace) -> ResultStore | None:
     return ResultStore(args.store) if args.store else None
 
 
-def _run_campaign_command(args: argparse.Namespace) -> int:
+def _run_campaign_profiled(args: argparse.Namespace) -> int:
+    """``campaign --profile``: one merged cProfile report for the matrix.
+
+    Mirrors ``map --profile``, extended across the worker pool: the parent
+    process (chunking, store round-trips, serial runs) is profiled
+    in-process, every pool worker dumps per-pid pstats snapshots after
+    each chunk, and the views are merged into a single top-20 cumulative
+    report — so the hot-loop split reads the same whether the matrix ran
+    with ``--jobs 1`` or fanned out.  With FILE, the merged stats are also
+    dumped for offline digging.
+    """
+    import cProfile
+    import os
+    import pstats
+    import tempfile
+
+    from repro.campaigns.executor import shutdown_worker_pool
+
+    with tempfile.TemporaryDirectory(prefix="repro-campaign-profile-") as tmp:
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            code = _run_campaign_command(args, profile_dir=tmp)
+        finally:
+            profiler.disable()
+            # retire the armed pool: the terminate flushes nothing (chunk
+            # dumps are already complete snapshots), it just stops the
+            # profiler overhead from leaking into later campaigns
+            shutdown_worker_pool()
+        print()
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        worker_files = sorted(
+            os.path.join(tmp, name)
+            for name in os.listdir(tmp)
+            if name.endswith(".pstats")
+        )
+        for path in worker_files:
+            stats.add(path)
+        if worker_files:
+            print(
+                f"aggregated {len(worker_files)} worker profile(s) "
+                f"into the parent's"
+            )
+        stats.sort_stats("cumulative").print_stats(20)
+        if args.profile:
+            stats.dump_stats(args.profile)
+            print(f"wrote merged profile stats to {args.profile}")
+    return code
+
+
+def _run_campaign_command(
+    args: argparse.Namespace, profile_dir: str | None = None
+) -> int:
     if args.lanes is not None and args.backend != "batch":
         raise ReproError(
             f"--lanes requires --backend batch (got backend {args.backend!r})"
@@ -544,6 +605,7 @@ def _run_campaign_command(args: argparse.Namespace) -> int:
         start_method=args.start_method,
         lanes=args.lanes,
         artifacts=args.artifacts,
+        profile_dir=profile_dir,
     )
     print(campaign.summary())
     phase_rows = phase_outcome_counts(campaign.results)

@@ -16,11 +16,15 @@ in-port table), advancing all lanes in lock-step bursts driven by numpy
   snapshotted at end of run for the campaign fan-out and the batch
   tests (the per-lane metrics flush).
 
-The per-event protocol work inside a lane is exactly the flat backend's:
-each lane owns a :class:`~repro.sim.flatcore.FlatEngine` data plane
-(lane 0 is the batch engine itself), so every decoded lane is
-**byte-identical** to a solo ``flat`` run of the same scenario — the
-parity contract the differential fuzz suite enforces.  What batching
+The per-event protocol work inside a lane is exactly the flat backend's
+— including its transition-table stepper, which every lane executes over
+the one shared ``char_trans`` program (exposed here as a zero-copy numpy
+tensor via :meth:`BatchLaneMixin.trans_tensor`, with ``(S,)`` cross-lane
+row gathers through :meth:`BatchLaneMixin.gather_rows`): each lane owns
+a :class:`~repro.sim.flatcore.FlatEngine` data plane (lane 0 is the
+batch engine itself), so every decoded lane is **byte-identical** to a
+solo ``flat`` run of the same scenario — the parity contract the
+differential fuzz suite enforces.  What batching
 buys is shared lowering, one pooled engine per (graph, lane count)
 signature, vectorized lane scheduling, and — at the campaign layer —
 the fusion of a chunk's seed axis so lanes with equal effective wire
@@ -54,6 +58,7 @@ from repro.sim.characters import (
     KFLAG_SNAKE,
     KFLAG_SPEED3,
     KFLAG_TAIL,
+    n_phases,
 )
 from repro.sim.flatcore import FlatEngine
 from repro.sim.processor import Processor
@@ -299,6 +304,61 @@ class BatchLaneMixin:
         """
         require_numpy()
         return self._classify_lanes()
+
+    # ------------------------------------------------------------------
+    # vectorized transition-table views
+    # ------------------------------------------------------------------
+    def trans_tensor(self):
+        """The automaton's transition program as a ``(K, delta+1, P)`` tensor.
+
+        A zero-copy ``numpy`` view over the compiled topology's
+        ``char_trans`` table (mmap-backed when served from the artifact
+        library, so all lanes — and all processes — share one physical
+        copy): axis 0 is the character code, axis 1 the arrival in-port,
+        axis 2 the family-bank phase.  Row values follow the encoding in
+        :mod:`repro.sim.characters` — 0 drops, negative escapes with the
+        filled code fused in, positive rows carry op/phase/port/code
+        fields.  This is the same program each lane's scalar table walk
+        executes; the tensor form exists for cross-lane gathers.
+        """
+        require_numpy()
+        topo = self._topo
+        k = len(topo.char_flags)
+        return _np.frombuffer(topo.char_trans, dtype=_np.int64).reshape(
+            k, topo.delta + 1, n_phases(topo.delta)
+        )
+
+    def gather_rows(self, codes, in_ports, phases):
+        """One vectorized gather of ``S`` transition rows.
+
+        ``codes``, ``in_ports`` and ``phases`` are ``(S,)`` vectors (one
+        entry per lane); the result is the ``(S,)`` int64 row vector
+        ``trans[codes, in_ports, phases]`` — every lane's next transition
+        resolved in a single numpy indexing operation, no per-lane Python.
+        Negative entries mark lanes that must fall back to the scalar
+        escape path; callers mask them out and finish those lanes
+        scalar-style.
+        """
+        require_numpy()
+        return self.trans_tensor()[
+            _np.asarray(codes, dtype=_np.int64),
+            _np.asarray(in_ports, dtype=_np.int64),
+            _np.asarray(phases, dtype=_np.int64),
+        ]
+
+    def lane_phase_matrix(self):
+        """Every lane's shadow phase registers as an ``(S, N*6)`` matrix.
+
+        Row ``i`` is lane ``i``'s per-node, per-family-bank phase vector
+        as of its last table-walked delivery (see
+        :meth:`~repro.sim.flatcore.FlatEngine._tw_sync` for the register
+        derivation).  Pairs with :meth:`gather_rows` to resolve one
+        node's next transition across all lanes at once.
+        """
+        require_numpy()
+        return _np.array(
+            [eng._tw_phase for eng in self.lane_engines], dtype=_np.int64
+        )
 
     def _reset_lane_registers(self) -> None:
         self._lane_state[:] = 0

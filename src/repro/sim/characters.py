@@ -65,6 +65,19 @@ __all__ = [
     "kernel_size",
     "kernel_for",
     "clear_kernel_cache",
+    "n_phases",
+    "growing_esc_phase",
+    "dying_phase",
+    "TRANS_OP_MASK",
+    "TRANS_OP_BCAST",
+    "TRANS_OP_MARK",
+    "TRANS_OP_TAIL",
+    "TRANS_OP_SEND",
+    "TRANS_PHASE_SHIFT",
+    "TRANS_PHASE_MASK",
+    "TRANS_PORT_SHIFT",
+    "TRANS_PORT_MASK",
+    "TRANS_CODE_SHIFT",
     "KFLAG_SNAKE",
     "KFLAG_GROWING",
     "KFLAG_DYING",
@@ -493,16 +506,89 @@ def kernel_size(delta: int) -> int:
     return alphabet_size(delta) - 1 + 3 * delta
 
 
+# ----------------------------------------------------------------------
+# the transition program (table-walked automaton support)
+# ----------------------------------------------------------------------
+# The hot protocol automaton — the §2.3.2 growing relay and the §2.3.3
+# dying body stream, exactly the transitions the per-node code handlers of
+# ``ProtocolProcessor.code_handler_table`` serve — is a finite-state
+# machine over a small per-node register file (visited/parent marks per
+# growing family, relay pred/succ/promotion per dying family).  Encoding
+# each family's register state as a small *phase* integer turns every hot
+# delivery into one table row lookup ``(code, in_port, phase) -> row``;
+# everything the row cannot express (interceptions, head promotion,
+# terminal steps, loop/KILL/UNMARK/DFS tokens, stale shadow state) is an
+# *escape* row that falls back to the closure/object handlers, so the
+# table can only ever reproduce — never replace — the proven semantics.
+#
+# Phase encoding, per snake family bank (six banks per node, indexed by
+# the :data:`SNAKE_FAMILIES` family index):
+#
+# * growing banks (IG/OG/BG): ``0`` = unvisited, ``1 + parent_in`` =
+#   visited (``1`` = visited with no parent port, which drops every
+#   delivery exactly like the closure's ``in_port != None`` inequality),
+#   :func:`growing_esc_phase` = intercepted (an active RCA/BCA terminator
+#   on this node; every row escapes);
+# * dying banks (ID/OD/BD): ``0`` = relay inactive (every row escapes),
+#   :func:`dying_phase` = active with a given (pred, succ, promote)
+#   register value; promotion pending escapes, otherwise a body arriving
+#   through ``pred`` streams straight out of ``succ``.
+#
+# Row encoding (int64): ``0`` = drop; negative = escape with the *filled*
+# code ``-row - 1`` (the fill table is fused in, so the escape path pays
+# no second lookup — this also covers DFS fill-in); positive rows decode
+# as ``op | next_phase << 3 | emit_port << 19 | emit_code << 25``.
+
+#: row & TRANS_OP_MASK -> what the stepper does with a positive row
+TRANS_OP_MASK = 0b111
+#: re-broadcast the filled code at tick+3 (§2.3.2 head flood / body pass)
+TRANS_OP_BCAST = 1
+#: first head at an unvisited node: set the bank to ``next_phase`` (which
+#: encodes the new parent), write through to the object-path marks, and
+#: broadcast the filled head at tick+3
+TRANS_OP_MARK = 2
+#: tail at the parent port: append one body per connected out-port at
+#: tick+3, then pass the filled tail at tick+4
+TRANS_OP_TAIL = 3
+#: dying body stream: send the code out of ``emit_port`` at tick+3
+TRANS_OP_SEND = 4
+TRANS_PHASE_SHIFT = 3
+TRANS_PHASE_MASK = 0xFFFF
+TRANS_PORT_SHIFT = 19
+TRANS_PORT_MASK = 0x3F
+TRANS_CODE_SHIFT = 25
+
+#: growing-family indices into :data:`SNAKE_FAMILIES` (IG, OG, BG)
+_GROWING_BANKS = (0, 1, 4)
+
+
+def n_phases(delta: int) -> int:
+    """Phases per family bank: growing needs ``delta + 3``, dying
+    ``2*delta**2 + 1`` (every (pred, succ, promote) register value)."""
+    return max(delta + 3, 2 * delta * delta + 1)
+
+
+def growing_esc_phase(delta: int) -> int:
+    """The growing-bank phase meaning "intercepted — take the cold path"."""
+    return delta + 2
+
+
+def dying_phase(delta: int, pred: int, succ: int, promote: int) -> int:
+    """The dying-bank phase for an active relay's register values."""
+    return 1 + ((pred - 1) * delta + (succ - 1)) * 2 + promote
+
+
 class CharKernel:
     """Dense int64 lookup tables over the closed character code space.
 
     Built once per ``delta`` and shared process-wide (:func:`kernel_for`).
-    The seven ``array('q')`` tables are the serializable compile-time
+    The eight ``array('q')`` tables are the serializable compile-time
     product (they ride topology artifacts); the plain-list mirrors and the
     derived constructor tables exist because CPython indexes a ``list``
     faster than an ``array`` in the hot loop.
 
-    Serialized tables (``K = kernel_size(delta)`` codes):
+    Serialized tables (``K = kernel_size(delta)`` codes,
+    ``P = n_phases(delta)`` phases):
 
     ``char_flags``     ``K``          predicate bitmask + priority bits
     ``char_family``    ``K``          index into :data:`SNAKE_FAMILIES`, -1
@@ -511,6 +597,8 @@ class CharKernel:
     ``char_in_port``   ``K``          second port entry (0 = ``*``)
     ``char_fill``      ``K*(delta+1)``  ``(code, in_port) -> code`` fill-in
     ``char_convert``   ``K*6``        ``(code, family index) -> code``, -1
+    ``char_trans``     ``K*(delta+1)*P``  ``(code, in_port, phase) -> row``
+                       (the transition program; new in artifact format v3)
 
     The fill table mirrors the *engine's* fill semantics (growing snakes
     and DFS only — dying characters are delivered verbatim, matching
@@ -532,6 +620,7 @@ class CharKernel:
         "char_in_port",
         "char_fill",
         "char_convert",
+        "char_trans",
         "flags_list",
         "family_list",
         "role_list",
@@ -542,6 +631,9 @@ class CharKernel:
         "as_head_list",
         "body_codes",
         "handler_plan",
+        "bank_list",
+        "trans_rows",
+        "trans_walkable",
     )
 
     def __init__(self, delta: int) -> None:
@@ -677,8 +769,84 @@ class CharKernel:
                 plan.append(-1)
         self.handler_plan = plan
 
+        # ---- the transition program (see the module-level row encoding) --
+        #: code -> family bank index the stepper reads its phase from.
+        #: Non-snake codes borrow bank 0; their rows are all escapes, so
+        #: any in-range phase decodes to the same (escape) action.
+        self.bank_list = [f if f >= 0 else 0 for f in family]
+        P = n_phases(delta)
+        esc = growing_esc_phase(delta)
+        stride = delta + 1
+        trans = [0] * (n * stride * P)
+        walkable = bytearray(n)
+        for code in range(n):
+            fam = family[code]
+            for j in range(stride):
+                fc = fill[code * stride + j]
+                base = (code * stride + j) * P
+                escape_row = -(fc + 1)
+                trans[base : base + P] = [escape_row] * P
+                if fam < 0 or j == STAR:
+                    # tokens, and the never-delivered in_port 0 column,
+                    # always take the cold path
+                    continue
+                r = role[fc]
+                common = fc << TRANS_CODE_SHIFT
+                if fam in _GROWING_BANKS:
+                    walkable[code] = 1
+                    # phase 0 (unvisited): first head claims the node,
+                    # stray bodies/tails are post-KILL debris (D6)
+                    trans[base] = (
+                        TRANS_OP_MARK | ((1 + j) << TRANS_PHASE_SHIFT) | common
+                        if r == 0
+                        else 0
+                    )
+                    # phase 1 (visited, no parent port): nothing matches
+                    trans[base + 1] = 0
+                    for p in range(1, delta + 1):
+                        ph = 1 + p
+                        if j != p:
+                            row = 0  # off-parent arrivals are ignored
+                        elif r == 2:
+                            row = TRANS_OP_TAIL | (ph << TRANS_PHASE_SHIFT) | common
+                        else:
+                            row = TRANS_OP_BCAST | (ph << TRANS_PHASE_SHIFT) | common
+                        trans[base + ph] = row
+                    assert trans[base + esc] == escape_row  # interception
+                elif r == 1:
+                    walkable[code] = 1
+                    # dying body through the relay's pred port streams out
+                    # of succ; every other dying configuration (inactive,
+                    # promotion pending, heads/tails, wrong port) escapes
+                    for succ in range(1, delta + 1):
+                        ph = dying_phase(delta, j, succ, 0)
+                        trans[base + ph] = (
+                            TRANS_OP_SEND
+                            | (ph << TRANS_PHASE_SHIFT)
+                            | (succ << TRANS_PORT_SHIFT)
+                            | common
+                        )
+        self.char_trans = array("q", trans)
+        #: the transition table re-sliced ``[code][in_port] -> phase row``,
+        #: same idiom as ``fill_rows``
+        self.trans_rows = [
+            [
+                trans[(c * stride + j) * P : (c * stride + j + 1) * P]
+                for j in range(stride)
+            ]
+            for c in range(n)
+        ]
+        #: code -> 1 if at least one ``(in_port, phase)`` row is
+        #: table-serviced (set during the build above, where the rows are
+        #: written — a test cross-checks it against a full table scan).
+        #: Tokens, KILL/UNMARK and dying heads/tails have all-escape
+        #: planes: the stepper routes them straight to the closure path
+        #: without a register sync or a row read — the escape row would
+        #: only rediscover the kernel fill.
+        self.trans_walkable = walkable
+
     def tables(self) -> tuple[array, ...]:
-        """The seven serializable tables, in artifact format-v2 order."""
+        """The eight serializable tables, in artifact format-v3 order."""
         return (
             self.char_flags,
             self.char_family,
@@ -687,6 +855,7 @@ class CharKernel:
             self.char_in_port,
             self.char_fill,
             self.char_convert,
+            self.char_trans,
         )
 
 

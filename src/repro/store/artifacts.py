@@ -84,13 +84,14 @@ LIBRARY_FORMAT = "repro.artifact-library/v1"
 
 #: Human-readable tag of the binary artifact format (documentation and
 #: manifest only; the binary header carries the integer version).
-ARTIFACT_FORMAT = "repro.topology-artifact/v2"
+ARTIFACT_FORMAT = "repro.topology-artifact/v3"
 
 #: Binary format version stamped into (and checked against) every header.
 #: Bump whenever the byte layout changes; old files then fail validation
 #: and are recompiled/republished (``gc`` removes them).  v2 appended the
-#: seven character-kernel tables and the ``kernel_codes`` dimension.
-ARTIFACT_FORMAT_VERSION = 2
+#: seven character-kernel tables and the ``kernel_codes`` dimension; v3
+#: appended ``char_trans``, the automaton's transition-row tensor.
+ARTIFACT_FORMAT_VERSION = 3
 
 #: First 8 bytes of every artifact file.
 ARTIFACT_MAGIC = b"RPROTOPO"
@@ -101,14 +102,14 @@ ARTIFACT_SUFFIX = ".rtopo"
 #: Hex chars of the key used as the fan-out subdirectory (256 buckets).
 _SHARD_PREFIX = 2
 
-#: Header layout, little-endian (168 bytes; see docs/FORMATS.md):
+#: Header layout, little-endian (176 bytes; see docs/FORMATS.md):
 #: magic, format version, compiler version, num_nodes, delta, stride,
 #: alphabet census (interned-alphabet size for this delta), kernel code
-#: count, thirteen table lengths in int64 elements, payload crc32,
+#: count, fourteen table lengths in int64 elements, payload crc32,
 #: header crc32.
-_HEADER = struct.Struct("<8sII5Q13QII")
+_HEADER = struct.Struct("<8sII5Q14QII")
 
-#: Table order inside the payload (and of the thirteen length fields).
+#: Table order inside the payload (and of the fourteen length fields).
 _TABLES = TABLE_NAMES
 
 
@@ -136,6 +137,13 @@ def _kernel_codes(delta: int) -> int:
     from repro.sim.characters import kernel_size
 
     return kernel_size(delta)
+
+
+def _n_phases(delta: int) -> int:
+    """Transition-table phases per family bank (the v3 row dimension)."""
+    from repro.sim.characters import n_phases
+
+    return n_phases(delta)
 
 
 def _le_bytes(table) -> bytes:
@@ -185,7 +193,7 @@ def artifact_key(graph: PortGraph) -> str:
 def dump_artifact(topo: CompiledTopology) -> bytes:
     """Serialize compiled tables to the artifact binary format.
 
-    Little-endian regardless of host; the payload is the thirteen tables
+    Little-endian regardless of host; the payload is the fourteen tables
     concatenated as raw int64s, the header records their element counts
     and a crc32 of the payload, and the header itself ends with a crc32
     over its own preceding bytes — so truncation or corruption anywhere
@@ -237,7 +245,7 @@ def _parse_header(buf, size: int, where: str) -> tuple[list[int], dict[str, int]
             f"{where}: compiler version {compiler} != {COMPILER_VERSION}"
         )
     num_nodes, delta, stride, census, kernel_codes = fields[3:8]
-    lengths = list(fields[8:21])
+    lengths = list(fields[8:22])
     if delta < 2 or stride != delta + 1 or num_nodes < 1:
         raise ArtifactError(f"{where}: implausible dimensions in header")
     if census != _census(delta):
@@ -266,6 +274,7 @@ def _parse_header(buf, size: int, where: str) -> tuple[list[int], dict[str, int]
         kernel_codes,
         kernel_codes * (delta + 1),
         kernel_codes * 6,
+        kernel_codes * (delta + 1) * _n_phases(delta),
     ]
     if (
         lengths != expected
@@ -278,7 +287,7 @@ def _parse_header(buf, size: int, where: str) -> tuple[list[int], dict[str, int]
             f"{where}: file is {size} bytes, header promises "
             f"{_HEADER.size + 8 * sum(lengths)} (torn write?)"
         )
-    payload_crc = fields[21]
+    payload_crc = fields[22]
     if zlib.crc32(bytes(buf[_HEADER.size:])) != payload_crc:
         raise ArtifactError(f"{where}: payload checksum mismatch")
     return lengths, {"num_nodes": num_nodes, "delta": delta, "stride": stride}
@@ -287,7 +296,7 @@ def _parse_header(buf, size: int, where: str) -> tuple[list[int], dict[str, int]
 def load_artifact(path: str | os.PathLike) -> CompiledTopology:
     """mmap an artifact file into a shared read-only :class:`CompiledTopology`.
 
-    The thirteen tables come back as zero-copy ``memoryview``\\ s cast to
+    The fourteen tables come back as zero-copy ``memoryview``\\ s cast to
     int64 over the mapping, so every process that loads the same file
     shares one physical copy via the page cache; nothing is materialized
     until a dynamic engine :meth:`~CompiledTopology.fork`\\ s the two wire

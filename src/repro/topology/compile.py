@@ -81,12 +81,15 @@ __all__ = [
 #: served with stale semantics.
 COMPILER_VERSION = 1
 
-#: The thirteen dense tables every :class:`CompiledTopology` carries, in
+#: The fourteen dense tables every :class:`CompiledTopology` carries, in
 #: canonical order — the order they are serialized in on disk.  The first
-#: six lower the *wiring*; the last seven lower the *character algebra*
-#: (the :class:`~repro.sim.characters.CharKernel` tables, artifact format
-#: v2 — a pure function of ``delta``, serialized so a cold process reaches
-#: the code-space hot loop without enumerating the alphabet).
+#: six lower the *wiring*; the last eight lower the *character algebra*
+#: (the :class:`~repro.sim.characters.CharKernel` tables — a pure function
+#: of ``delta``, serialized so a cold process reaches the code-space hot
+#: loop without enumerating the alphabet).  ``char_trans`` — the protocol
+#: automaton's transition program, artifact format v3 — is the newest: a
+#: ``K * (delta + 1) * n_phases(delta)`` row tensor the flat backend's
+#: table-walking stepper executes directly.
 TABLE_NAMES = (
     "wire_dst",
     "wire_in_port",
@@ -101,6 +104,7 @@ TABLE_NAMES = (
     "char_in_port",
     "char_fill",
     "char_convert",
+    "char_trans",
 )
 
 #: ``wire_dst`` value of an out-port that never carried a wire.  Emitting
@@ -134,7 +138,7 @@ class CompiledTopology:
     out_ports: array           # concatenated connected out-ports, ascending per node
     in_start: array            # CSR offsets into in_ports, length num_nodes + 1
     in_ports: array            # concatenated connected in-ports, ascending per node
-    # Character-kernel tables (format v2; see repro.sim.characters.CharKernel).
+    # Character-kernel tables (format v3; see repro.sim.characters.CharKernel).
     # ``K = kernel_size(delta)`` codes; never patched, shared by forks as-is.
     char_flags: array = field(default=None, repr=False)     # K predicate masks
     char_family: array = field(default=None, repr=False)    # K family indices
@@ -143,6 +147,7 @@ class CompiledTopology:
     char_in_port: array = field(default=None, repr=False)   # K second entries
     char_fill: array = field(default=None, repr=False)      # K*(delta+1) fill map
     char_convert: array = field(default=None, repr=False)   # K*6 convert map
+    char_trans: array = field(default=None, repr=False)     # K*(delta+1)*P rows
     #: the shared artifact this view was forked from (``None`` on originals).
     #: A fork's pristine tables double as the patcher's undo record.
     pristine: "CompiledTopology | None" = field(default=None, repr=False)
@@ -322,6 +327,7 @@ def compile_topology(graph: PortGraph) -> CompiledTopology:
         char_in_port=kernel.char_in_port,
         char_fill=kernel.char_fill,
         char_convert=kernel.char_convert,
+        char_trans=kernel.char_trans,
     )
 
 

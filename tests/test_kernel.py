@@ -22,6 +22,7 @@ import pytest
 
 from repro.campaigns.spec import build_family
 from repro.protocol.automaton import ProtocolProcessor, _BcaPhase, _RcaPhase, _RootPhase
+from repro.sim.engine import NodeContext
 from repro.sim.characters import (
     DYING_FAMILIES,
     GROWING_FAMILIES,
@@ -41,17 +42,30 @@ from repro.sim.characters import (
     SCOPE_RCA,
     SNAKE_FAMILIES,
     STAR,
+    TRANS_CODE_SHIFT,
+    TRANS_OP_BCAST,
+    TRANS_OP_MARK,
+    TRANS_OP_MASK,
+    TRANS_OP_SEND,
+    TRANS_OP_TAIL,
+    TRANS_PHASE_MASK,
+    TRANS_PHASE_SHIFT,
+    TRANS_PORT_MASK,
+    TRANS_PORT_SHIFT,
     Char,
     alphabet_size,
     convert,
+    dying_phase,
     enumerate_alphabet,
     fill_in_port,
+    growing_esc_phase,
     is_dying,
     is_growing,
     is_snake,
     kernel_alphabet,
     kernel_for,
     kernel_size,
+    n_phases,
     snake_family,
     snake_role,
     speed_of,
@@ -67,6 +81,7 @@ from repro.topology.compile import (
     COMPILER_VERSION,
     TABLE_NAMES,
     clear_compiled_cache,
+    compile_calls,
     compile_topology,
 )
 
@@ -293,7 +308,7 @@ class TestKernelParity:
                 assert body.in_port == STAR
 
     def test_tables_roundtrip_to_kernel_alphabet(self, delta):
-        # the serialized tuple is exactly the seven artifact tables
+        # the serialized tuple is exactly the eight artifact tables
         kernel = kernel_for(delta)
         tables = kernel.tables()
         assert [len(t) for t in tables] == [
@@ -304,9 +319,194 @@ class TestKernelParity:
             kernel.n_codes,
             kernel.n_codes * (delta + 1),
             kernel.n_codes * 6,
+            kernel.n_codes * (delta + 1) * n_phases(delta),
         ]
         assert kernel_alphabet(delta) == list(kernel.chars)
         assert alphabet_size(delta) - 1 + 3 * delta == kernel.n_codes
+
+
+# ----------------------------------------------------------------------
+# tentpole: transition-table rows vs the object-path automaton
+# ----------------------------------------------------------------------
+#: code -> (growing-marks attr, dying-relay attr) per family bank index
+_BANK_MARKS = {0: "_marks_ig", 1: "_marks_og", 4: "_marks_bg"}
+_BANK_RELAY = {2: "_relay_id", 3: "_relay_od", 5: "_relay_bd"}
+
+_TICK = 100
+
+
+def _fresh_processor(delta: int) -> ProtocolProcessor:
+    """A non-root processor on a fully-wired node, mid-simulation."""
+    ports = tuple(range(1, delta + 1))
+    proc = ProtocolProcessor()
+    proc.attach(NodeContext(1, False, ports, ports, lambda label, data: None))
+    proc.begin_tick(_TICK)
+    return proc
+
+
+def _load_phase(proc: ProtocolProcessor, bank: int, phase: int, delta: int) -> None:
+    """Put ``proc``'s bank registers into the state ``phase`` encodes."""
+    if bank in _BANK_MARKS:
+        marks = getattr(proc, _BANK_MARKS[bank])
+        if phase == 0:
+            return  # unvisited: the power-on state
+        assert phase <= delta + 1, "only register-backed phases are drivable"
+        marks.mark(None if phase == 1 else phase - 1)
+        return
+    relay = getattr(proc, _BANK_RELAY[bank])
+    if phase == 0:
+        return  # inactive relay: the power-on state
+    pair, promote = divmod(phase - 1, 2)
+    pred, succ = divmod(pair, delta)
+    relay.start(pred + 1, succ + 1)
+    relay.promote_next = bool(promote)
+
+
+def _read_phase(proc: ProtocolProcessor, bank: int, delta: int) -> int:
+    """The phase a flat engine would re-derive from ``proc``'s registers.
+
+    The same mapping as ``FlatEngine._tw_sync`` — recomputed here from
+    first principles so the test does not trust the code under test.
+    """
+    if bank in _BANK_MARKS:
+        if bank == 1 and proc.rca_phase:
+            return growing_esc_phase(delta)
+        if bank == 4 and proc.bca_phase:
+            return growing_esc_phase(delta)
+        marks = getattr(proc, _BANK_MARKS[bank])
+        if not marks.visited:
+            return 0
+        return 1 + (marks.parent_in or 0)
+    relay = getattr(proc, _BANK_RELAY[bank])
+    if not (relay.active and relay.pred is not None and relay.succ is not None):
+        return 0
+    return dying_phase(delta, relay.pred, relay.succ, int(relay.promote_next))
+
+
+@pytest.mark.parametrize("delta", DELTAS)
+class TestTransitionTableParity:
+    """Every non-escape transition row, checked against the object path.
+
+    For each ``(code, in_port, phase)`` the row is *executed twice*: once
+    by decoding it the way the flat-core stepper does, once by loading a
+    fresh :class:`ProtocolProcessor`'s registers with the state the phase
+    encodes and delivering the character through the object-path
+    ``handle``.  Emissions (ports, characters, departure ticks) and the
+    resulting register state must agree exactly.  Escape rows are pinned
+    to carry the fused fill-in, and the escape lane's coverage — every
+    configuration the tables do not lower — is asserted structurally.
+    """
+
+    def test_every_nonescape_row_matches_the_object_path(self, delta):
+        kernel = kernel_for(delta)
+        driven = {TRANS_OP_BCAST: 0, TRANS_OP_MARK: 0, TRANS_OP_TAIL: 0,
+                  TRANS_OP_SEND: 0, 0: 0}
+        out_ports = tuple(range(1, delta + 1))
+        for code in range(kernel.n_codes):
+            bank = kernel.bank_list[code]
+            for in_port in range(1, delta + 1):
+                fc = kernel.fill_rows[code][in_port]
+                for phase, row in enumerate(kernel.trans_rows[code][in_port]):
+                    if row < 0:
+                        # escape rows carry the fused fill-in so the cold
+                        # path never consults the fill table again
+                        assert -row - 1 == fc, (code, in_port, phase)
+                        continue
+                    proc = _fresh_processor(delta)
+                    _load_phase(proc, bank, phase, delta)
+                    assert _read_phase(proc, bank, delta) == phase
+                    proc.handle(in_port, kernel.chars[code])
+                    outbox = sorted(
+                        (e.due_tick, e.out_port, e.char) for e in proc._outbox
+                    )
+                    if row == 0:
+                        # DROP: the object path emitted and changed nothing
+                        assert outbox == [], (code, in_port, phase)
+                        assert _read_phase(proc, bank, delta) == phase
+                        driven[0] += 1
+                        continue
+                    op = row & TRANS_OP_MASK
+                    next_phase = (row >> TRANS_PHASE_SHIFT) & TRANS_PHASE_MASK
+                    emit_code = row >> TRANS_CODE_SHIFT
+                    assert emit_code == fc, (code, in_port, phase)
+                    assert _read_phase(proc, bank, delta) == next_phase
+                    emit = kernel.chars[emit_code]
+                    # outbox due ticks are arrival - 1 (the wire's tick)
+                    if op == TRANS_OP_SEND:
+                        port = (row >> TRANS_PORT_SHIFT) & TRANS_PORT_MASK
+                        expected = [(_TICK + 2, port, emit)]
+                    elif op == TRANS_OP_TAIL:
+                        expected = sorted(
+                            [
+                                (_TICK + 2, p, kernel.chars[kernel.body_codes[bank][p]])
+                                for p in out_ports
+                            ]
+                            + [(_TICK + 3, p, emit) for p in out_ports]
+                        )
+                    else:  # MARK and BCAST both flood the filled character
+                        expected = [(_TICK + 2, p, emit) for p in out_ports]
+                    assert outbox == expected, (code, in_port, phase)
+                    driven[op] += 1
+        # the lowering is not vacuous: every op fired, for every delta
+        assert min(driven.values()) > 0, driven
+
+    def test_escape_lane_coverage(self, delta):
+        """Exactly the configurations the stepper cannot own escape."""
+        kernel = kernel_for(delta)
+        P = n_phases(delta)
+        esc = growing_esc_phase(delta)
+        escapes = 0
+        for code in range(kernel.n_codes):
+            fam = kernel.char_family[code]
+            for in_port in range(delta + 1):
+                rows = kernel.trans_rows[code][in_port]
+                assert len(rows) == P
+                escapes += sum(1 for r in rows if r < 0)
+                if fam < 0:
+                    # tokens (KILL, UNMARK, DFS, FWD/BACK, BDONE) always
+                    # take the cold path: purges, loop slots and subclass
+                    # hooks live outside the phase encoding
+                    assert all(r < 0 for r in rows), code
+                    continue
+                if in_port == STAR:
+                    # in-port 0 never occurs as a delivery port
+                    assert all(r < 0 for r in rows), code
+                    continue
+                filled_role = kernel.char_role[kernel.fill_rows[code][in_port]]
+                if fam in _BANK_MARKS:
+                    # interception (root / active RCA / active BCA) escapes,
+                    # as does everything past the growing phase range
+                    assert all(r < 0 for r in rows[esc:]), code
+                else:
+                    # dying banks lower only the promotion-free body
+                    # stream through the relay's predecessor port; heads,
+                    # tails, pending promotions and off-pred arrivals escape
+                    assert rows[0] < 0, code
+                    for phase in range(1, 2 * delta * delta + 1):
+                        pair, promote = divmod(phase - 1, 2)
+                        pred = pair // delta + 1
+                        lowered = (
+                            filled_role == 1
+                            and promote == 0
+                            and pred == in_port
+                        )
+                        assert (rows[phase] >= 0) == lowered, (code, phase)
+        assert escapes > 0
+
+    def test_walkable_bitmap_matches_a_full_table_scan(self, delta):
+        """``trans_walkable`` (set while the rows are written) is exactly
+        "this code's plane holds at least one non-escape row" — the
+        stepper uses it to route all-escape codes straight to the closure
+        dispatch, so a mismatch would either skip lowered rows or walk
+        planes that cannot pay off."""
+        kernel = kernel_for(delta)
+        for code in range(kernel.n_codes):
+            scanned = any(
+                row >= 0
+                for in_port in range(delta + 1)
+                for row in kernel.trans_rows[code][in_port]
+            )
+            assert bool(kernel.trans_walkable[code]) == scanned, code
 
 
 # ----------------------------------------------------------------------
@@ -424,4 +624,119 @@ class TestV1Migration:
         removed = library.gc()
         assert [e.path for e in removed] == [v1_path]
         assert not v1_path.exists()
+        assert library.load(graph) is not None
+
+
+# ----------------------------------------------------------------------
+# satellite: v2 → v3 artifact-library migration
+# ----------------------------------------------------------------------
+_V2_HEADER = struct.Struct("<8sII5Q13QII")
+
+
+def _v2_key(graph) -> str:
+    """The content address a format-v2 library computed for ``graph``."""
+    h = hashlib.sha256()
+    h.update(ARTIFACT_MAGIC)
+    h.update(_le_bytes([2, COMPILER_VERSION, graph.num_nodes, graph.delta]))
+    wires = array("q")
+    for wire in sorted(graph.wires()):
+        wires.extend(wire)
+    h.update(_le_bytes(wires))
+    return h.hexdigest()
+
+
+def _dump_v2(topo) -> bytes:
+    """Serialize ``topo`` in the superseded thirteen-table v2 layout."""
+    names = TABLE_NAMES[:13]
+    payload = b"".join(_le_bytes(getattr(topo, name)) for name in names)
+    census = alphabet_size(topo.delta)
+    head = _V2_HEADER.pack(
+        ARTIFACT_MAGIC,
+        2,
+        COMPILER_VERSION,
+        topo.num_nodes,
+        topo.delta,
+        topo.stride,
+        census,
+        kernel_size(topo.delta),
+        *(len(getattr(topo, name)) for name in names),
+        zlib.crc32(payload),
+        0,
+    )
+    head = head[:-4] + struct.pack("<I", zlib.crc32(head[:-4]))
+    return head + payload
+
+
+class TestV2Migration:
+    """v3 (the transition-table format) against a library of v2 files."""
+
+    @pytest.fixture(autouse=True)
+    def _cold(self):
+        configure_artifact_library(None)
+        clear_compiled_cache()
+        yield
+        configure_artifact_library(None)
+        clear_compiled_cache()
+
+    def _library_with_v2(self, tmp_path):
+        library = ArtifactLibrary(tmp_path / "artifacts")
+        graph = build_family("de-bruijn", 8, 0)
+        topo = compile_topology(graph)
+        v2_path = library.path_for(_v2_key(graph))
+        v2_path.parent.mkdir(parents=True, exist_ok=True)
+        v2_path.write_bytes(_dump_v2(topo))
+        return library, graph, v2_path
+
+    def test_v2_artifact_is_a_clean_load_miss(self, tmp_path):
+        library, graph, v2_path = self._library_with_v2(tmp_path)
+        # the format version joins the content address, so the v2 file is
+        # simply not found under the v3 key — a miss, not a failure
+        assert artifact_key(graph) != _v2_key(graph)
+        assert library.load(graph) is None
+        assert library.load_failures == 0
+
+    def test_v2_bytes_at_v3_key_fail_with_version_not_crc(self, tmp_path):
+        library, graph, v2_path = self._library_with_v2(tmp_path)
+        v3_path = library.path_for(artifact_key(graph))
+        v3_path.parent.mkdir(parents=True, exist_ok=True)
+        v3_path.write_bytes(v2_path.read_bytes())
+        assert library.load(graph) is None
+        assert library.load_failures == 1
+        bad = [e for e in library.entries(validate=True) if not e.ok]
+        assert any("format version 2" in e.error for e in bad)
+
+    def test_republish_heals_and_warm_loads_skip_the_compiler(self, tmp_path):
+        library, graph, _ = self._library_with_v2(tmp_path)
+        key, fresh = library.ensure(graph)
+        assert fresh == 1
+        assert key == artifact_key(graph)
+        # a cold process over the healed library never compiles: the v3
+        # artifact carries the full transition program
+        clear_compiled_cache()
+        before = compile_calls()
+        topo = library.load(graph)
+        assert topo is not None
+        assert compile_calls() == before
+        kernel = kernel_for(graph.delta)
+        assert list(topo.char_trans) == list(kernel.char_trans)
+
+    def test_cli_verify_names_the_version_mismatch(self, tmp_path, capsys):
+        from repro.cli import main
+
+        library, graph, v2_path = self._library_with_v2(tmp_path)
+        v3_path = library.path_for(artifact_key(graph))
+        v3_path.parent.mkdir(parents=True, exist_ok=True)
+        v3_path.write_bytes(v2_path.read_bytes())
+        code = main(["store", str(library.root), "--artifacts", "--verify"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "INVALID" in out
+        assert "format version 2" in out
+
+    def test_gc_reclaims_the_stale_v2_blob(self, tmp_path):
+        library, graph, v2_path = self._library_with_v2(tmp_path)
+        library.ensure(graph)
+        removed = library.gc()
+        assert [e.path for e in removed] == [v2_path]
+        assert not v2_path.exists()
         assert library.load(graph) is not None
