@@ -165,6 +165,11 @@ class CampaignStats:
     #: timeline-phase outcome table: (phase, outcome, count), sorted;
     #: empty when the matrix has no timeline cells
     phase_outcomes: tuple[tuple[str, str, int], ...] = ()
+    #: quarantine table: (error kind, count) for cells with
+    #: ``outcome="error"``, sorted; empty for a fault-free matrix.  Kinds
+    #: are exception class names or supervisor verdicts
+    #: (``"worker-crash"``/``"deadline"``/``"corrupt-result"``).
+    error_kinds: tuple[tuple[str, int], ...] = ()
 
     @property
     def ok_fraction(self) -> float:
@@ -192,6 +197,7 @@ class CampaignStats:
                 "r_squared": self.fit.r_squared,
             },
             "phase_outcomes": [list(row) for row in self.phase_outcomes],
+            "error_kinds": [list(row) for row in self.error_kinds],
         }
         return json.dumps(doc, sort_keys=True, separators=(",", ":"))
 
@@ -221,4 +227,15 @@ def aggregate_stats(results: Iterable) -> CampaignStats:
         episode_count=len(episodes),
         fit=fit,
         phase_outcomes=phase_outcome_counts(results),
+        # getattr: store records written before the error fields existed
+        # deserialize without them — shape tolerance mirrors phase/lost.
+        error_kinds=tuple(
+            sorted(
+                Counter(
+                    getattr(r, "error", "") or "unknown"
+                    for r in results
+                    if r.outcome == "error"
+                ).items()
+            )
+        ),
     )

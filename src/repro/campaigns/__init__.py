@@ -31,6 +31,7 @@ from repro.campaigns.spec import (
     CampaignSpec,
     FaultModel,
     Scenario,
+    SupervisionPolicy,
     build_family,
     parse_fault,
 )
@@ -46,6 +47,7 @@ __all__ = [
     "CampaignSpec",
     "FaultModel",
     "Scenario",
+    "SupervisionPolicy",
     "build_family",
     "parse_fault",
     "CampaignResult",

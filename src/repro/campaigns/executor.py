@@ -52,12 +52,17 @@ across the whole campaign (Lemma 4.3 at matrix scale).
 from __future__ import annotations
 
 import atexit
+import hashlib
+import itertools
 import json
 import multiprocessing
 import os
+import queue as queue_mod
+import time
+import traceback
 import zlib
-from collections import Counter
-from dataclasses import asdict, dataclass
+from collections import Counter, deque
+from dataclasses import asdict, dataclass, field
 from functools import lru_cache
 from typing import Callable, Sequence
 
@@ -68,10 +73,22 @@ from repro.analysis.run_stats import (
     episode_scaling,
     rca_episodes,
 )
-from repro.campaigns.spec import CampaignSpec, FaultModel, Scenario, build_family
+from repro.campaigns.faultinject import CorruptResultInjected, maybe_inject
+from repro.campaigns.spec import (
+    CampaignSpec,
+    FaultModel,
+    Scenario,
+    SupervisionPolicy,
+    build_family,
+)
 from repro.dynamics.engine import WireMutation
 from repro.dynamics.experiment import run_dynamic_gtd, run_dynamic_gtd_lanes
-from repro.errors import ReproError, TickBudgetExceeded, TranscriptError
+from repro.errors import (
+    ReproError,
+    ScenarioExecutionError,
+    TickBudgetExceeded,
+    TranscriptError,
+)
 from repro.protocol.runner import TopologyResult, determine_topology
 from repro.sim.characters import clear_interner_cache, kernel_for
 from repro.sim.run import EnginePool
@@ -89,6 +106,7 @@ from repro.util.tables import format_table
 __all__ = [
     "ScenarioResult",
     "CampaignResult",
+    "SupervisionPolicy",
     "run_scenario",
     "run_campaign",
     "clear_scenario_caches",
@@ -126,6 +144,14 @@ class ScenarioResult:
     lost_characters: int = 0
     #: timeline phase the run ended in ("" for non-timeline scenarios)
     phase: str = ""
+    #: for ``outcome="error"`` cells: the error kind — an exception class
+    #: name, or a supervisor verdict (``"worker-crash"``/``"deadline"``/
+    #: ``"corrupt-result"``).  ``""`` for every other outcome.
+    error: str = ""
+    #: deterministic short digest of the failure (kind + label + the
+    #: exception-only traceback lines); stable across processes and start
+    #: methods so a quarantined cell hashes identically however it failed.
+    error_digest: str = ""
 
     @property
     def ok(self) -> bool:
@@ -384,6 +410,77 @@ def _safe_episodes(transcript) -> list[RcaEpisode]:
 
 
 # ----------------------------------------------------------------------
+# failure capture: cells that error become structured results
+# ----------------------------------------------------------------------
+#: True in pool worker processes (set by :func:`_init_worker`).  Decides
+#: what an injected corrupt-result does: in a worker it must escape to the
+#: chunk shim so the *parent* sees a garbage payload; in the parent/serial
+#: path there is no payload boundary to corrupt, so it quarantines directly.
+_IN_WORKER = False
+
+
+def _error_digest(kind: str, label: str, detail: str = "") -> str:
+    """A short stable identifier for one cell failure.
+
+    Hashes only process-invariant material — the kind, the scenario label
+    and the exception-only rendering (never the full traceback, whose
+    frames differ between a serial run and a pool worker) — so ``jobs=1``
+    and ``jobs=N`` agree on the digest of a deterministic failure.
+    """
+    blob = f"{kind}\n{label}\n{detail}"
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def _quarantine_result(
+    scenario: Scenario, kind: str, detail: str = ""
+) -> ScenarioResult:
+    """The structured record of a cell the supervisor gave up on."""
+    return ScenarioResult(
+        scenario=scenario,
+        outcome="error",
+        num_nodes=0,
+        num_wires=0,
+        diameter=0,
+        ticks=0,
+        drained_ticks=0,
+        hops=0,
+        rca_runs=0,
+        bca_runs=0,
+        by_family=(),
+        episodes=(),
+        error=kind,
+        error_digest=_error_digest(kind, scenario.label, detail),
+    )
+
+
+def _error_result(scenario: Scenario, exc: Exception) -> ScenarioResult:
+    detail = "".join(traceback.format_exception_only(type(exc), exc)).strip()
+    return _quarantine_result(scenario, type(exc).__name__, detail)
+
+
+def _guarded_cell(scenario: Scenario) -> ScenarioResult:
+    """Run one cell, converting any failure into an ``outcome="error"`` result.
+
+    This is the per-cell failure domain: an exception out of
+    :func:`run_scenario` (a protocol bug, a malformed family, an injected
+    fault) is captured here — inside whatever process runs the cell — as a
+    structured, storable record instead of unwinding the whole campaign.
+    ``KeyboardInterrupt``/``SystemExit`` still propagate.  Faults that no
+    ``except`` can capture (SIGKILL, OOM, a hang) are the *parent-side*
+    supervisor's problem; see :func:`_run_supervised`.
+    """
+    try:
+        maybe_inject(scenario)
+        return run_scenario(scenario)
+    except CorruptResultInjected:
+        if _IN_WORKER:
+            raise
+        return _quarantine_result(scenario, "corrupt-result")
+    except Exception as exc:
+        return _error_result(scenario, exc)
+
+
+# ----------------------------------------------------------------------
 # the campaign runner
 # ----------------------------------------------------------------------
 #: The persistent worker pool: ``(start method, size, artifact library
@@ -420,6 +517,8 @@ def _init_worker(artifacts_root: str | None, profile_dir: str | None = None) -> 
     file in ``profile_dir`` — dumps are snapshots, so whenever the parent
     reads the directory it sees each worker's complete profile so far.
     """
+    global _IN_WORKER
+    _IN_WORKER = True
     if profile_dir is not None:
         import cProfile
 
@@ -499,7 +598,7 @@ def _worker_pool(
     return pool
 
 
-def shutdown_worker_pool() -> None:
+def shutdown_worker_pool(timeout: float = 5.0) -> None:
     """Dispose of the persistent worker pool (tests, interpreter exit).
 
     Safe to call at any time; the next parallel ``run_campaign`` simply
@@ -507,12 +606,36 @@ def shutdown_worker_pool() -> None:
     per-invocation ``with ctx.Pool(...)`` exit — so chunks abandoned by an
     error cannot block interpreter shutdown; results only ever live in the
     parent, so nothing of value is lost.
+
+    The teardown is **bounded**: ``Pool.terminate()`` is graceful (it
+    drains the task queue, sends sentinels, then SIGTERMs workers) but can
+    block forever — a worker that died *holding the task-queue read lock*
+    (SIGKILL mid-``recv``) deadlocks its ``_help_stuff_finish``, and a
+    worker wedged in native code shrugs off SIGTERM.  So the graceful path
+    runs on a watchdog thread with a ``timeout`` budget; if it overruns,
+    every surviving worker is hard-killed (SIGKILL) and this function
+    returns regardless — the ``atexit`` hook it serves as can therefore
+    never hang interpreter exit.  (In the deadlocked-lock case the daemon
+    thread stays parked on the orphaned semaphore until exit; that leaks a
+    thread, not progress.)
     """
     global _WORKER_POOL
-    if _WORKER_POOL is not None:
-        pool = _WORKER_POOL[-1]
-        _WORKER_POOL = None
-        pool.terminate()
+    if _WORKER_POOL is None:
+        return
+    pool = _WORKER_POOL[-1]
+    _WORKER_POOL = None
+    procs = list(getattr(pool, "_pool", None) or [])
+    import threading
+
+    waiter = threading.Thread(target=pool.terminate, daemon=True)
+    waiter.start()
+    waiter.join(timeout)
+    if waiter.is_alive():
+        for proc in procs:
+            if proc.is_alive():
+                proc.kill()
+        waiter.join(timeout)
+    if not waiter.is_alive():
         pool.join()
 
 
@@ -588,8 +711,10 @@ def _coerce_artifacts(artifacts):
     return ArtifactLibrary(artifacts)
 
 
-def _prewarm_artifacts(library, pending: list[tuple[int, Scenario]]) -> int:
-    """Publish every distinct pending wiring to the library; returns count.
+def _prewarm_artifacts(
+    library, pending: list[tuple[int, Scenario]]
+) -> tuple[int, list[tuple[str, int, int, str]]]:
+    """Publish every distinct pending wiring to the library.
 
     Runs in the parent before dispatch, so workers receive chunks whose
     artifacts already exist on disk and every one of them — whatever its
@@ -598,8 +723,16 @@ def _prewarm_artifacts(library, pending: list[tuple[int, Scenario]]) -> int:
     ``stat`` when warm and one compile+publish when cold; shutdown cells
     derive per-cell degraded wirings inside the worker and fall through to
     the ordinary miss path there.
+
+    Returns ``(published, skipped)``: the number of freshly published
+    artifacts, and one ``(family, size, seed, reason)`` entry per wiring
+    that could not be built — a typo'd family or infeasible size still
+    reports per-cell inside the worker (as an ``"error"``/``"infeasible"``
+    result), but the skip list surfaces it in the campaign summary instead
+    of leaving the prewarm silently partial.
     """
     published = 0
+    skipped: list[tuple[str, int, int, str]] = []
     seen: set[tuple[str, int, int]] = set()
     for _, scenario in pending:
         key = (scenario.family, scenario.size, scenario.seed)
@@ -608,8 +741,9 @@ def _prewarm_artifacts(library, pending: list[tuple[int, Scenario]]) -> int:
         seen.add(key)
         try:
             graph = _family_graph(*key)
-        except ReproError:
-            continue  # infeasible families report per-cell inside the worker
+        except ReproError as exc:
+            skipped.append((*key, str(exc)))
+            continue
         _, fresh = library.ensure(graph)
         published += fresh
         # warm the parent's character kernel for this delta too: fork
@@ -617,7 +751,7 @@ def _prewarm_artifacts(library, pending: list[tuple[int, Scenario]]) -> int:
         # just published means even spawn workers mmap them back instead
         # of recomputing
         kernel_for(graph.delta)
-    return published
+    return published, skipped
 
 
 def run_campaign(
@@ -629,6 +763,7 @@ def run_campaign(
     lanes: int | None = None,
     artifacts=None,
     profile_dir: str | None = None,
+    policy: SupervisionPolicy | None = None,
 ) -> "CampaignResult":
     """Run every scenario of ``spec``; fan out over ``jobs`` processes.
 
@@ -668,10 +803,24 @@ def run_campaign(
     caller aggregates them with :class:`pstats.Stats` afterwards.  The
     serial path ignores it — everything already runs in the caller's
     process, under whatever profiler the caller armed.
+
+    ``policy`` (default :class:`SupervisionPolicy()
+    <repro.campaigns.spec.SupervisionPolicy>`) governs the failure paths:
+    a cell that raises becomes a ``ScenarioResult(outcome="error")`` with a
+    deterministic error kind + digest; in parallel runs a worker that dies
+    (SIGKILL, OOM) or wedges past its chunk deadline costs a pool rebuild
+    and a bounded retry, the failing chunk is bisected until the poison
+    cell is isolated and quarantined, and every *other* cell completes
+    value-identical to a fault-free run.  Under
+    ``policy.on_error == "raise"`` the first failing cell instead aborts
+    the campaign with :class:`~repro.errors.ScenarioExecutionError` —
+    the historical behaviour.  Supervision never touches a healthy cell,
+    so ``jobs=1 ≡ jobs=N`` and store resumability hold unchanged.
     """
     scenarios = spec.scenarios() if isinstance(spec, CampaignSpec) else list(spec)
     if jobs < 1:
         raise ReproError(f"jobs must be >= 1, got {jobs}")
+    policy = policy if policy is not None else SupervisionPolicy()
     store = _coerce_store(store)
     artifacts = _coerce_artifacts(artifacts)
     slots: list[ScenarioResult | None] = [None] * len(scenarios)
@@ -682,11 +831,30 @@ def run_campaign(
             slots[index] = hit
         else:
             pending.append((index, scenario))
+    prewarm_skipped: list[tuple[str, int, int, str]] = []
     if artifacts is not None and pending:
         from repro.store.artifacts import configure_artifact_library
 
-        _prewarm_artifacts(artifacts, pending)
+        _, prewarm_skipped = _prewarm_artifacts(artifacts, pending)
         configure_artifact_library(artifacts)  # serial path + fork workers
+
+    delivered: set[int] = set()
+
+    def deliver(index: int, result: ScenarioResult) -> None:
+        # The single result sink for every execution path.  Idempotent per
+        # cell: a chunk requeued by the supervisor that turns out to have
+        # finished anyway cannot double-append to the store.
+        if index in delivered:
+            return
+        if policy.on_error == "raise" and result.outcome == "error":
+            raise ScenarioExecutionError(
+                result.scenario.label, result.error, result.error_digest
+            )
+        delivered.add(index)
+        if store is not None:
+            store.put(result)
+        slots[index] = result
+
     # Clamp the pool to the actual work: jobs > len(pending) would spawn
     # workers that fork, import, and exit without ever running a scenario.
     workers = min(jobs, len(pending))
@@ -694,41 +862,294 @@ def run_campaign(
         # The serial path routes through the same chunker and chunk runner
         # as the parallel one: batch-backend cells fuse into lane runs for
         # any ``jobs``, and ``jobs=1 ≡ jobs=N`` stays a statement about one
-        # code path rather than two.
+        # code path rather than two.  A chunk that raises (or returns a
+        # corrupted payload — both only reachable through the lane path,
+        # since scalar cells are guarded individually) falls back to
+        # guarded per-cell execution, exactly what the parallel supervisor
+        # converges to by bisection.
         for chunk in _chunk_pending(pending, 1, lanes):
-            for index, result in _run_chunk(chunk):
-                if store is not None:
-                    store.put(result)
-                slots[index] = result
+            batch = None
+            try:
+                batch = _run_chunk(chunk)
+            except Exception:
+                batch = None
+            if batch is None or not _chunk_payload_valid(chunk, batch):
+                batch = [(index, _guarded_cell(s)) for index, s in chunk]
+            for index, result in batch:
+                deliver(index, result)
     else:
-        pool = _worker_pool(
-            workers,
-            start_method,
-            str(artifacts.root) if artifacts is not None else None,
-            profile_dir,
-        )
-        # imap_unordered (not map/imap) so each chunk is persisted the
-        # moment *any* worker finishes it — an in-order stream would sit
-        # on completed results behind a slow chunk, and a crash would
-        # lose them.  Indices travel with the scenarios, so the returned
-        # matrix order is unaffected.
         try:
-            for batch in pool.imap_unordered(
-                _run_chunk, _chunk_pending(pending, workers, lanes)
-            ):
-                for index, result in batch:
-                    if store is not None:
-                        store.put(result)
-                    slots[index] = result
+            _run_supervised(
+                _chunk_pending(pending, workers, lanes),
+                workers=workers,
+                start_method=start_method,
+                artifacts_root=str(artifacts.root) if artifacts is not None else None,
+                profile_dir=profile_dir,
+                policy=policy,
+                deliver=deliver,
+            )
         except BaseException:
-            # A worker error (or Ctrl-C) abandons the iterator, but the
-            # persistent pool would keep grinding through every queued
-            # chunk in the background.  Terminate it — restoring the old
+            # A strict-mode abort (or Ctrl-C) leaves queued work behind,
+            # and the persistent pool would keep grinding through it in
+            # the background.  Terminate it — restoring the old
             # per-invocation `with ctx.Pool(...)` exit behaviour — and let
             # the next run_campaign build a fresh pool.
             shutdown_worker_pool()
             raise
-    return CampaignResult(results=slots)
+    return CampaignResult(results=slots, prewarm_skipped=tuple(prewarm_skipped))
+
+
+# ----------------------------------------------------------------------
+# the supervisor: deadlines, crash isolation, retry/bisect quarantine
+# ----------------------------------------------------------------------
+@dataclass
+class _ChunkTask:
+    """One dispatchable unit of supervised work and its failure history.
+
+    ``failures`` counts only *attributed* attempts — a chunk that was
+    merely in flight when the pool died for someone else's sins is
+    requeued penalty-free (see the suspects protocol in
+    :func:`_run_supervised`).  ``kind``/``detail`` remember the most
+    recent failure so the eventual quarantine record names it.
+    """
+
+    cells: list[tuple[int, Scenario]]
+    failures: int = 0
+    kind: str = ""
+    detail: str = ""
+
+
+def _chunk_payload_valid(
+    cells: list[tuple[int, Scenario]], payload
+) -> bool:
+    """Whether a chunk's returned payload is structurally trustworthy.
+
+    A worker that lies (bit flips, a fault-injected corrupt result, a
+    partially unpickled object) must not poison the store: the payload has
+    to be a list of ``(index, ScenarioResult)`` pairs covering *exactly*
+    the dispatched cells, each result claiming the scenario that was asked
+    for.  Values are not re-derived — that would mean re-running the cell
+    — but identity and shape are fully checked.
+    """
+    if not isinstance(payload, list) or len(payload) != len(cells):
+        return False
+    expected = dict(cells)
+    seen: set[int] = set()
+    for item in payload:
+        if not isinstance(item, tuple) or len(item) != 2:
+            return False
+        index, result = item
+        if index in seen or index not in expected:
+            return False
+        if not isinstance(result, ScenarioResult):
+            return False
+        if result.scenario != expected[index]:
+            return False
+        seen.add(index)
+    return True
+
+
+def _pool_pids(pool) -> frozenset[int]:
+    return frozenset(p.pid for p in list(getattr(pool, "_pool", None) or []))
+
+
+def _pool_broken(pool, known_pids: frozenset[int]) -> bool:
+    """Whether any worker of ``pool`` died since ``known_pids`` was taken.
+
+    ``multiprocessing.Pool``'s maintenance thread silently *replaces* a
+    killed worker — the pool looks healthy again moments later, but the
+    task the dead worker held is gone forever and its result will never
+    arrive.  Comparing live pids against the snapshot catches the
+    replacement; the ``is_alive`` sweep catches the window before it.
+    """
+    procs = list(getattr(pool, "_pool", None) or [])
+    if not procs:
+        return True
+    if frozenset(p.pid for p in procs) != known_pids:
+        return True
+    return any(not p.is_alive() for p in procs)
+
+
+def _run_supervised(
+    chunks: list[list[tuple[int, Scenario]]],
+    *,
+    workers: int,
+    start_method: str | None,
+    artifacts_root: str | None,
+    profile_dir: str | None,
+    policy: SupervisionPolicy,
+    deliver: Callable[[int, ScenarioResult], None],
+) -> None:
+    """Dispatch ``chunks`` over the persistent pool under supervision.
+
+    The healthy path is just ``apply_async`` with completion callbacks
+    feeding an event queue — no polling cost beyond a ``Queue.get`` that
+    parks the parent between results, and the persistent pool is reused
+    untouched.  The failure paths form a small state machine:
+
+    * **worker death** (SIGKILL/OOM — detected by pid-set drift, since the
+      pool silently replaces dead workers while losing their tasks): drain
+      already-completed results, then — if exactly one chunk was in flight
+      — charge it a failure; otherwise *every* in-flight chunk becomes a
+      penalty-free **suspect** and suspects run one at a time, so the next
+      death attributes with certainty and innocent chunks are never
+      quarantined for flying alongside a crasher.
+    * **deadline**: a chunk outliving ``cell_timeout × cells + grace`` is
+      presumed wedged and self-attributes; other in-flight chunks requeue
+      penalty-free.  Either way the pool is recycled (with exponential
+      backoff) because the worker holding the lost/wedged task is
+      unaccountable.
+    * **corrupt payload / worker-side infrastructure error**: attributed
+      directly (the payload maps to its chunk); no rebuild — the pool is
+      alive and honest workers keep their caches.
+    * a chunk whose attributed ``failures`` exceed ``max_retries`` is
+      **bisected**; at a single cell it is **quarantined** via
+      ``deliver`` as ``ScenarioResult(outcome="error")``.
+    * ``max_pool_rebuilds`` consecutive rebuilds *without forward
+      progress* (no delivery, no quarantine) degrade the remainder to
+      guarded serial in-parent execution: no crash isolation anymore, but
+      an environment where pools cannot live still yields a complete
+      campaign.
+    """
+    todo: deque[_ChunkTask] = deque(_ChunkTask(cells=list(c)) for c in chunks)
+    suspects: deque[_ChunkTask] = deque()
+    in_flight: dict[int, tuple[_ChunkTask, float | None]] = {}
+    events: queue_mod.Queue = queue_mod.Queue()
+    tids = itertools.count()
+    generation = 0
+    rebuilds = 0  # pool breakages since the last delivery or quarantine
+    pool = _worker_pool(workers, start_method, artifacts_root, profile_dir)
+    known_pids = _pool_pids(pool)
+
+    def submit(task: _ChunkTask) -> None:
+        tid = next(tids)
+        gen = generation
+
+        def on_done(payload, _tid=tid, _gen=gen):
+            events.put((_gen, _tid, payload, None))
+
+        def on_err(exc, _tid=tid, _gen=gen):
+            events.put((_gen, _tid, None, exc))
+
+        budget = policy.chunk_deadline_seconds(len(task.cells))
+        expiry = None if budget is None else time.monotonic() + budget
+        in_flight[tid] = (task, expiry)
+        pool.apply_async(
+            _run_chunk, (task.cells,), callback=on_done, error_callback=on_err
+        )
+
+    def pump() -> None:
+        # Suspects run strictly solo (and only once the lanes are clear),
+        # so any further pool death is attributable.  The in-flight cap of
+        # ``workers`` keeps every submitted chunk on a real worker, which
+        # is what makes its deadline a statement about execution time.
+        if suspects:
+            if not in_flight:
+                submit(suspects.popleft())
+        else:
+            while todo and len(in_flight) < workers:
+                submit(todo.popleft())
+
+    def fail(task: _ChunkTask, kind: str, detail: str = "") -> None:
+        nonlocal rebuilds
+        task.failures += 1
+        task.kind, task.detail = kind, detail
+        if task.failures <= policy.max_retries:
+            suspects.append(task)
+            return
+        if len(task.cells) > 1:
+            mid = len(task.cells) // 2
+            suspects.append(_ChunkTask(cells=task.cells[:mid]))
+            suspects.append(_ChunkTask(cells=task.cells[mid:]))
+            return
+        ((index, scenario),) = task.cells
+        deliver(index, _quarantine_result(scenario, kind, detail))
+        rebuilds = 0
+
+    def handle(gen: int, tid: int, payload, exc) -> None:
+        nonlocal rebuilds
+        if gen != generation or tid not in in_flight:
+            return  # stale: predates a rebuild, or the task was requeued
+        task, _ = in_flight.pop(tid)
+        if exc is not None:
+            fail(task, type(exc).__name__, str(exc))
+        elif not _chunk_payload_valid(task.cells, payload):
+            fail(task, "corrupt-result")
+        else:
+            for index, result in payload:
+                deliver(index, result)
+            rebuilds = 0
+
+    def rebuild() -> bool:
+        """Replace the broken pool; False once the rebuild budget is spent."""
+        nonlocal pool, known_pids, generation, rebuilds
+        generation += 1  # orphan every callback armed against the old pool
+        rebuilds += 1
+        shutdown_worker_pool()
+        if rebuilds > policy.max_pool_rebuilds:
+            return False
+        backoff = policy.rebuild_backoff(rebuilds)
+        if backoff:
+            time.sleep(backoff)
+        pool = _worker_pool(workers, start_method, artifacts_root, profile_dir)
+        known_pids = _pool_pids(pool)
+        return True
+
+    degraded = False
+    while todo or suspects or in_flight:
+        if degraded:
+            # Last resort: guarded, cell-at-a-time, in this process.  No
+            # isolation from a crashing cell anymore, but deterministic
+            # failures still quarantine and the campaign completes.
+            leftovers = list(suspects) + list(todo)
+            suspects.clear()
+            todo.clear()
+            for task in leftovers:
+                for index, scenario in task.cells:
+                    deliver(index, _guarded_cell(scenario))
+            break
+        pump()
+        try:
+            event = events.get(timeout=policy.liveness_interval)
+        except queue_mod.Empty:
+            event = None
+        if event is not None:
+            handle(*event)
+            continue
+        if not in_flight:
+            continue
+        now = time.monotonic()
+        expired = [
+            tid
+            for tid, (_, expiry) in in_flight.items()
+            if expiry is not None and now >= expiry
+        ]
+        if expired:
+            hung = [in_flight.pop(tid)[0] for tid in expired]
+            innocents = [in_flight.pop(tid)[0] for tid in list(in_flight)]
+            todo.extendleft(reversed(innocents))
+            for task in hung:
+                fail(task, "deadline")
+            if not rebuild():
+                degraded = True
+            continue
+        if _pool_broken(pool, known_pids):
+            # Salvage everything the pool finished before it broke: those
+            # callbacks already ran, their events are sitting in the queue.
+            while True:
+                try:
+                    handle(*events.get_nowait())
+                except queue_mod.Empty:
+                    break
+            if len(in_flight) == 1:
+                ((task, _),) = in_flight.values()
+                in_flight.clear()
+                fail(task, "worker-crash")
+            else:
+                for tid in list(in_flight):
+                    suspects.append(in_flight.pop(tid)[0])
+            if not rebuild():
+                degraded = True
 
 
 def _run_chunk(
@@ -742,18 +1163,26 @@ def _run_chunk(
     the worker's process-lifetime profiler and the accumulated stats are
     re-dumped afterwards — so the per-pid stats file is always a complete
     snapshot, even if the pool is terminated between chunks.
+
+    An injected corrupt-result (:mod:`repro.campaigns.faultinject`) escapes
+    the per-cell guard inside a pool worker and is converted *here* into a
+    deliberately malformed payload — exercising the parent's payload
+    validation, the thing a genuinely lying worker would hit.
     """
     profiler = _WORKER_PROFILER
-    if profiler is None:
-        return _run_chunk_cells(chunk)
-    profiler.enable()
     try:
-        return _run_chunk_cells(chunk)
-    finally:
-        profiler.disable()
-        profiler.dump_stats(
-            os.path.join(_PROFILE_DIR, f"worker-{os.getpid()}.pstats")
-        )
+        if profiler is None:
+            return _run_chunk_cells(chunk)
+        profiler.enable()
+        try:
+            return _run_chunk_cells(chunk)
+        finally:
+            profiler.disable()
+            profiler.dump_stats(
+                os.path.join(_PROFILE_DIR, f"worker-{os.getpid()}.pstats")
+            )
+    except CorruptResultInjected:
+        return [("corrupted-payload", None)]  # type: ignore[list-item]
 
 
 def _run_chunk_cells(
@@ -761,7 +1190,7 @@ def _run_chunk_cells(
 ) -> list[tuple[int, "ScenarioResult"]]:
     if len(chunk) > 1 and all(s.backend == "batch" for _, s in chunk):
         return _run_batch_chunk(chunk)
-    return [(index, run_scenario(scenario)) for index, scenario in chunk]
+    return [(index, _guarded_cell(scenario)) for index, scenario in chunk]
 
 
 @dataclass(frozen=True)
@@ -808,7 +1237,7 @@ def _run_batch_chunk(
         if fault.kind in ("cut", "add", "timeline"):
             lane_cells.append((index, scenario, fault))
         else:
-            out.append((index, run_scenario(scenario)))
+            out.append((index, _guarded_cell(scenario)))
     out.extend(_execute_lane_plans(lane_cells))
     return out
 
@@ -836,6 +1265,7 @@ def _execute_lane_plans(
     results: list[tuple[int, ScenarioResult]] = []
     by_graph: dict[PortGraph, list[_LanePlan]] = {}
     for index, scenario, fault in cells:
+        maybe_inject(scenario)  # lane cells are fault-injectable too
         graph = _family_graph(scenario.family, scenario.size, scenario.seed)
         try:
             baseline_ticks, diam = _dynamic_baseline(scenario, graph)
@@ -932,9 +1362,17 @@ class CampaignResult:
     """All scenario results of one campaign, in matrix order."""
 
     results: list[ScenarioResult]
+    #: wirings the artifact prewarm could not build, as
+    #: ``(family, size, seed, reason)`` — ``()`` when every wiring
+    #: published (or no artifact library was in play).
+    prewarm_skipped: tuple[tuple[str, int, int, str], ...] = field(default=())
 
     def __len__(self) -> int:
         return len(self.results)
+
+    def quarantined(self) -> list[ScenarioResult]:
+        """Cells the supervisor recorded as ``outcome="error"``."""
+        return [r for r in self.results if r.outcome == "error"]
 
     # -- aggregation into the run_stats shapes --------------------------
     def episodes(self) -> list[RcaEpisode]:
@@ -991,6 +1429,8 @@ class CampaignResult:
     def summary(self) -> str:
         """A paper-style table of the whole campaign."""
         title = f"campaign: {len(self.results)} scenarios, outcomes {self.outcome_counts()}"
+        if self.prewarm_skipped:
+            title += f", prewarm skipped {len(self.prewarm_skipped)} wiring(s)"
         return format_table(
             ["scenario", "N", "E", "D", "ticks", "hops", "outcome"],
             self.table_rows(),

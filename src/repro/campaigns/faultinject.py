@@ -1,0 +1,142 @@
+"""Deterministic fault injection for the campaign supervisor's test paths.
+
+The supervisor in :mod:`repro.campaigns.executor` exists to survive three
+things a real worker fleet does: die (SIGKILL, OOM), wedge (hang forever),
+and lie (return a corrupted payload).  None of those can be provoked from
+ordinary test code without racing the scheduler — so this module provides
+a **seeded, process-local injection hook**: the ``REPRO_FAULT_INJECT``
+environment variable names one fault kind and one target cell, and the
+worker that picks that cell up injects the fault at the moment it would
+have started simulating.  Because the trigger is the scenario *label* (a
+pure function of the spec), the injection fires at the same cell on every
+run, under every start method, for any worker count — the failure paths
+become as deterministic as the healthy ones.
+
+Spec grammar (semicolon-separated ``key=value`` pairs)::
+
+    REPRO_FAULT_INJECT="kind=crash;match=de-bruijn(6)/none/s3"
+    REPRO_FAULT_INJECT="kind=hang;match=spare-ring(6)/cut:0.5/s0;secs=60"
+    REPRO_FAULT_INJECT="kind=error;match=.../s1;once=/tmp/armed"
+
+* ``kind`` — ``crash`` (SIGKILL the current process), ``hang`` (sleep
+  ``secs``, default 3600), ``error`` (raise ``RuntimeError``), or
+  ``corrupt`` (make the worker return a garbage chunk payload);
+* ``match`` — a substring of the target :attr:`Scenario.label`;
+* ``secs`` — hang duration in seconds (``hang`` only);
+* ``once`` — a marker-file path: the fault fires only while the file does
+  not exist and creates it atomically first, so exactly one injection
+  happens per marker — the way to test *recovery* (retry succeeds) rather
+  than *quarantine* (cell keeps failing).
+
+The values ``""``, ``"0"`` and ``"1"`` disable injection — CI sets
+``REPRO_FAULT_INJECT=1`` as the suite gate and the tests export concrete
+specs per case.  When the variable is unset the per-cell check is a single
+dict lookup and a cached parse; nothing else rides the hot path.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.errors import ReproError
+
+__all__ = [
+    "ENV_VAR",
+    "FaultInjection",
+    "CorruptResultInjected",
+    "active_injection",
+    "maybe_inject",
+]
+
+#: The environment variable carrying the injection spec (workers inherit
+#: the parent's environment under every multiprocessing start method).
+ENV_VAR = "REPRO_FAULT_INJECT"
+
+_KINDS = ("crash", "hang", "error", "corrupt")
+
+
+class CorruptResultInjected(Exception):
+    """Internal signal: replace the chunk payload with garbage.
+
+    Deliberately *not* a :class:`ReproError`: worker code converts library
+    errors into structured results, while this must escape to the chunk
+    shim (in a pool worker) so the parent sees a corrupted payload.
+    """
+
+
+@dataclass(frozen=True)
+class FaultInjection:
+    """One parsed injection: a fault kind armed at a matching cell."""
+
+    kind: str
+    match: str
+    secs: float = 3600.0
+    once: str | None = None
+
+
+@lru_cache(maxsize=8)
+def _parse(spec: str) -> FaultInjection | None:
+    if spec in ("", "0", "1"):
+        return None
+    fields: dict[str, str] = {}
+    for part in spec.split(";"):
+        if not part.strip():
+            continue
+        key, sep, value = part.partition("=")
+        if not sep:
+            raise ReproError(
+                f"bad {ENV_VAR} spec {spec!r}: expected key=value, got {part!r}"
+            )
+        fields[key.strip()] = value
+    kind = fields.pop("kind", "")
+    match = fields.pop("match", "")
+    if kind not in _KINDS:
+        raise ReproError(
+            f"bad {ENV_VAR} spec {spec!r}: kind must be one of {_KINDS}"
+        )
+    if not match:
+        raise ReproError(f"bad {ENV_VAR} spec {spec!r}: missing match=LABEL")
+    secs = float(fields.pop("secs", "3600"))
+    once = fields.pop("once", None)
+    if fields:
+        raise ReproError(
+            f"bad {ENV_VAR} spec {spec!r}: unknown key(s) {sorted(fields)}"
+        )
+    return FaultInjection(kind=kind, match=match, secs=secs, once=once)
+
+
+def active_injection() -> FaultInjection | None:
+    """The injection armed in this process's environment, or ``None``."""
+    return _parse(os.environ.get(ENV_VAR, ""))
+
+
+def maybe_inject(scenario) -> None:
+    """Fire the armed fault if ``scenario`` is its target; else no-op.
+
+    Called by the executor once per cell, immediately before the cell
+    would simulate.  ``crash`` never returns; ``hang`` returns after
+    ``secs`` (by which time the supervisor has normally killed the pool);
+    ``error`` raises ``RuntimeError`` (captured into a structured error
+    result); ``corrupt`` raises :class:`CorruptResultInjected`.
+    """
+    injection = active_injection()
+    if injection is None or injection.match not in scenario.label:
+        return
+    if injection.once is not None:
+        try:
+            fd = os.open(injection.once, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return  # already fired once; run the cell normally
+        os.close(fd)
+    if injection.kind == "crash":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif injection.kind == "hang":
+        time.sleep(injection.secs)
+    elif injection.kind == "error":
+        raise RuntimeError(f"injected fault at {scenario.label}")
+    else:  # corrupt
+        raise CorruptResultInjected(scenario.label)

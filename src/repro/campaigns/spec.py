@@ -34,6 +34,7 @@ __all__ = [
     "parse_fault",
     "Scenario",
     "CampaignSpec",
+    "SupervisionPolicy",
     "SPEC_HASH_FORMAT",
 ]
 
@@ -249,6 +250,85 @@ def parse_fault(spec: str) -> FaultModel:
     if kind in ("cut", "add") and param < 0.0:
         raise ReproError(f"{kind} time fraction must be >= 0, got {param}")
     return FaultModel(kind, param)
+
+
+# ----------------------------------------------------------------------
+# supervision policy
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """How the executor supervises a parallel campaign's failure modes.
+
+    Like :class:`CampaignSpec`, this is a campaign-level *declaration* —
+    but deliberately **not** part of any scenario's identity: supervision
+    changes how failures are handled, never the value of a healthy cell,
+    so two campaigns differing only in policy share every store key.
+
+    * ``cell_timeout`` — wall-clock budget per cell, in seconds.  A
+      dispatched chunk's deadline is ``cell_timeout * len(chunk) +
+      chunk_grace``; a chunk that outlives it is presumed wedged, the pool
+      is recycled, and the chunk is retried.  ``None`` disables deadlines
+      (worker-death detection stays on).
+    * ``max_retries`` — failed attempts a chunk may accrue before it is
+      **bisected** (multi-cell) or **quarantined** (single cell, recorded
+      as ``outcome="error"``).
+    * ``on_error`` — ``"quarantine"`` records failing cells and completes
+      the campaign; ``"raise"`` restores the historical strict abort via
+      :class:`~repro.errors.ScenarioExecutionError`.
+    * ``backoff_base``/``backoff_cap`` — exponential backoff slept before
+      each pool rebuild (``base * 2**(rebuilds-1)``, capped).
+    * ``max_pool_rebuilds`` — after this many pool breakages in one
+      ``run_campaign`` call, the executor degrades to serial in-process
+      execution of the remaining chunks (no isolation, but progress).
+    * ``liveness_interval`` — how often the supervisor polls worker
+      liveness while waiting for results (parent-side only; the worker
+      hot loop never sees it).
+    """
+
+    cell_timeout: float | None = 120.0
+    chunk_grace: float = 5.0
+    max_retries: int = 1
+    on_error: str = "quarantine"
+    backoff_base: float = 0.25
+    backoff_cap: float = 8.0
+    max_pool_rebuilds: int = 5
+    liveness_interval: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.cell_timeout is not None and self.cell_timeout <= 0:
+            raise ReproError(
+                f"cell_timeout must be > 0 or None, got {self.cell_timeout}"
+            )
+        if self.chunk_grace < 0:
+            raise ReproError(f"chunk_grace must be >= 0, got {self.chunk_grace}")
+        if self.max_retries < 0:
+            raise ReproError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.on_error not in ("quarantine", "raise"):
+            raise ReproError(
+                f"on_error must be 'quarantine' or 'raise', got {self.on_error!r}"
+            )
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ReproError("backoff_base/backoff_cap must be >= 0")
+        if self.max_pool_rebuilds < 0:
+            raise ReproError(
+                f"max_pool_rebuilds must be >= 0, got {self.max_pool_rebuilds}"
+            )
+        if self.liveness_interval <= 0:
+            raise ReproError(
+                f"liveness_interval must be > 0, got {self.liveness_interval}"
+            )
+
+    def chunk_deadline_seconds(self, cells: int) -> float | None:
+        """The wall-clock budget for a chunk of ``cells`` cells, or None."""
+        if self.cell_timeout is None:
+            return None
+        return self.cell_timeout * max(1, cells) + self.chunk_grace
+
+    def rebuild_backoff(self, rebuilds: int) -> float:
+        """Seconds to sleep before pool rebuild number ``rebuilds`` (1-based)."""
+        if self.backoff_base == 0:
+            return 0.0
+        return min(self.backoff_cap, self.backoff_base * 2 ** max(0, rebuilds - 1))
 
 
 # ----------------------------------------------------------------------

@@ -13,10 +13,12 @@ Subcommands:
   DIR`` persists compiled topologies to an mmap-shared library so warm
   re-runs skip every previously-seen compile;
 * ``store`` — inspect a result store: record count, outcome counts, and
-  the aggregate statistics mined from its JSONL shards; with
-  ``--artifacts`` the directory is a compiled-artifact library instead
-  (``--verify`` validates every artifact, ``--gc [--keep-mb MB]``
-  removes invalid ones and evicts to a byte budget);
+  the aggregate statistics mined from its JSONL shards; ``--verify``
+  runs an offline integrity scan of the shards (keys re-checked against
+  recomputed spec hashes); with ``--artifacts`` the directory is a
+  compiled-artifact library instead (``--verify`` validates every
+  artifact, ``--gc [--keep-mb MB]`` removes invalid ones and evicts to
+  a byte budget);
 * ``bench-compare`` — diff a fresh benchmark snapshot against a committed
   baseline with a regression threshold (the CI perf gate);
 * ``families`` — list the built-in network families;
@@ -44,14 +46,14 @@ from pathlib import Path
 from repro.analysis.run_stats import phase_outcome_counts
 from repro.analysis.transcripts import lower_bound_curve
 from repro.bench.baseline import compare_files
-from repro.campaigns import CampaignSpec, Scenario, run_campaign
+from repro.campaigns import CampaignSpec, Scenario, SupervisionPolicy, run_campaign
 from repro.campaigns.spec import FAMILY_BUILDERS, build_family
 from repro.dynamics import compile_timeline, parse_timeline, run_dynamic_gtd
 from repro.dynamics.timeline import TIMELINE_EVENT_KINDS
 from repro.errors import ReproError, TranscriptError
 from repro.protocol.runner import determine_topology
 from repro.sim.run import DEFAULT_BACKEND, ENGINE_BACKENDS
-from repro.store import ResultStore
+from repro.store import ResultStore, verify_result_store
 from repro.topology.properties import diameter
 from repro.util.tables import format_table
 from repro.viz.ascii_map import render_adjacency, render_recovered_map
@@ -166,6 +168,23 @@ def build_parser() -> argparse.ArgumentParser:
         "identical for any method)",
     )
     p_camp.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECS",
+        help="per-cell wall-clock budget: a parallel chunk outliving "
+        "SECS x cells (+ grace) is presumed wedged, its pool is recycled "
+        "and the chunk retried/bisected (default 120; 0 disables deadlines)",
+    )
+    p_camp.add_argument(
+        "--max-retries", type=int, default=None, metavar="K",
+        help="attributed failures a chunk may accrue before it is bisected "
+        "down to the poison cell and that cell is quarantined (default 1)",
+    )
+    p_camp.add_argument(
+        "--on-error", choices=("quarantine", "raise"), default="quarantine",
+        help="what a failing cell does to the campaign: 'quarantine' "
+        "(default) records it as outcome=error and completes every other "
+        "cell; 'raise' aborts on the first failure (the strict mode)",
+    )
+    p_camp.add_argument(
         "--episodes", action="store_true",
         help="also print the Lemma 4.3 episode-scaling fit over the matrix",
     )
@@ -211,8 +230,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_store.add_argument(
         "--verify", action="store_true",
-        help="with --artifacts: fully validate every artifact (checksums, "
-        "versions); exit 1 if any is invalid",
+        help="offline integrity scan; exit 1 on corruption.  For a result "
+        "store: parse every shard record and check its key against the "
+        "recomputed spec hash (torn trailing lines are warnings).  With "
+        "--artifacts: fully validate every artifact (checksums, versions)",
     )
     p_store.add_argument(
         "--gc", action="store_true",
@@ -598,6 +619,12 @@ def _run_campaign_command(
     )
     store = _open_campaign_store(args)
     reused = len(spec) - len(store.missing(spec)) if store is not None else 0
+    policy_kwargs: dict = {"on_error": args.on_error}
+    if args.cell_timeout is not None:
+        # 0 disables deadlines entirely (the policy models that as None)
+        policy_kwargs["cell_timeout"] = args.cell_timeout or None
+    if args.max_retries is not None:
+        policy_kwargs["max_retries"] = args.max_retries
     campaign = run_campaign(
         spec,
         jobs=args.jobs,
@@ -606,8 +633,21 @@ def _run_campaign_command(
         lanes=args.lanes,
         artifacts=args.artifacts,
         profile_dir=profile_dir,
+        policy=SupervisionPolicy(**policy_kwargs),
     )
     print(campaign.summary())
+    for family, size, seed, reason in campaign.prewarm_skipped:
+        print(f"prewarm skipped {family}({size}) s{seed}: {reason}")
+    quarantined = campaign.quarantined()
+    if quarantined:
+        print()
+        print(
+            format_table(
+                ["quarantined cell", "error kind", "digest"],
+                [(r.scenario.label, r.error, r.error_digest) for r in quarantined],
+                title="cells quarantined by the supervisor",
+            )
+        )
     phase_rows = phase_outcome_counts(campaign.results)
     if phase_rows:
         print()
@@ -649,10 +689,17 @@ def _run_store_command(args: argparse.Namespace) -> int:
     """``store DIR``: aggregate a result store from its JSONL shards."""
     if args.artifacts:
         return _run_artifacts_store_command(args)
-    if args.verify or args.gc or args.keep_mb is not None:
-        raise ReproError("--verify/--gc/--keep-mb apply to --artifacts libraries")
+    if args.gc or args.keep_mb is not None:
+        raise ReproError("--gc/--keep-mb apply to --artifacts libraries")
     if not Path(args.dir).is_dir():
         raise ReproError(f"no result store at {args.dir!r}")
+    if args.verify:
+        # Offline scan: reports without opening (or truncating) anything.
+        # Torn trailing lines are warnings — the loader handles them — so
+        # only genuinely corrupt records fail the exit code.
+        report = verify_result_store(args.dir)
+        print(report.summary())
+        return 0 if report.ok else 1
     store = ResultStore(args.dir)
     stats = store.stats()
     outcomes = {outcome: n for outcome, n in stats.outcomes}

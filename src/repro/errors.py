@@ -23,6 +23,8 @@ __all__ = [
     "AnalysisError",
     "StoreError",
     "BaselineError",
+    "CampaignError",
+    "ScenarioExecutionError",
 ]
 
 
@@ -93,3 +95,26 @@ class StoreError(ReproError):
 
 class BaselineError(ReproError):
     """A benchmark baseline file is malformed or cannot be compared."""
+
+
+class CampaignError(ReproError):
+    """The campaign executor / supervisor hit an unrecoverable condition."""
+
+
+class ScenarioExecutionError(CampaignError):
+    """A scenario failed under ``on_error="raise"`` (strict) supervision.
+
+    Carries enough to find the cell again: the scenario label, the error
+    kind (exception class name or supervisor verdict such as
+    ``"worker-crash"``/``"deadline"``/``"corrupt-result"``) and the
+    deterministic error digest the quarantined record would have carried.
+    """
+
+    def __init__(self, label: str, kind: str, digest: str) -> None:
+        self.label = label
+        self.kind = kind
+        self.digest = digest
+        super().__init__(
+            f"scenario {label} failed: {kind} (digest {digest}); "
+            f"rerun with --on-error quarantine to record it and continue"
+        )

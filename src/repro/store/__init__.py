@@ -31,15 +31,19 @@ from repro.store.artifacts import (
 from repro.store.result_store import (
     STORE_FORMAT,
     ResultStore,
+    StoreVerifyReport,
     result_from_doc,
     result_to_doc,
+    verify_result_store,
 )
 
 __all__ = [
     "STORE_FORMAT",
     "ResultStore",
+    "StoreVerifyReport",
     "result_from_doc",
     "result_to_doc",
+    "verify_result_store",
     "ARTIFACT_FORMAT",
     "ArtifactError",
     "ArtifactLibrary",

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import json
 import os
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
@@ -40,8 +41,10 @@ from repro.errors import StoreError
 __all__ = [
     "STORE_FORMAT",
     "ResultStore",
+    "StoreVerifyReport",
     "result_to_doc",
     "result_from_doc",
+    "verify_result_store",
 ]
 
 #: Manifest format tag; bump on incompatible layout or record changes.
@@ -82,6 +85,8 @@ def result_to_doc(result: ScenarioResult) -> dict:
         ],
         "lost_characters": result.lost_characters,
         "phase": result.phase,
+        "error": result.error,
+        "error_digest": result.error_digest,
     }
 
 
@@ -108,6 +113,9 @@ def result_from_doc(doc: dict) -> ScenarioResult:
             episodes=tuple(RcaEpisode(**ep) for ep in doc["episodes"]),
             lost_characters=doc.get("lost_characters", 0),
             phase=doc.get("phase", ""),
+            # .get: records written before quarantine existed lack these
+            error=doc.get("error", ""),
+            error_digest=doc.get("error_digest", ""),
         )
     except (KeyError, TypeError) as exc:
         raise StoreError(f"malformed result record: {exc}") from exc
@@ -282,3 +290,108 @@ class ResultStore:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"ResultStore({str(self.root)!r}, {len(self)} records)"
+
+
+# ----------------------------------------------------------------------
+# offline verification
+# ----------------------------------------------------------------------
+@dataclass
+class StoreVerifyReport:
+    """What an offline scan of a result store's shards found.
+
+    ``problems`` are records that cannot be trusted — unparseable JSON in
+    the middle of a shard, a record that fails deserialization, or a key
+    that does not match the stored scenario's recomputed spec hash.
+    ``torn`` entries are truncated *final* lines: the expected signature of
+    a run killed mid-append, reported as warnings (the loader drops them
+    safely) rather than corruption.
+    """
+
+    root: str
+    shards: int = 0
+    records: int = 0
+    keys: int = 0
+    duplicates: int = 0
+    torn: list[str] = field(default_factory=list)
+    problems: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no record is untrustworthy (torn tails are fine)."""
+        return not self.problems
+
+    def summary(self) -> str:
+        lines = [
+            f"result store {self.root}: {self.shards} shard(s), "
+            f"{self.records} record(s), {self.keys} key(s), "
+            f"{self.duplicates} duplicate(s)"
+        ]
+        for entry in self.torn:
+            lines.append(f"TORN {entry}")
+        for entry in self.problems:
+            lines.append(f"CORRUPT {entry}")
+        lines.append(
+            f"verify: {len(self.problems)} corrupt record(s), "
+            f"{len(self.torn)} torn trailing line(s)"
+        )
+        return "\n".join(lines)
+
+
+def verify_result_store(root: str | os.PathLike) -> StoreVerifyReport:
+    """Scan a result store offline; never modifies anything on disk.
+
+    The shard-level twin of the artifact library's ``--verify``: every
+    line of every shard is parsed, deserialized, and its key checked
+    against the recomputed spec hash of the scenario it claims to record —
+    so a bit flip in a spec field (which would silently serve the wrong
+    cell on resume) is caught, not just malformed JSON.  Unlike opening a
+    :class:`ResultStore`, a torn final line is *reported*, not truncated
+    away, and mid-shard corruption is collected instead of raising — the
+    point is a complete report over a store you may not want to touch.
+    """
+    root = Path(root)
+    manifest_path = root / "MANIFEST.json"
+    report = StoreVerifyReport(root=str(root))
+    if not manifest_path.is_file():
+        report.problems.append(f"{manifest_path.name}: missing manifest")
+        return report
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except json.JSONDecodeError as exc:
+        report.problems.append(f"{manifest_path.name}: unreadable ({exc})")
+        return report
+    if manifest.get("format") != STORE_FORMAT:
+        report.problems.append(
+            f"{manifest_path.name}: format {manifest.get('format')!r}, "
+            f"expected {STORE_FORMAT!r}"
+        )
+        return report
+    seen: set[str] = set()
+    for shard in sorted((root / "shards").glob("*.jsonl")):
+        report.shards += 1
+        lines = shard.read_bytes().split(b"\n")
+        for lineno, raw in enumerate(lines):
+            if not raw.strip():
+                continue
+            where = f"{shard.name}:{lineno + 1}"
+            try:
+                record = json.loads(raw)
+                key = record["key"]
+                result = result_from_doc(record["result"])
+            except (json.JSONDecodeError, KeyError, TypeError, StoreError) as exc:
+                if lineno == len(lines) - 1:
+                    report.torn.append(f"{where}: truncated final line")
+                else:
+                    report.problems.append(f"{where}: {exc}")
+                continue
+            report.records += 1
+            if key != result.scenario.spec_hash():
+                report.problems.append(
+                    f"{where}: key {key[:16]}… does not match the "
+                    f"recomputed spec hash of {result.scenario.label}"
+                )
+            if key in seen:
+                report.duplicates += 1
+            seen.add(key)
+    report.keys = len(seen)
+    return report

@@ -406,7 +406,10 @@ class TestCampaignThreading:
 
     def test_cli_guard_rails(self, tmp_path):
         assert main(["store", str(tmp_path / "nope"), "--artifacts"]) == 2
-        assert main(["store", str(tmp_path), "--verify"]) == 2  # needs --artifacts
+        # --verify now scans result stores too; a directory that is not a
+        # store reports a missing manifest and fails the scan
+        assert main(["store", str(tmp_path), "--verify"]) == 1
+        assert main(["store", str(tmp_path), "--gc"]) == 2  # still artifacts-only
 
 
 # ----------------------------------------------------------------------
